@@ -1,0 +1,125 @@
+// Experiment E9 — paper Appendix B (independent third-party confirmation).
+//
+// Schneider et al. re-ran their RGB-video gesture classifier replacing the
+// `fastdtw` package (radius 30) with the authors' exact DTW and found the
+// exact version was ~24x faster on average and ~5% *more accurate*
+// (77.38% -> 82.14%). This harness reproduces the protocol on synthetic
+// multichannel gestures: 1-NN classification of skeleton-like channels
+// under (a) FastDTW_30, (b) exact unconstrained multichannel DTW, and
+// (c) exact cDTW at a 10% window.
+//
+// Flags: --channels (6), --length (120), --classes (8), --train (6),
+//        --test (4), --radius (30).
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/bench_flags.h"
+#include "warp/common/table_printer.h"
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/core/fastdtw_reference.h"
+#include "warp/gen/gesture.h"
+#include "warp/mining/nn_classifier.h"
+
+namespace warp {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t channels = static_cast<size_t>(flags.GetInt("channels", 6));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 120));
+  const int classes = static_cast<int>(flags.GetInt("classes", 8));
+  const size_t per_class_train =
+      static_cast<size_t>(flags.GetInt("train", 6));
+  const size_t per_class_test = static_cast<size_t>(flags.GetInt("test", 4));
+  const size_t radius = static_cast<size_t>(flags.GetInt("radius", 30));
+
+  PrintBanner("E9 / Appendix B",
+              "Multichannel gesture 1-NN classification: FastDTW_30 vs "
+              "exact DTW (the Schneider et al. re-run)");
+
+  gen::GestureOptions options;
+  options.length = length;
+  options.num_classes = classes;
+  options.warp_fraction = flags.GetDouble("warp", 0.08);
+  options.noise_stddev = flags.GetDouble("noise", 0.15);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 555));
+  // One pool per class (class templates are derived from the seed, so
+  // train and test must come from the same draw), split class-major:
+  // the first per_class_train exemplars of each class train, the rest test.
+  const auto pool = gen::MakeMultiGestureDataset(
+      per_class_train + per_class_test, channels, options);
+  std::vector<MultiSeries> train;
+  std::vector<MultiSeries> test;
+  const size_t pool_per_class = per_class_train + per_class_test;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    (i % pool_per_class < per_class_train ? train : test).push_back(pool[i]);
+  }
+  std::printf("%zu train / %zu test exemplars, %zu channels, length %zu\n\n",
+              train.size(), test.size(), channels, length);
+
+  // The `fastdtw` package is exactly what Schneider et al. measured, so
+  // the reference port is the headline; the optimized port is also timed.
+  const MultiMeasure fastdtw = [radius](const MultiSeries& a,
+                                        const MultiSeries& b) {
+    return ReferenceMultiFastDtw(a, b, radius).distance;
+  };
+  const MultiMeasure fastdtw_optimized = [radius](const MultiSeries& a,
+                                                  const MultiSeries& b) {
+    return MultiFastDtw(a, b, radius).distance;
+  };
+  const MultiMeasure exact_full = [](const MultiSeries& a,
+                                     const MultiSeries& b) {
+    return MultiDtwDistance(a, b);
+  };
+  const size_t band = length / 10;
+  DtwBuffer buffer;
+  const MultiMeasure exact_banded = [band, &buffer](const MultiSeries& a,
+                                                    const MultiSeries& b) {
+    return MultiCdtwDistance(a, b, band, CostKind::kSquared, &buffer);
+  };
+
+  const ClassificationStats fast_stats =
+      Evaluate1NnMulti(train, test, fastdtw);
+  const ClassificationStats fast_opt_stats =
+      Evaluate1NnMulti(train, test, fastdtw_optimized);
+  const ClassificationStats full_stats =
+      Evaluate1NnMulti(train, test, exact_full);
+  const ClassificationStats banded_stats =
+      Evaluate1NnMulti(train, test, exact_banded);
+
+  TablePrinter table(
+      {"measure", "accuracy (%)", "total time (s)", "vs FastDTW"});
+  auto add = [&](const char* name, const ClassificationStats& stats) {
+    table.AddRow({name,
+                  TablePrinter::FormatDouble(stats.accuracy * 100.0, 2),
+                  TablePrinter::FormatDouble(stats.seconds, 3),
+                  TablePrinter::FormatDouble(
+                      fast_stats.seconds / stats.seconds, 1) + "x"});
+  };
+  add("FastDTW_30 (reference pkg)", fast_stats);
+  add("FastDTW_30 (optimized)", fast_opt_stats);
+  add("Full DTW (exact)", full_stats);
+  add("cDTW_10% (exact)", banded_stats);
+  table.Print();
+
+  std::printf(
+      "\nPaper's Appendix-B findings: exact DTW ~24x faster (mean), and "
+      "accuracy improved ~5 points.\n"
+      "Shape check: exact cDTW faster than FastDTW: %s; exact accuracy >= "
+      "FastDTW accuracy: %s\n",
+      banded_stats.seconds < fast_stats.seconds ? "reproduced"
+                                                : "NOT reproduced",
+      banded_stats.accuracy >= fast_stats.accuracy - 1e-9
+          ? "reproduced"
+          : "NOT reproduced");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace warp
+
+int main(int argc, char** argv) { return warp::bench::Main(argc, argv); }

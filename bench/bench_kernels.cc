@@ -1,0 +1,165 @@
+// Experiment E10 — supporting micro-benchmarks (google-benchmark).
+//
+// Kernel-level scaling of the DTW family: how Full DTW, cDTW, FastDTW,
+// the lower bounds, and the envelope computation scale with N, w, and r.
+// These are the numbers behind every macro experiment: cDTW_w costs
+// O(N*w) with a tiny constant; FastDTW costs O(N*r) with a much larger
+// constant (recursion, window bookkeeping, path recovery) — which is the
+// paper's whole story.
+
+#include <benchmark/benchmark.h>
+
+#include "warp/core/dtw.h"
+#include "warp/core/envelope.h"
+#include "warp/core/fastdtw.h"
+#include "warp/core/fastdtw_reference.h"
+#include "warp/core/lower_bounds.h"
+#include "warp/gen/random_walk.h"
+#include "warp/mining/matrix_profile.h"
+
+namespace warp {
+namespace {
+
+std::vector<double> MakeWalk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return gen::RandomWalk(n, rng);
+}
+
+void BM_FullDtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeWalk(n, 1);
+  const auto y = MakeWalk(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_FullDtw)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Cdtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t w_percent = static_cast<size_t>(state.range(1));
+  const auto x = MakeWalk(n, 3);
+  const auto y = MakeWalk(n, 4);
+  const size_t band = n * w_percent / 100;
+  DtwBuffer buffer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CdtwDistance(x, y, band, CostKind::kSquared, &buffer));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (2 * band + 1)));
+}
+BENCHMARK(BM_Cdtw)
+    ->Args({128, 5})
+    ->Args({128, 10})
+    ->Args({945, 4})
+    ->Args({945, 20})
+    ->Args({24000, 1});
+
+void BM_FastDtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t radius = static_cast<size_t>(state.range(1));
+  const auto x = MakeWalk(n, 5);
+  const auto y = MakeWalk(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FastDtwDistance(x, y, radius));
+  }
+}
+BENCHMARK(BM_FastDtw)
+    ->Args({128, 10})
+    ->Args({945, 0})
+    ->Args({945, 10})
+    ->Args({945, 20})
+    ->Args({24000, 10});
+
+void BM_ReferenceFastDtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t radius = static_cast<size_t>(state.range(1));
+  const auto x = MakeWalk(n, 5);
+  const auto y = MakeWalk(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReferenceFastDtw(x, y, radius).distance);
+  }
+}
+BENCHMARK(BM_ReferenceFastDtw)->Args({128, 10})->Args({945, 10});
+
+void BM_PrunedCdtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t w_percent = static_cast<size_t>(state.range(1));
+  const auto x = MakeWalk(n, 3);
+  const auto y = MakeWalk(n, 4);
+  const size_t band = n * w_percent / 100;
+  DtwBuffer buffer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrunedCdtwDistance(
+        x, y, band, CostKind::kSquared, -1.0, &buffer));
+  }
+}
+BENCHMARK(BM_PrunedCdtw)->Args({945, 4})->Args({945, 20});
+
+void BM_MatrixProfile(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto series = MakeWalk(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMatrixProfile(series, 64).profile[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) *
+                          static_cast<int64_t>(n) / 2);
+}
+BENCHMARK(BM_MatrixProfile)->Arg(2000)->Arg(8000);
+
+void BM_Envelope(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeWalk(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeEnvelope(x, n / 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Envelope)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto q = MakeWalk(n, 8);
+  const auto c = MakeWalk(n, 9);
+  const Envelope env = ComputeEnvelope(q, n / 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeogh(env, c));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LbKeogh)->Arg(128)->Arg(1024)->Arg(16384);
+
+// The ratio the paper turns on: exact banded DTW vs FastDTW at matched
+// "serviceable approximation" settings (w = 20%, r = 10; see Fig. 1).
+void BM_HeadToHead_Cdtw20(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeWalk(n, 10);
+  const auto y = MakeWalk(n, 11);
+  DtwBuffer buffer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CdtwDistance(x, y, n / 5, CostKind::kSquared, &buffer));
+  }
+}
+BENCHMARK(BM_HeadToHead_Cdtw20)->Arg(128)->Arg(450)->Arg(945)->Arg(4000);
+
+void BM_HeadToHead_FastDtw10(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = MakeWalk(n, 10);
+  const auto y = MakeWalk(n, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FastDtwDistance(x, y, 10));
+  }
+}
+BENCHMARK(BM_HeadToHead_FastDtw10)->Arg(128)->Arg(450)->Arg(945)->Arg(4000);
+
+}  // namespace
+}  // namespace warp
+
+BENCHMARK_MAIN();

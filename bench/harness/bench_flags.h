@@ -1,0 +1,86 @@
+// Minimal --key=value flag parsing for the experiment harnesses.
+//
+// Every bench binary accepts scaling flags (sample sizes, repetition
+// counts) so the full paper-scale sweeps can be run on bigger hardware
+// while the defaults finish in seconds on a laptop. Unknown flags abort
+// with a message listing what was seen, so typos don't silently run the
+// default configuration.
+
+#ifndef WARP_BENCH_HARNESS_BENCH_FLAGS_H_
+#define WARP_BENCH_HARNESS_BENCH_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+namespace warp {
+namespace bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  ~Flags() {
+    // Catch typos: every provided flag must have been consumed.
+    for (const auto& [key, value] : values_) {
+      if (consumed_.count(key) == 0) {
+        std::fprintf(stderr, "warning: unknown flag --%s=%s ignored\n",
+                     key.c_str(), value.c_str());
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t default_value) {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? default_value
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double default_value) {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? default_value
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool default_value) {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+// Standard experiment banner so every harness's output is self-describing.
+inline void PrintBanner(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment_id, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace warp
+
+#endif  // WARP_BENCH_HARNESS_BENCH_FLAGS_H_

@@ -1,0 +1,64 @@
+// Shared machinery for the all-pairs timing experiments (Figs. 1 and 4).
+//
+// The paper times *every* pairwise comparison of a dataset (400,960 pairs
+// for Fig. 1). On one laptop core that sweep takes days, so the harness
+// times a uniformly-sampled subset of the pairs and reports both the
+// measured per-comparison cost and the extrapolated total — the paper's
+// claims are about which curve is lower, which sampling preserves.
+
+#ifndef WARP_BENCH_HARNESS_PAIRWISE_H_
+#define WARP_BENCH_HARNESS_PAIRWISE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "warp/common/stopwatch.h"
+#include "warp/ts/dataset.h"
+
+namespace warp {
+namespace bench {
+
+struct PairwiseTiming {
+  uint64_t pairs_timed = 0;
+  double seconds = 0.0;
+  double checksum = 0.0;  // Sum of distances: defeats dead-code elimination
+                          // and doubles as a cross-run sanity check.
+
+  double micros_per_pair() const {
+    return pairs_timed > 0 ? seconds * 1e6 / static_cast<double>(pairs_timed)
+                           : 0.0;
+  }
+
+  double ExtrapolatedSeconds(uint64_t total_pairs) const {
+    return micros_per_pair() * 1e-6 * static_cast<double>(total_pairs);
+  }
+};
+
+// Times `measure` over all pairs (i, j), i < j, of the first
+// `sample_count` series of `dataset`.
+inline PairwiseTiming TimeAllPairs(const Dataset& dataset,
+                                   size_t sample_count,
+                                   const std::function<double(
+                                       std::span<const double>,
+                                       std::span<const double>)>& measure) {
+  const size_t n = std::min(sample_count, dataset.size());
+  PairwiseTiming timing;
+  Stopwatch watch;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      timing.checksum += measure(dataset[i].view(), dataset[j].view());
+      ++timing.pairs_timed;
+    }
+  }
+  timing.seconds = watch.ElapsedSeconds();
+  return timing;
+}
+
+inline uint64_t TotalPairs(uint64_t count) { return count * (count - 1) / 2; }
+
+}  // namespace bench
+}  // namespace warp
+
+#endif  // WARP_BENCH_HARNESS_PAIRWISE_H_

@@ -1,0 +1,110 @@
+// ECG beat classification and rhythm monitoring — the paper's favorite
+// domain, end to end.
+//
+// The paper argues all cardiological DTW is Case A: beats are short
+// (120–200 samples), the natural warping W is a few percent, and nobody
+// should ever compare hundred-beat regions. This example:
+//   1. classifies single beats (normal vs PVC-like) with the accelerated
+//      exact 1-NN cDTW engine at w = 5%,
+//   2. scans a long rhythm with the matrix profile to surface the ectopic
+//      beats as discords,
+//   3. monitors the rhythm in (simulated) real time for a PVC template.
+//
+// Build & run:  ./build/examples/ecg_monitoring
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "warp/common/stopwatch.h"
+#include "warp/gen/ecg.h"
+#include "warp/mining/matrix_profile.h"
+#include "warp/mining/nn_classifier.h"
+#include "warp/mining/stream_monitor.h"
+#include "warp/ts/znorm.h"
+
+int main() {
+  // --- 1: beat classification ----------------------------------------------
+  warp::gen::EcgOptions options;
+  options.seed = 99;
+  const warp::Dataset pool = warp::gen::MakeBeatDataset(60, options);
+  const auto [train, test] = pool.StratifiedSplit(0.5);
+  const size_t band = options.beat_length * 5 / 100;  // w = 5%.
+
+  const warp::AcceleratedNnClassifier classifier(train, band);
+  const warp::ClassificationStats stats = classifier.Evaluate(test);
+  std::printf("beat classification (N=%zu, w=5%%): accuracy %.1f%% over "
+              "%zu beats in %.0f ms\n\n",
+              options.beat_length, stats.accuracy * 100.0, stats.total,
+              stats.seconds * 1e3);
+
+  // --- 2: offline rhythm analysis -------------------------------------------
+  warp::gen::EcgOptions rhythm_options;
+  rhythm_options.seed = 7;
+  rhythm_options.pvc_probability = 0.04;
+  std::vector<size_t> beat_starts;
+  std::vector<int> beat_labels;
+  const std::vector<double> rhythm = warp::gen::MakeRhythm(
+      300, rhythm_options, &beat_starts, &beat_labels);
+
+  warp::Stopwatch mp_watch;
+  const warp::MatrixProfile profile =
+      warp::ComputeMatrixProfile(rhythm, rhythm_options.beat_length);
+  const warp::ProfileDiscord discord = warp::TopDiscord(profile);
+  std::printf("matrix profile over a %zu-sample rhythm (300 beats) took "
+              "%.2f s\n",
+              rhythm.size(), mp_watch.ElapsedSeconds());
+
+  // Which beat does the discord land on, and is it really a PVC?
+  size_t discord_beat = 0;
+  for (size_t b = 0; b < beat_starts.size(); ++b) {
+    if (beat_starts[b] <= discord.position) discord_beat = b;
+  }
+  size_t num_pvcs = 0;
+  for (int label : beat_labels) {
+    if (label == warp::gen::kPvcBeatLabel) ++num_pvcs;
+  }
+  std::printf("top discord at sample %zu -> beat #%zu, which is %s "
+              "(%zu PVCs among 300 beats)\n\n",
+              discord.position, discord_beat,
+              beat_labels[discord_beat] == warp::gen::kPvcBeatLabel
+                  ? "a PVC: found the ectopy"
+                  : "NOT a PVC",
+              num_pvcs);
+
+  // --- 3: streaming PVC detection -------------------------------------------
+  warp::Rng template_rng(1234);
+  const std::vector<double> pvc_template =
+      warp::gen::MakeBeat(warp::gen::kPvcBeatLabel, options, template_rng);
+  warp::StreamMonitor monitor(pvc_template, band, /*threshold=*/20.0);
+
+  warp::Stopwatch stream_watch;
+  size_t alerts = 0;
+  uint64_t last_alert = 0;
+  for (double v : rhythm) {
+    const auto event = monitor.Push(v);
+    if (event.has_value() &&
+        (alerts == 0 ||
+         event->end_time > last_alert + options.beat_length / 2)) {
+      ++alerts;
+      last_alert = event->end_time;
+    }
+  }
+  const double seconds = stream_watch.ElapsedSeconds();
+  std::printf("streaming PVC monitor: %zu alerts (%zu true PVCs) over "
+              "%zu samples in %.0f ms (%.1f Msamples/s; %.2f%% of windows "
+              "reached DTW)\n",
+              alerts, num_pvcs, rhythm.size(), seconds * 1e3,
+              static_cast<double>(rhythm.size()) / seconds / 1e6,
+              100.0 *
+                  static_cast<double>(monitor.stats().full_dtw +
+                                      monitor.stats().abandoned_dtw) /
+                  static_cast<double>(monitor.stats().windows_checked));
+
+  std::printf(
+      "\nAt 250 Hz this monitor runs ~%.0fx faster than real time — the "
+      "paper's footnote-3 point about what exact DTW already made "
+      "possible.\n",
+      static_cast<double>(rhythm.size()) / seconds / 250.0);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Clustering residential power-demand nights (the paper's Case C domain).
+//
+// Builds a month of midnight-1AM power traces (some with the dishwasher
+// program at varying start times), clusters them with hierarchical
+// agglomerative clustering under wide-window cDTW, and computes a DBA
+// (DTW Barycenter Averaging) prototype per cluster. Shows that the wide
+// window groups the shifted dishwasher nights together while Euclidean
+// scatters them.
+//
+// Build & run:  ./build/examples/power_clustering
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "warp/core/distance_matrix.h"
+#include "warp/core/dtw.h"
+#include "warp/gen/power_demand.h"
+#include "warp/mining/dba.h"
+#include "warp/mining/evaluation.h"
+#include "warp/mining/hierarchical_clustering.h"
+
+int main() {
+  const size_t kNights = 30;
+  const size_t kLength = 450;  // One hour at one sample per 8 seconds.
+  const warp::Dataset month =
+      warp::gen::MakePowerDemandDataset(kNights, kLength, 0.4, 99);
+
+  std::vector<std::vector<double>> traces;
+  std::vector<int> labels;
+  for (const auto& night : month.series()) {
+    traces.push_back(night.values());
+    labels.push_back(night.label());
+  }
+  const auto counts = month.ClassCounts();
+  std::printf("%zu nights: %zu quiet, %zu with the dishwasher program\n\n",
+              month.size(),
+              counts.count(warp::gen::kQuietNightLabel)
+                  ? counts.at(warp::gen::kQuietNightLabel)
+                  : 0,
+              counts.count(warp::gen::kDishwasherNightLabel)
+                  ? counts.at(warp::gen::kDishwasherNightLabel)
+                  : 0);
+
+  // Wide-window cDTW (the Case-C estimate: W = 40%) vs Euclidean.
+  const warp::DistanceMatrix wide = warp::ComputePairwiseMatrix(
+      traces, [](std::span<const double> a, std::span<const double> b) {
+        return warp::CdtwDistanceFraction(a, b, 0.40);
+      });
+  const warp::DistanceMatrix euclid = warp::ComputePairwiseMatrix(
+      traces, [](std::span<const double> a, std::span<const double> b) {
+        return warp::EuclideanDistance(a, b);
+      });
+
+  const warp::Dendrogram wide_tree =
+      warp::AgglomerativeCluster(wide, warp::Linkage::kAverage);
+  const warp::Dendrogram euclid_tree =
+      warp::AgglomerativeCluster(euclid, warp::Linkage::kAverage);
+
+  const std::vector<int> wide_clusters = wide_tree.CutIntoClusters(2);
+  const std::vector<int> euclid_clusters = euclid_tree.CutIntoClusters(2);
+  std::printf("2-cluster quality vs ground truth (Rand / adjusted Rand / "
+              "purity):\n");
+  std::printf("  cDTW_40%% : %.2f / %.2f / %.2f\n",
+              warp::RandIndex(wide_clusters, labels),
+              warp::AdjustedRandIndex(wide_clusters, labels),
+              warp::Purity(wide_clusters, labels));
+  std::printf("  Euclidean: %.2f / %.2f / %.2f   <- misses time-shifted "
+              "programs\n\n",
+              warp::RandIndex(euclid_clusters, labels),
+              warp::AdjustedRandIndex(euclid_clusters, labels),
+              warp::Purity(euclid_clusters, labels));
+
+  // DBA prototype of the dishwasher cluster.
+  std::map<int, std::vector<std::vector<double>>> by_cluster;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    by_cluster[wide_clusters[i]].push_back(traces[i]);
+  }
+  for (const auto& [cluster, members] : by_cluster) {
+    warp::DbaOptions dba_options;
+    dba_options.iterations = 5;
+    dba_options.band = kLength * 40 / 100;
+    const warp::DbaResult prototype =
+        warp::DtwBarycenterAverage(members, dba_options);
+    double peak = 0.0;
+    for (double v : prototype.barycenter) peak = std::max(peak, v);
+    std::printf("cluster %d: %zu nights, DBA prototype peak %.2f kW "
+                "(%s)\n",
+                cluster, members.size(), peak,
+                peak > 1.0 ? "dishwasher-like" : "quiet baseline");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the warp library in five minutes.
+//
+// Computes the distances the paper is about — Euclidean, constrained DTW
+// (cDTW_w), Full DTW, and FastDTW — on a pair of series where warping
+// matters, recovers the optimal alignment, and shows why the paper
+// recommends cDTW: exact, faster, and windowed to the domain's natural
+// warping amount W.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "warp/common/random.h"
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/core/fastdtw_reference.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+int main() {
+  // Two versions of the same pattern: y is x under a smooth time warp of
+  // at most 5% of the length — a typical Case-A pair (heartbeats,
+  // gestures, signatures...).
+  warp::Rng rng(42);
+  const std::vector<double> x =
+      warp::ZNormalized(warp::gen::RandomWalk(500, rng));
+  const std::vector<double> y =
+      warp::ZNormalized(warp::gen::ApplyRandomWarp(x, 0.05, rng));
+
+  // --- Distances ---------------------------------------------------------
+  const double euclidean = warp::EuclideanDistance(x, y);
+  // The paper's recommendation: exact DTW constrained to the domain's
+  // natural warping amount (here W = 5%, so w = 6% is comfortable).
+  const double cdtw = warp::CdtwDistanceFraction(x, y, 0.06);
+  const double full = warp::DtwDistance(x, y);
+  const warp::DtwResult fast = warp::FastDtw(x, y, /*radius=*/10);
+
+  std::printf("Euclidean (cDTW_0)    : %10.4f   <- no warping allowed\n",
+              euclidean);
+  std::printf("cDTW_6%% (recommended) : %10.4f   <- exact, windowed\n",
+              cdtw);
+  std::printf("Full DTW (cDTW_100)   : %10.4f   <- exact, unconstrained\n",
+              full);
+  std::printf("FastDTW_10            : %10.4f   <- approximate (always >= "
+              "Full DTW)\n\n",
+              fast.distance);
+
+  // --- Alignment ---------------------------------------------------------
+  const warp::DtwResult alignment =
+      warp::Cdtw(x, y, /*band=*/30);  // 6% of 500.
+  std::printf("optimal warping path: %zu steps, max |i-j| deviation %u "
+              "samples\n",
+              alignment.path.size(),
+              alignment.path.MaxDiagonalDeviation());
+  std::printf("first steps:");
+  for (size_t k = 0; k < 6 && k < alignment.path.size(); ++k) {
+    std::printf(" (%u,%u)", alignment.path[k].i, alignment.path[k].j);
+  }
+  std::printf(" ...\n\n");
+
+  // --- Work accounting ----------------------------------------------------
+  uint64_t cdtw_cells = 0;
+  warp::CdtwDistance(x, y, 30, warp::CostKind::kSquared, nullptr,
+                     &cdtw_cells);
+  std::printf("DP cells evaluated: cDTW_6%% %llu vs FastDTW_10 %llu "
+              "(plus FastDTW's recursion/window overhead)\n",
+              static_cast<unsigned long long>(cdtw_cells),
+              static_cast<unsigned long long>(fast.cells_visited));
+
+  std::printf(
+      "\nTakeaway (Wu & Keogh, ICDE 2021): if you know your domain's "
+      "warping amount — and you almost always do — exact cDTW_w is both "
+      "faster and exact; FastDTW approximates the answer you did not "
+      "want (unconstrained DTW) slower than you can compute the answer "
+      "you did want.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every experiment
+# harness, and records the outputs the repository's EXPERIMENTS.md is
+# based on. Usage:  scripts/run_all.sh [build_dir]
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja || exit 1
+cmake --build "$BUILD_DIR" || exit 1
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD_DIR"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "########## $b"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Wrote test_output.txt and bench_output.txt"

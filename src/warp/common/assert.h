@@ -1,0 +1,53 @@
+// Invariant-checking macros used throughout the warp library.
+//
+// WARP_CHECK is always on: it guards API contracts (caller-visible
+// preconditions) and aborts with a diagnostic on violation. WARP_DCHECK is
+// compiled out in release builds and guards internal invariants that are
+// too hot to verify in production (e.g. per-cell conditions inside the DTW
+// inner loop).
+
+#ifndef WARP_COMMON_ASSERT_H_
+#define WARP_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace warp {
+namespace internal_assert {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "warp: CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace internal_assert
+}  // namespace warp
+
+#define WARP_CHECK(condition)                                             \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::warp::internal_assert::CheckFailed(__FILE__, __LINE__,            \
+                                           #condition, "");               \
+    }                                                                     \
+  } while (false)
+
+#define WARP_CHECK_MSG(condition, message)                                \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::warp::internal_assert::CheckFailed(__FILE__, __LINE__,            \
+                                           #condition, message);          \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define WARP_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define WARP_DCHECK(condition) WARP_CHECK(condition)
+#endif
+
+#endif  // WARP_COMMON_ASSERT_H_

@@ -1,0 +1,127 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All data generators in warp/gen take an explicit seed and route their
+// randomness through Rng so that every experiment in the paper reproduction
+// is bit-reproducible across runs. The engine is xoshiro256** (Blackman &
+// Vigna), seeded via SplitMix64; both are implemented here so the library
+// has no dependency on the platform's std::mt19937 stream ordering.
+
+#ifndef WARP_COMMON_RANDOM_H_
+#define WARP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+// SplitMix64: used to expand a single 64-bit seed into the 256-bit xoshiro
+// state. Public because it is occasionally useful for deriving independent
+// sub-seeds (e.g. one per generated exemplar).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256** PRNG with convenience distributions. Copyable: copying an
+// Rng forks the stream (both copies then produce the same sequence), which
+// generators use to create reproducible independent exemplars.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9c0ffee123456789ULL) {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.Next();
+  }
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    WARP_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t UniformInt(uint64_t bound) {
+    WARP_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+    for (;;) {
+      const uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    WARP_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  double Gaussian(double mean, double stddev) {
+    WARP_DCHECK(stddev >= 0.0);
+    return mean + stddev * Gaussian();
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace warp
+
+#endif  // WARP_COMMON_RANDOM_H_

@@ -1,0 +1,103 @@
+#include "warp/common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+namespace {
+
+std::vector<double> Sorted(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+double Mean(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  if (values.size() == 1) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double Median(std::span<const double> values) {
+  return Percentile(values, 50.0);
+}
+
+double Percentile(std::span<const double> values, double p) {
+  WARP_CHECK(!values.empty());
+  WARP_CHECK(p >= 0.0 && p <= 100.0);
+  const std::vector<double> sorted = Sorted(values);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleStats ComputeStats(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  SampleStats stats;
+  stats.count = values.size();
+  stats.mean = Mean(values);
+  stats.stddev = StdDev(values);
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  stats.median = Median(values);
+  return stats;
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo) {
+  WARP_CHECK(hi > lo);
+  WARP_CHECK(num_bins > 0);
+  width_ = (hi - lo) / num_bins;
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void Histogram::Add(double value) {
+  int bin = static_cast<int>(std::floor((value - lo_) / width_));
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (double v : values) Add(v);
+}
+
+std::string Histogram::Render(int max_width) const {
+  WARP_CHECK(max_width > 0);
+  size_t peak = 1;
+  for (size_t c : counts_) peak = std::max(peak, c);
+
+  std::string out;
+  char line[160];
+  for (int bin = 0; bin < num_bins(); ++bin) {
+    const int bar_len = static_cast<int>(
+        std::lround(static_cast<double>(counts_[static_cast<size_t>(bin)]) /
+                    static_cast<double>(peak) * max_width));
+    std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %6zu |", bin_lo(bin),
+                  bin_hi(bin), counts_[static_cast<size_t>(bin)]);
+    out += line;
+    out.append(static_cast<size_t>(bar_len), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace warp

@@ -1,0 +1,65 @@
+// Descriptive statistics and histogram construction.
+//
+// Used by the benchmark harnesses (timing summaries) and by the Fig. 2
+// reproduction, which histograms best-warping-window and series-length
+// distributions over the UCR archive metadata.
+
+#ifndef WARP_COMMON_STATISTICS_H_
+#define WARP_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace warp {
+
+// Basic moments and order statistics of a sample.
+struct SampleStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+SampleStats ComputeStats(std::span<const double> values);
+
+double Mean(std::span<const double> values);
+double StdDev(std::span<const double> values);
+double Median(std::span<const double> values);
+
+// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::span<const double> values, double p);
+
+// A fixed-width histogram over [lo, hi); values outside the range are
+// clamped into the first/last bin so every sample is counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double value);
+  void AddAll(std::span<const double> values);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  size_t count(int bin) const { return counts_[bin]; }
+  size_t total() const { return total_; }
+  double bin_lo(int bin) const { return lo_ + bin * width_; }
+  double bin_hi(int bin) const { return lo_ + (bin + 1) * width_; }
+
+  // Renders an ASCII bar chart, one row per bin, scaled to `max_width`
+  // characters. Suitable for reproducing the paper's histogram figures in
+  // console output.
+  std::string Render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace warp
+
+#endif  // WARP_COMMON_STATISTICS_H_

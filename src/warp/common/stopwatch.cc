@@ -1,0 +1,51 @@
+#include "warp/common/stopwatch.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+std::string TimingSummary::ToString() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "%.3f ms (std %.3f, min %.3f, max %.3f, n=%d)", mean * 1e3,
+                stddev * 1e3, min * 1e3, max * 1e3, repetitions);
+  return buffer;
+}
+
+TimingSummary MeasureRepeated(const std::function<void()>& fn,
+                              int repetitions, int warmup) {
+  WARP_CHECK(repetitions > 0);
+  for (int i = 0; i < warmup; ++i) fn();
+
+  TimingSummary summary;
+  summary.repetitions = repetitions;
+  summary.min = std::numeric_limits<double>::infinity();
+  summary.max = 0.0;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    fn();
+    const double elapsed = watch.ElapsedSeconds();
+    sum += elapsed;
+    sum_sq += elapsed * elapsed;
+    if (elapsed < summary.min) summary.min = elapsed;
+    if (elapsed > summary.max) summary.max = elapsed;
+  }
+  summary.total = sum;
+  summary.mean = sum / repetitions;
+  const double variance =
+      repetitions > 1
+          ? std::max(0.0, (sum_sq - sum * sum / repetitions) /
+                              (repetitions - 1))
+          : 0.0;
+  summary.stddev = std::sqrt(variance);
+  return summary;
+}
+
+}  // namespace warp

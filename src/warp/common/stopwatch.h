@@ -1,0 +1,61 @@
+// Monotonic wall-clock timing utilities for the benchmark harnesses.
+
+#ifndef WARP_COMMON_STOPWATCH_H_
+#define WARP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace warp {
+
+// A simple monotonic stopwatch. Construction starts it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Summary of a repeated timing measurement, all in seconds.
+struct TimingSummary {
+  int repetitions = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+
+  double mean_millis() const { return mean * 1e3; }
+  double min_millis() const { return min * 1e3; }
+  std::string ToString() const;
+};
+
+// Runs `fn` `repetitions` times (after `warmup` untimed runs) and reports
+// per-run statistics. `fn` must be self-contained; anything it returns is
+// discarded, so callers should accumulate a side effect (e.g. a checksum)
+// themselves if they need to defeat dead-code elimination.
+TimingSummary MeasureRepeated(const std::function<void()>& fn,
+                              int repetitions, int warmup = 1);
+
+// Prevents the compiler from optimizing away a computed value.
+inline void DoNotOptimize(double value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+}  // namespace warp
+
+#endif  // WARP_COMMON_STOPWATCH_H_

@@ -1,0 +1,64 @@
+#include "warp/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WARP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  WARP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double value : cells) formatted.push_back(FormatDouble(value, precision));
+  AddRow(std::move(formatted));
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out,
+                        const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out += (i == 0) ? "| " : " | ";
+      out += cells[i];
+      out.append(widths[i] - cells[i].size(), ' ');
+    }
+    out += " |\n";
+  };
+
+  std::string out;
+  append_row(out, headers_);
+  out += '|';
+  for (size_t width : widths) out += std::string(width + 2, '-') + '|';
+  out += '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace warp

@@ -1,0 +1,37 @@
+// Aligned console tables for the benchmark harnesses.
+//
+// Every experiment binary prints its results as a table whose rows mirror
+// the series the paper reports (e.g. one row per warping-window setting in
+// Fig. 1), so the output can be compared against the paper directly and
+// pasted into EXPERIMENTS.md.
+
+#ifndef WARP_COMMON_TABLE_PRINTER_H_
+#define WARP_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace warp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats each double with `precision` digits.
+  void AddRow(const std::vector<double>& cells, int precision = 4);
+
+  std::string ToString() const;
+  void Print() const;  // Writes ToString() to stdout.
+
+  static std::string FormatDouble(double value, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace warp
+
+#endif  // WARP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+// Amerced Dynamic Time Warping (Herrmann & Webb, 2023).
+//
+// A modern exact alternative to windowing: instead of forbidding warping
+// outside a band, ADTW charges a fixed additive penalty `omega` for every
+// non-diagonal step. omega = 0 recovers unconstrained DTW; omega -> inf
+// forces the diagonal (Euclidean distance). Like the Sakoe–Chiba w, the
+// penalty expresses "a little warping is good, a lot is suspicious" — but
+// smoothly, with no hard cliff. Included as an extension because it is
+// the currently recommended tunable exact measure in classification
+// bake-offs, and it drops into this library's engine pattern naturally.
+
+#ifndef WARP_CORE_ADTW_H_
+#define WARP_CORE_ADTW_H_
+
+#include <span>
+
+#include "warp/core/dtw.h"
+
+namespace warp {
+
+// O(n*m) time, O(m) space. `omega` must be >= 0.
+double AdtwDistance(std::span<const double> x, std::span<const double> y,
+                    double omega, CostKind cost = CostKind::kSquared);
+
+// A common heuristic for picking omega: a fraction of the average
+// per-step cost, estimated from the Euclidean distance of a sample pair.
+// ratio in [0, 1]: 0 -> full DTW behavior, 1 -> strongly diagonal.
+double SuggestAdtwOmega(std::span<const double> x, std::span<const double> y,
+                        double ratio, CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_ADTW_H_

@@ -1,0 +1,17 @@
+#include "warp/core/approx_error.h"
+
+#include <limits>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+double ApproxErrorPercent(double approx, double exact) {
+  WARP_CHECK(exact >= 0.0);
+  if (exact == 0.0) {
+    return approx == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return (approx - exact) / exact * 100.0;
+}
+
+}  // namespace warp

@@ -1,0 +1,19 @@
+// The approximation-error metric of the original FastDTW paper.
+//
+// Salvador & Chan report error as (approx - exact) / exact * 100%. The
+// ICDE paper's headline adversarial example ("an error of 156,100%") uses
+// this metric; so do our accuracy sweeps.
+
+#ifndef WARP_CORE_APPROX_ERROR_H_
+#define WARP_CORE_APPROX_ERROR_H_
+
+namespace warp {
+
+// Percentage error of `approx` relative to `exact`. exact must be >= 0 and
+// approx >= exact - epsilon (FastDTW never undershoots). An exact value of
+// zero with a non-zero approximation returns +infinity.
+double ApproxErrorPercent(double approx, double exact);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_APPROX_ERROR_H_

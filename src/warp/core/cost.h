@@ -1,0 +1,49 @@
+// Local (per-cell) cost functions for DTW and friends.
+//
+// The paper's recurrence uses the squared difference; the reference
+// FastDTW implementation defaults to the absolute difference. Both are
+// provided. Kernels are templated on the functor so the choice costs
+// nothing at runtime; public entry points take the CostKind enum and
+// dispatch once per call.
+
+#ifndef WARP_CORE_COST_H_
+#define WARP_CORE_COST_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace warp {
+
+enum class CostKind {
+  kSquared,   // (a - b)^2 — the paper's Eq. in Section 2.
+  kAbsolute,  // |a - b|  — the reference FastDTW library's default.
+};
+
+struct SquaredCost {
+  static constexpr CostKind kKind = CostKind::kSquared;
+  double operator()(double a, double b) const {
+    const double d = a - b;
+    return d * d;
+  }
+};
+
+struct AbsoluteCost {
+  static constexpr CostKind kKind = CostKind::kAbsolute;
+  double operator()(double a, double b) const { return std::fabs(a - b); }
+};
+
+// Dispatches `fn` (a generic callable) with the functor matching `kind`.
+template <typename Fn>
+decltype(auto) WithCost(CostKind kind, Fn&& fn) {
+  switch (kind) {
+    case CostKind::kAbsolute:
+      return fn(AbsoluteCost{});
+    case CostKind::kSquared:
+    default:
+      return fn(SquaredCost{});
+  }
+}
+
+}  // namespace warp
+
+#endif  // WARP_CORE_COST_H_

@@ -1,0 +1,70 @@
+#include "warp/core/distance_matrix.h"
+
+#include <utility>
+
+#include "warp/common/assert.h"
+#include "warp/common/table_printer.h"
+
+namespace warp {
+
+DistanceMatrix::DistanceMatrix(size_t n) : n_(n) {
+  WARP_CHECK(n > 0);
+  values_.assign(n * (n - 1) / 2, 0.0);
+}
+
+size_t DistanceMatrix::CondensedIndex(size_t i, size_t j) const {
+  WARP_DCHECK(i < j && j < n_);
+  // Row i of the upper triangle starts after sum_{k<i} (n-1-k) entries.
+  return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::at(size_t i, size_t j) const {
+  WARP_CHECK(i < n_ && j < n_);
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  return values_[CondensedIndex(i, j)];
+}
+
+void DistanceMatrix::set(size_t i, size_t j, double value) {
+  WARP_CHECK(i < n_ && j < n_);
+  WARP_CHECK_MSG(i != j, "diagonal is fixed at zero");
+  if (i > j) std::swap(i, j);
+  values_[CondensedIndex(i, j)] = value;
+}
+
+std::string DistanceMatrix::ToString(std::span<const std::string> labels,
+                                     int precision) const {
+  WARP_CHECK(labels.size() == n_);
+  std::vector<std::string> headers;
+  headers.push_back("");
+  for (const auto& label : labels) headers.push_back(label);
+  TablePrinter table(std::move(headers));
+  for (size_t i = 0; i < n_; ++i) {
+    std::vector<std::string> row;
+    row.push_back(labels[i]);
+    for (size_t j = 0; j < n_; ++j) {
+      if (j < i) {
+        row.push_back("");
+      } else {
+        row.push_back(TablePrinter::FormatDouble(at(i, j), precision));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+DistanceMatrix ComputePairwiseMatrix(
+    const std::vector<std::vector<double>>& series,
+    const SeriesMeasure& measure) {
+  WARP_CHECK(!series.empty());
+  DistanceMatrix matrix(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (size_t j = i + 1; j < series.size(); ++j) {
+      matrix.set(i, j, measure(series[i], series[j]));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace warp

@@ -1,0 +1,49 @@
+// Pairwise distance matrices.
+//
+// Every all-pairs experiment in the paper (Figs. 1, 4; Table 2) reduces to
+// filling a symmetric matrix with some measure. The measure is a
+// std::function so exact DTW, cDTW, FastDTW, and Euclidean plug in
+// uniformly; hierarchical clustering consumes the result.
+
+#ifndef WARP_CORE_DISTANCE_MATRIX_H_
+#define WARP_CORE_DISTANCE_MATRIX_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace warp {
+
+using SeriesMeasure =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+// Symmetric n x n matrix with zero diagonal.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(size_t n);
+
+  size_t size() const { return n_; }
+
+  double at(size_t i, size_t j) const;
+  void set(size_t i, size_t j, double value);  // Sets (i,j) and (j,i).
+
+  // Renders the upper triangle as an aligned table (Table 2 style).
+  std::string ToString(std::span<const std::string> labels,
+                       int precision = 3) const;
+
+ private:
+  size_t n_;
+  // Condensed upper-triangle storage, row-major, excluding the diagonal.
+  size_t CondensedIndex(size_t i, size_t j) const;
+  std::vector<double> values_;
+};
+
+// Fills the matrix by evaluating `measure` on each unordered pair.
+DistanceMatrix ComputePairwiseMatrix(
+    const std::vector<std::vector<double>>& series,
+    const SeriesMeasure& measure);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_DISTANCE_MATRIX_H_

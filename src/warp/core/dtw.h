@@ -1,0 +1,167 @@
+// Exact Dynamic Time Warping: full, Sakoe–Chiba banded (cDTW_w), and
+// arbitrary-window variants, in distance-only and path-recovering forms.
+//
+// Terminology follows the paper:
+//   * DTW        — unconstrained ("Full") DTW; O(n*m) time.
+//   * cDTW_w     — DTW constrained to a Sakoe–Chiba band of half-width w;
+//                  O(n*w) time and O(w) space in the distance-only kernel.
+//                  cDTW_0 is the Euclidean distance; cDTW_100% is Full DTW.
+//   * windowed   — DTW restricted to an arbitrary WarpingWindow; this is
+//                  the refinement step FastDTW runs at each resolution.
+//
+// Distances are accumulated local costs (squared differences by default)
+// with no final square root, matching the recurrence in Section 2 of the
+// paper. Callers who want a metric-like value can take std::sqrt.
+//
+// All functions accept series as std::span<const double>; std::vector
+// converts implicitly.
+
+#ifndef WARP_CORE_DTW_H_
+#define WARP_CORE_DTW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "warp/core/cost.h"
+#include "warp/core/warping_path.h"
+#include "warp/core/window.h"
+#include "warp/ts/multi_series.h"
+
+namespace warp {
+
+// Result of a path-recovering DTW computation.
+struct DtwResult {
+  double distance = 0.0;
+  WarpingPath path;
+  uint64_t cells_visited = 0;
+};
+
+// Reusable scratch space for the distance-only kernels. Passing the same
+// buffer across calls in a tight loop avoids one allocation per call.
+struct DtwBuffer {
+  std::vector<double> prev;
+  std::vector<double> cur;
+};
+
+// ---------------------------------------------------------------------------
+// Unconstrained (Full) DTW.
+
+// Distance only; O(min) memory. `cells` (optional) receives the number of
+// DP cells evaluated.
+double DtwDistance(std::span<const double> x, std::span<const double> y,
+                   CostKind cost = CostKind::kSquared,
+                   uint64_t* cells = nullptr);
+
+// Distance and optimal warping path; O(n*m) memory.
+DtwResult Dtw(std::span<const double> x, std::span<const double> y,
+              CostKind cost = CostKind::kSquared);
+
+// ---------------------------------------------------------------------------
+// Sakoe–Chiba constrained DTW (cDTW_w). `band` is the half-width in cells;
+// the *Fraction forms take the paper's w as a fraction of the longer
+// length (e.g. 0.05 for w = 5%).
+
+double CdtwDistance(std::span<const double> x, std::span<const double> y,
+                    size_t band, CostKind cost = CostKind::kSquared,
+                    DtwBuffer* buffer = nullptr, uint64_t* cells = nullptr);
+
+double CdtwDistanceFraction(std::span<const double> x,
+                            std::span<const double> y, double fraction,
+                            CostKind cost = CostKind::kSquared,
+                            DtwBuffer* buffer = nullptr);
+
+// Early-abandoning variant: returns +infinity as soon as every cell in a
+// DP row exceeds `abandon_above` (at which point the true distance is
+// provably > abandon_above). Used by the accelerated 1-NN search.
+double CdtwDistanceAbandoning(std::span<const double> x,
+                              std::span<const double> y, size_t band,
+                              double abandon_above,
+                              CostKind cost = CostKind::kSquared,
+                              DtwBuffer* buffer = nullptr);
+
+// Distance and path under a Sakoe–Chiba band.
+DtwResult Cdtw(std::span<const double> x, std::span<const double> y,
+               size_t band, CostKind cost = CostKind::kSquared);
+
+// PrunedDTW (Silva & Batista, SDM 2016): exact banded DTW that skips DP
+// cells provably not on any path cheaper than an upper bound. The bound
+// defaults to the Euclidean distance (the diagonal path, always
+// admissible in a Sakoe–Chiba window on equal lengths); a tighter caller-
+// supplied `upper_bound` (e.g. a best-so-far) prunes more. Result is
+// always identical to CdtwDistance; only `cells` shrinks. Requires equal
+// lengths.
+double PrunedCdtwDistance(std::span<const double> x,
+                          std::span<const double> y, size_t band,
+                          CostKind cost = CostKind::kSquared,
+                          double upper_bound = -1.0,
+                          DtwBuffer* buffer = nullptr,
+                          uint64_t* cells = nullptr);
+
+// ---------------------------------------------------------------------------
+// Arbitrary-window DTW. The window must be valid (see WarpingWindow) and
+// shaped (x.size(), y.size()).
+
+double WindowedDtwDistance(std::span<const double> x,
+                           std::span<const double> y,
+                           const WarpingWindow& window,
+                           CostKind cost = CostKind::kSquared,
+                           DtwBuffer* buffer = nullptr,
+                           uint64_t* cells = nullptr);
+
+DtwResult WindowedDtw(std::span<const double> x, std::span<const double> y,
+                      const WarpingWindow& window,
+                      CostKind cost = CostKind::kSquared);
+
+// ---------------------------------------------------------------------------
+// Normalization helpers. DTW distances accumulate along paths of varying
+// length, so comparing distances across different-length pairs often
+// wants per-step normalization: distance / path length. These wrap the
+// path-recovering calls.
+
+// cDTW distance divided by the optimal path's length.
+double NormalizedCdtwDistance(std::span<const double> x,
+                              std::span<const double> y, size_t band,
+                              CostKind cost = CostKind::kSquared);
+
+// Full-DTW distance divided by the optimal path's length.
+double NormalizedDtwDistance(std::span<const double> x,
+                             std::span<const double> y,
+                             CostKind cost = CostKind::kSquared);
+
+// ---------------------------------------------------------------------------
+// Euclidean distance (= cDTW_0), provided for convenience and used as the
+// first rung of the lower-bound cascade. Lengths must match.
+
+double EuclideanDistance(std::span<const double> x,
+                         std::span<const double> y,
+                         CostKind cost = CostKind::kSquared);
+
+// Early-abandoning Euclidean distance: returns +infinity once the running
+// sum exceeds `abandon_above`.
+double EuclideanDistanceAbandoning(std::span<const double> x,
+                                   std::span<const double> y,
+                                   double abandon_above,
+                                   CostKind cost = CostKind::kSquared);
+
+// ---------------------------------------------------------------------------
+// Multichannel (dependent) DTW: the local cost of aligning frames i and j
+// is the sum of per-channel costs, so all channels warp together. Used by
+// the Appendix-B gesture experiments.
+
+double MultiDtwDistance(const MultiSeries& x, const MultiSeries& y,
+                        CostKind cost = CostKind::kSquared,
+                        uint64_t* cells = nullptr);
+
+double MultiCdtwDistance(const MultiSeries& x, const MultiSeries& y,
+                         size_t band, CostKind cost = CostKind::kSquared,
+                         DtwBuffer* buffer = nullptr,
+                         uint64_t* cells = nullptr);
+
+DtwResult MultiWindowedDtw(const MultiSeries& x, const MultiSeries& y,
+                           const WarpingWindow& window,
+                           CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_DTW_H_

@@ -1,0 +1,116 @@
+#include "warp/core/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+size_t LcssLength(std::span<const double> x, std::span<const double> y,
+                  double epsilon, size_t band) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  WARP_CHECK(epsilon >= 0.0);
+  const size_t n = x.size();
+  const size_t m = y.size();
+
+  // Two-row DP over match lengths; cells outside the band stay at the
+  // running maximum of their row prefix (standard banded-LCSS semantics:
+  // matches are only allowed inside the band, carries are free).
+  std::vector<size_t> prev(m + 1, 0);
+  std::vector<size_t> cur(m + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    cur[0] = 0;
+    for (size_t j = 0; j < m; ++j) {
+      const size_t dev = i > j ? i - j : j - i;
+      if (dev <= band && std::fabs(x[i] - y[j]) <= epsilon) {
+        cur[j + 1] = prev[j] + 1;
+      } else {
+        cur[j + 1] = std::max(prev[j + 1], cur[j]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LcssDistance(std::span<const double> x, std::span<const double> y,
+                    double epsilon, size_t band) {
+  const size_t lcss = LcssLength(x, y, epsilon, band);
+  const size_t shortest = std::min(x.size(), y.size());
+  return 1.0 - static_cast<double>(lcss) / static_cast<double>(shortest);
+}
+
+double ErpDistance(std::span<const double> x, std::span<const double> y,
+                   double gap_value) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  const size_t n = x.size();
+  const size_t m = y.size();
+
+  // D(i, -1) = sum of |x[0..i] - g| (everything gapped), likewise the
+  // first row; interior is the three-way edit recurrence on L1 costs.
+  std::vector<double> prev(m + 1, 0.0);
+  std::vector<double> cur(m + 1, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    prev[j + 1] = prev[j] + std::fabs(y[j] - gap_value);
+  }
+  double left_boundary = 0.0;  // D(i-1, -1).
+  for (size_t i = 0; i < n; ++i) {
+    cur[0] = left_boundary + std::fabs(x[i] - gap_value);
+    for (size_t j = 0; j < m; ++j) {
+      const double match = prev[j] + std::fabs(x[i] - y[j]);
+      const double gap_x = prev[j + 1] + std::fabs(x[i] - gap_value);
+      const double gap_y = cur[j] + std::fabs(y[j] - gap_value);
+      cur[j + 1] = std::min({match, gap_x, gap_y});
+    }
+    left_boundary = cur[0];
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+namespace {
+
+// MSM's split/merge cost: moving `value` next to `adjacent` when the
+// opposite series sits at `opposite`. Free-of-extras (just c) when value
+// lies between them, otherwise c plus the distance to the nearer one.
+double MsmCost(double value, double adjacent, double opposite, double c) {
+  if ((adjacent <= value && value <= opposite) ||
+      (adjacent >= value && value >= opposite)) {
+    return c;
+  }
+  return c + std::min(std::fabs(value - adjacent),
+                      std::fabs(value - opposite));
+}
+
+}  // namespace
+
+double MsmDistance(std::span<const double> x, std::span<const double> y,
+                   double split_merge_cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  WARP_CHECK(split_merge_cost >= 0.0);
+  const size_t n = x.size();
+  const size_t m = y.size();
+  const double c = split_merge_cost;
+
+  std::vector<double> prev(m);
+  std::vector<double> cur(m);
+  prev[0] = std::fabs(x[0] - y[0]);
+  for (size_t j = 1; j < m; ++j) {
+    prev[j] = prev[j - 1] + MsmCost(y[j], y[j - 1], x[0], c);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    cur[0] = prev[0] + MsmCost(x[i], x[i - 1], y[0], c);
+    for (size_t j = 1; j < m; ++j) {
+      const double match = prev[j - 1] + std::fabs(x[i] - y[j]);
+      const double split_x = prev[j] + MsmCost(x[i], x[i - 1], y[j], c);
+      const double merge_y = cur[j - 1] + MsmCost(y[j], y[j - 1], x[i], c);
+      cur[j] = std::min({match, split_x, merge_y});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+}  // namespace warp

@@ -1,0 +1,56 @@
+// The classic elastic similarity measures beyond the DTW family: LCSS,
+// ERP, and MSM. These are the measures every distance "bake-off" (and the
+// paper's reference [1]-[5] literature) compares against cDTW; having
+// them here makes the library a complete elastic-measure suite.
+//
+//   * LCSS (Vlachos et al., 2002): longest common subsequence under an
+//     epsilon value-match and an optional band; robust to outliers
+//     because unmatched points cost nothing.
+//   * ERP, Edit distance with Real Penalty (Chen & Ng, 2004): edit
+//     distance whose gaps are charged against a fixed reference value g;
+//     unlike DTW and LCSS it is a true metric (triangle inequality).
+//   * MSM, Move-Split-Merge (Stefan, Athitsos & Das, 2013): edit distance
+//     with an explicit cost c for splitting/merging points; also a
+//     metric.
+//
+// All three use the library's conventions: span inputs, optional
+// Sakoe–Chiba band where the literature defines one, WARP_CHECK
+// contracts.
+
+#ifndef WARP_CORE_ELASTIC_H_
+#define WARP_CORE_ELASTIC_H_
+
+#include <cstddef>
+#include <span>
+
+namespace warp {
+
+// ---------------------------------------------------------------------------
+// LCSS.
+
+// Length of the longest common subsequence where x[i] matches y[j] iff
+// |x[i] - y[j]| <= epsilon and |i - j| <= band.
+size_t LcssLength(std::span<const double> x, std::span<const double> y,
+                  double epsilon, size_t band);
+
+// The standard LCSS distance: 1 - LCSS / min(n, m), in [0, 1].
+double LcssDistance(std::span<const double> x, std::span<const double> y,
+                    double epsilon, size_t band);
+
+// ---------------------------------------------------------------------------
+// ERP. L1-based; `gap_value` (g) is the reference a gapped element is
+// charged against (0 for z-normalized data is the standard choice).
+
+double ErpDistance(std::span<const double> x, std::span<const double> y,
+                   double gap_value = 0.0);
+
+// ---------------------------------------------------------------------------
+// MSM. `split_merge_cost` (c) is the price of duplicating or merging a
+// point; typical grid 0.01 .. 100 in the classification literature.
+
+double MsmDistance(std::span<const double> x, std::span<const double> y,
+                   double split_merge_cost = 1.0);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_ELASTIC_H_

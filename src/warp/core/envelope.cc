@@ -1,0 +1,73 @@
+#include "warp/core/envelope.h"
+
+#include <algorithm>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
+  WARP_CHECK(!values.empty());
+  const size_t n = values.size();
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+
+  // Monotonic deques of indices: max_deque's values are decreasing,
+  // min_deque's increasing. Each index enters and leaves each deque at
+  // most once, so the whole pass is O(n).
+  std::vector<size_t> max_deque;
+  std::vector<size_t> min_deque;
+  size_t max_head = 0;
+  size_t min_head = 0;
+
+  auto push = [&](size_t idx) {
+    while (max_deque.size() > max_head &&
+           values[max_deque.back()] <= values[idx]) {
+      max_deque.pop_back();
+    }
+    max_deque.push_back(idx);
+    while (min_deque.size() > min_head &&
+           values[min_deque.back()] >= values[idx]) {
+      min_deque.pop_back();
+    }
+    min_deque.push_back(idx);
+  };
+
+  // The window for output i is [i - band, i + band] clamped; indices are
+  // pushed as they come into reach and heads advance as they fall out.
+  size_t next_to_push = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t window_end = std::min(n - 1, i + band);
+    while (next_to_push <= window_end) push(next_to_push++);
+    const size_t window_start = i > band ? i - band : 0;
+    while (max_deque[max_head] < window_start) ++max_head;
+    while (min_deque[min_head] < window_start) ++min_head;
+    env.upper[i] = values[max_deque[max_head]];
+    env.lower[i] = values[min_deque[min_head]];
+  }
+  return env;
+}
+
+Envelope ComputeEnvelopeNaive(std::span<const double> values, size_t band) {
+  WARP_CHECK(!values.empty());
+  const size_t n = values.size();
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > band ? i - band : 0;
+    const size_t hi = std::min(n - 1, i + band);
+    double upper = values[lo];
+    double lower = values[lo];
+    for (size_t k = lo + 1; k <= hi; ++k) {
+      upper = std::max(upper, values[k]);
+      lower = std::min(lower, values[k]);
+    }
+    env.upper[i] = upper;
+    env.lower[i] = lower;
+  }
+  return env;
+}
+
+}  // namespace warp

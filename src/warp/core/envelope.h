@@ -1,0 +1,32 @@
+// Warping envelopes for LB_Keogh.
+//
+// For a series q and band w, the envelope is
+//   upper[i] = max(q[i-w .. i+w]),  lower[i] = min(q[i-w .. i+w])
+// (indices clamped to the series). Computed in O(n) regardless of w with
+// Lemire's monotonic-deque streaming min/max (Lemire, "Faster Retrieval
+// with a Two-Pass Dynamic-Time-Warping Lower Bound", 2009).
+
+#ifndef WARP_CORE_ENVELOPE_H_
+#define WARP_CORE_ENVELOPE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace warp {
+
+struct Envelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+};
+
+// O(n) streaming computation; `band` is the Sakoe–Chiba half-width in
+// cells. band >= n yields constant envelopes (global max/min).
+Envelope ComputeEnvelope(std::span<const double> values, size_t band);
+
+// Reference O(n*w) implementation, kept for differential testing.
+Envelope ComputeEnvelopeNaive(std::span<const double> values, size_t band);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_ENVELOPE_H_

@@ -1,0 +1,82 @@
+#include "warp/core/fastdtw.h"
+
+#include <vector>
+
+#include "warp/common/assert.h"
+#include "warp/ts/paa.h"
+
+namespace warp {
+
+namespace {
+
+// The reference implementation bottoms out when either series is shorter
+// than radius + 2 (so the expanded window at the next level would already
+// cover everything interesting).
+bool AtBaseCase(size_t n, size_t m, size_t radius) {
+  return n < radius + 2 || m < radius + 2;
+}
+
+DtwResult FastDtwRecursive(std::span<const double> x,
+                           std::span<const double> y, size_t radius,
+                           CostKind cost) {
+  if (AtBaseCase(x.size(), y.size(), radius)) {
+    return Dtw(x, y, cost);
+  }
+  const std::vector<double> shrunk_x = HalveByTwo(x);
+  const std::vector<double> shrunk_y = HalveByTwo(y);
+  const DtwResult low_res =
+      FastDtwRecursive(shrunk_x, shrunk_y, radius, cost);
+  const WarpingWindow window = WarpingWindow::FromLowResPath(
+      low_res.path, x.size(), y.size(), radius);
+  DtwResult refined = WindowedDtw(x, y, window, cost);
+  refined.cells_visited += low_res.cells_visited;
+  return refined;
+}
+
+MultiSeries HalveMultiByTwo(const MultiSeries& series) {
+  std::vector<std::vector<double>> channels;
+  channels.reserve(series.num_channels());
+  for (size_t c = 0; c < series.num_channels(); ++c) {
+    channels.push_back(HalveByTwo(series.channel(c)));
+  }
+  return MultiSeries(std::move(channels), series.label());
+}
+
+DtwResult MultiFastDtwRecursive(const MultiSeries& x, const MultiSeries& y,
+                                size_t radius, CostKind cost) {
+  if (AtBaseCase(x.length(), y.length(), radius)) {
+    return MultiWindowedDtw(x, y, WarpingWindow::Full(x.length(), y.length()),
+                            cost);
+  }
+  const MultiSeries shrunk_x = HalveMultiByTwo(x);
+  const MultiSeries shrunk_y = HalveMultiByTwo(y);
+  const DtwResult low_res =
+      MultiFastDtwRecursive(shrunk_x, shrunk_y, radius, cost);
+  const WarpingWindow window = WarpingWindow::FromLowResPath(
+      low_res.path, x.length(), y.length(), radius);
+  DtwResult refined = MultiWindowedDtw(x, y, window, cost);
+  refined.cells_visited += low_res.cells_visited;
+  return refined;
+}
+
+}  // namespace
+
+DtwResult FastDtw(std::span<const double> x, std::span<const double> y,
+                  size_t radius, CostKind cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  return FastDtwRecursive(x, y, radius, cost);
+}
+
+double FastDtwDistance(std::span<const double> x, std::span<const double> y,
+                       size_t radius, CostKind cost) {
+  return FastDtw(x, y, radius, cost).distance;
+}
+
+DtwResult MultiFastDtw(const MultiSeries& x, const MultiSeries& y,
+                       size_t radius, CostKind cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  WARP_CHECK(x.num_channels() == y.num_channels());
+  return MultiFastDtwRecursive(x, y, radius, cost);
+}
+
+}  // namespace warp

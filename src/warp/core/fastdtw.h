@@ -1,0 +1,50 @@
+// FastDTW (Salvador & Chan, "FastDTW: Toward Accurate Dynamic Time Warping
+// in Linear Time and Space", Intelligent Data Analysis 11(5), 2007).
+//
+// The algorithm approximates Full DTW in three recursive steps:
+//   1. Coarsen both series to half length (PAA by 2).
+//   2. Recurse to find a warping path at the lower resolution.
+//   3. Refine: project that path up one resolution, expand it by `radius`
+//      cells in every direction, and run exact DTW inside that window.
+// Recursion bottoms out at series shorter than radius + 2, where Full DTW
+// is run directly — the semantics of the published reference
+// implementation.
+//
+// The radius r trades accuracy for speed: larger r explores more cells.
+// Note r is *not* a warping constraint (the paper is emphatic about the
+// distinction between r and the Sakoe–Chiba w); FastDTW approximates
+// *unconstrained* DTW.
+//
+// The returned distance is the cost of the path FastDTW finds, which is
+// always >= the true DTW distance (the restricted search can only miss the
+// optimum, never beat it).
+
+#ifndef WARP_CORE_FASTDTW_H_
+#define WARP_CORE_FASTDTW_H_
+
+#include <span>
+
+#include "warp/core/dtw.h"
+
+namespace warp {
+
+// Full FastDTW: distance + path. `cells_visited` in the result counts DP
+// cells across *all* recursion levels, making work comparisons against
+// exact cDTW meaningful.
+DtwResult FastDtw(std::span<const double> x, std::span<const double> y,
+                  size_t radius, CostKind cost = CostKind::kSquared);
+
+// Convenience wrapper returning just the distance. FastDTW must compute
+// the path at every level anyway, so this costs the same as FastDtw.
+double FastDtwDistance(std::span<const double> x, std::span<const double> y,
+                       size_t radius, CostKind cost = CostKind::kSquared);
+
+// Multichannel FastDTW (dependent warping): channels are coarsened
+// independently, the path is shared. Matches how the Python `fastdtw`
+// package treats vector-valued series in the Appendix-B experiment.
+DtwResult MultiFastDtw(const MultiSeries& x, const MultiSeries& y,
+                       size_t radius, CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_FASTDTW_H_

@@ -1,0 +1,267 @@
+#include "warp/core/fastdtw_reference.h"
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "warp/common/assert.h"
+#include "warp/ts/paa.h"
+
+namespace warp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// (i, j) cell packed into one key, offset so the scheme also accepts the
+// +1-shifted DP coordinates. Only non-negative in-range cells are ever
+// inserted, so 32 bits per coordinate is ample.
+uint64_t Key(int64_t i, int64_t j) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(j));
+}
+
+struct Cell {
+  int32_t i;
+  int32_t j;
+};
+
+struct DpEntry {
+  double cost = kInf;
+  int32_t parent_i = 0;
+  int32_t parent_j = 0;
+};
+
+// The package's __dtw: DP over an explicit cell list with a hash-map cost
+// matrix and parent pointers, followed by parent-pointer traceback.
+template <typename CellCostFn>
+DtwResult WindowedDtwReference(size_t n, size_t m,
+                               const std::vector<Cell>& window,
+                               CellCostFn&& cell_cost) {
+  std::unordered_map<uint64_t, DpEntry> d;
+  d.reserve(window.size() * 2);
+  d[Key(0, 0)] = {0.0, 0, 0};
+
+  auto cost_at = [&d](int64_t i, int64_t j) {
+    const auto it = d.find(Key(i, j));
+    return it == d.end() ? kInf : it->second.cost;
+  };
+
+  // The reference iterates cells in (+1, +1)-shifted coordinates.
+  for (const Cell& cell : window) {
+    const int64_t i = cell.i + 1;
+    const int64_t j = cell.j + 1;
+    const double dt = cell_cost(static_cast<size_t>(cell.i),
+                                static_cast<size_t>(cell.j));
+    DpEntry entry;
+    const double up = cost_at(i - 1, j);
+    const double left = cost_at(i, j - 1);
+    const double diag = cost_at(i - 1, j - 1);
+    // min() over candidate tuples, matching the package's ordering (the
+    // first minimal candidate wins: up, then left, then diagonal).
+    entry.cost = up;
+    entry.parent_i = static_cast<int32_t>(i - 1);
+    entry.parent_j = static_cast<int32_t>(j);
+    if (left < entry.cost) {
+      entry.cost = left;
+      entry.parent_i = static_cast<int32_t>(i);
+      entry.parent_j = static_cast<int32_t>(j - 1);
+    }
+    if (diag < entry.cost) {
+      entry.cost = diag;
+      entry.parent_i = static_cast<int32_t>(i - 1);
+      entry.parent_j = static_cast<int32_t>(j - 1);
+    }
+    entry.cost += dt;
+    d[Key(i, j)] = entry;
+  }
+
+  DtwResult result;
+  result.cells_visited = window.size();
+  const auto corner = d.find(Key(static_cast<int64_t>(n),
+                                 static_cast<int64_t>(m)));
+  WARP_CHECK_MSG(corner != d.end() && corner->second.cost < kInf,
+                 "reference window admits no complete path");
+  result.distance = corner->second.cost;
+
+  int64_t i = static_cast<int64_t>(n);
+  int64_t j = static_cast<int64_t>(m);
+  std::vector<PathPoint> reversed;
+  while (!(i == 0 && j == 0)) {
+    reversed.push_back({static_cast<uint32_t>(i - 1),
+                        static_cast<uint32_t>(j - 1)});
+    const DpEntry& entry = d[Key(i, j)];
+    i = entry.parent_i;
+    j = entry.parent_j;
+  }
+  result.path = WarpingPath(
+      std::vector<PathPoint>(reversed.rbegin(), reversed.rend()));
+  return result;
+}
+
+std::vector<Cell> FullWindow(size_t n, size_t m) {
+  std::vector<Cell> window;
+  window.reserve(n * m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      window.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j)});
+    }
+  }
+  return window;
+}
+
+// The package's __expand_window, structure preserved: a hash set of path
+// cells expanded by radius in every direction, doubled to the next
+// resolution through a second hash set, then flattened into a row-major
+// cell list by scanning each row for its first contiguous run.
+std::vector<Cell> ExpandWindowReference(const WarpingPath& path, size_t n,
+                                        size_t m, size_t radius) {
+  const int64_t r = static_cast<int64_t>(radius);
+  std::unordered_set<uint64_t> expanded;
+  expanded.reserve(path.size() * (2 * radius + 1) * (2 * radius + 1));
+  for (const PathPoint& p : path.points()) {
+    for (int64_t a = -r; a <= r; ++a) {
+      for (int64_t b = -r; b <= r; ++b) {
+        const int64_t i = static_cast<int64_t>(p.i) + a;
+        const int64_t j = static_cast<int64_t>(p.j) + b;
+        // The Python set happily stores negative cells; they can never be
+        // matched by the (non-negative) scan below, so skipping them here
+        // is behavior-preserving.
+        if (i >= 0 && j >= 0) expanded.insert(Key(i, j));
+      }
+    }
+  }
+
+  std::unordered_set<uint64_t> doubled;
+  doubled.reserve(expanded.size() * 4);
+  for (const uint64_t key : expanded) {
+    const int64_t i = static_cast<int64_t>(key >> 32);
+    const int64_t j = static_cast<int64_t>(key & 0xffffffffULL);
+    doubled.insert(Key(2 * i, 2 * j));
+    doubled.insert(Key(2 * i, 2 * j + 1));
+    doubled.insert(Key(2 * i + 1, 2 * j));
+    doubled.insert(Key(2 * i + 1, 2 * j + 1));
+  }
+
+  std::vector<Cell> window;
+  int64_t start_j = 0;
+  int64_t last_covered_j = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
+    int64_t new_start_j = -1;
+    for (int64_t j = start_j; j < static_cast<int64_t>(m); ++j) {
+      if (doubled.count(Key(i, j)) != 0) {
+        window.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        last_covered_j = j;
+        if (new_start_j < 0) new_start_j = j;
+      } else if (new_start_j >= 0) {
+        break;
+      }
+    }
+    if (new_start_j >= 0) {
+      start_j = new_start_j;
+    } else {
+      // Reference quirk repair: the Python package crashes when a row has
+      // no projected cells (odd lengths with radius 0). Extending the
+      // previous row's last column keeps the window connected without
+      // changing any case the package itself survives.
+      window.push_back({static_cast<int32_t>(i),
+                        static_cast<int32_t>(last_covered_j)});
+    }
+  }
+  // Same repair for a missed bottom-right corner (the DP needs it as the
+  // traceback anchor): extend the last row's run rightward so the corner
+  // stays connected.
+  WARP_DCHECK(!window.empty() &&
+              window.back().i == static_cast<int32_t>(n - 1));
+  for (int32_t j = window.back().j + 1; j <= static_cast<int32_t>(m - 1);
+       ++j) {
+    window.push_back({static_cast<int32_t>(n - 1), j});
+  }
+  return window;
+}
+
+template <typename Cost>
+DtwResult ReferenceFastDtw1D(std::vector<double> x, std::vector<double> y,
+                             size_t radius, Cost cost) {
+  const size_t min_time_size = radius + 2;
+  auto cell_cost = [&x, &y, cost](size_t i, size_t j) {
+    return cost(x[i], y[j]);
+  };
+  if (x.size() < min_time_size || y.size() < min_time_size) {
+    return WindowedDtwReference(x.size(), y.size(),
+                                FullWindow(x.size(), y.size()), cell_cost);
+  }
+  std::vector<double> x_shrunk = HalveByTwo(x);
+  std::vector<double> y_shrunk = HalveByTwo(y);
+  const DtwResult low_res = ReferenceFastDtw1D(
+      std::move(x_shrunk), std::move(y_shrunk), radius, cost);
+  const std::vector<Cell> window =
+      ExpandWindowReference(low_res.path, x.size(), y.size(), radius);
+  DtwResult refined =
+      WindowedDtwReference(x.size(), y.size(), window, cell_cost);
+  refined.cells_visited += low_res.cells_visited;
+  return refined;
+}
+
+MultiSeries HalveMulti(const MultiSeries& series) {
+  std::vector<std::vector<double>> channels;
+  channels.reserve(series.num_channels());
+  for (size_t c = 0; c < series.num_channels(); ++c) {
+    channels.push_back(HalveByTwo(series.channel(c)));
+  }
+  return MultiSeries(std::move(channels), series.label());
+}
+
+template <typename Cost>
+DtwResult ReferenceFastDtwMulti(const MultiSeries& x, const MultiSeries& y,
+                                size_t radius, Cost cost) {
+  const size_t min_time_size = radius + 2;
+  auto cell_cost = [&x, &y, cost](size_t i, size_t j) {
+    double sum = 0.0;
+    for (size_t c = 0; c < x.num_channels(); ++c) {
+      sum += cost(x.at(c, i), y.at(c, j));
+    }
+    return sum;
+  };
+  if (x.length() < min_time_size || y.length() < min_time_size) {
+    return WindowedDtwReference(x.length(), y.length(),
+                                FullWindow(x.length(), y.length()),
+                                cell_cost);
+  }
+  const MultiSeries x_shrunk = HalveMulti(x);
+  const MultiSeries y_shrunk = HalveMulti(y);
+  const DtwResult low_res =
+      ReferenceFastDtwMulti(x_shrunk, y_shrunk, radius, cost);
+  const std::vector<Cell> window =
+      ExpandWindowReference(low_res.path, x.length(), y.length(), radius);
+  DtwResult refined =
+      WindowedDtwReference(x.length(), y.length(), window, cell_cost);
+  refined.cells_visited += low_res.cells_visited;
+  return refined;
+}
+
+}  // namespace
+
+DtwResult ReferenceFastDtw(std::span<const double> x,
+                           std::span<const double> y, size_t radius,
+                           CostKind cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  return WithCost(cost, [&](auto c) {
+    return ReferenceFastDtw1D(std::vector<double>(x.begin(), x.end()),
+                              std::vector<double>(y.begin(), y.end()),
+                              radius, c);
+  });
+}
+
+DtwResult ReferenceMultiFastDtw(const MultiSeries& x, const MultiSeries& y,
+                                size_t radius, CostKind cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  WARP_CHECK(x.num_channels() == y.num_channels());
+  return WithCost(cost,
+                  [&](auto c) { return ReferenceFastDtwMulti(x, y, radius, c); });
+}
+
+}  // namespace warp

@@ -1,0 +1,48 @@
+// A deliberately literal port of the reference FastDTW implementation —
+// the pure-Python `fastdtw` package (v0.3.x) that the papers citing
+// FastDTW (and the paper's own Appendix-B correspondent) actually ran.
+//
+// Where warp/core/fastdtw.h is an aggressively engineered reimplementation
+// (contiguous per-row windows, flat rolling arrays), this port preserves
+// the reference's data structures and control flow:
+//   * the search window is materialized as an explicit cell list built
+//     through hash *sets* of (i, j) pairs, with an O(radius^2) expansion
+//     loop around every low-resolution path cell;
+//   * the windowed DP stores costs and parent pointers in a hash *map*
+//     keyed by (i, j), exactly like the package's defaultdict;
+//   * each recursion level copies the coarsened series.
+//
+// The performance gap between the two (an order of magnitude and more) is
+// itself part of the reproduction: the paper's timing curves were
+// measured against implementations with these constants. Benchmarks
+// report both so the reader can see that the paper's conclusion survives
+// either way at matched fidelity.
+//
+// Known reference quirks preserved or minimally repaired (documented in
+// line): rows the projected window misses (odd lengths with radius 0)
+// crash the Python package; this port repairs them by extending the
+// previous row's reach so every call returns a complete path.
+
+#ifndef WARP_CORE_FASTDTW_REFERENCE_H_
+#define WARP_CORE_FASTDTW_REFERENCE_H_
+
+#include <span>
+
+#include "warp/core/dtw.h"
+
+namespace warp {
+
+// Distance + path, semantics of `fastdtw.fastdtw(x, y, radius, dist)`.
+DtwResult ReferenceFastDtw(std::span<const double> x,
+                           std::span<const double> y, size_t radius,
+                           CostKind cost = CostKind::kSquared);
+
+// Multichannel variant (the package accepts vector-valued samples with a
+// pointwise dist; dependent warping, summed per-channel cost).
+DtwResult ReferenceMultiFastDtw(const MultiSeries& x, const MultiSeries& y,
+                                size_t radius,
+                                CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_FASTDTW_REFERENCE_H_

@@ -1,0 +1,63 @@
+#include "warp/core/lower_bounds.h"
+
+#include <algorithm>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+double LbKimFl(std::span<const double> x, std::span<const double> y,
+               CostKind cost) {
+  WARP_CHECK(!x.empty() && !y.empty());
+  return WithCost(cost, [&](auto c) {
+    return c(x.front(), y.front()) + c(x.back(), y.back());
+  });
+}
+
+double LbKeogh(const Envelope& query_envelope,
+               std::span<const double> candidate, CostKind cost,
+               double abandon_above) {
+  WARP_CHECK_MSG(query_envelope.upper.size() == candidate.size(),
+                 "envelope and candidate lengths must match");
+  return WithCost(cost, [&](auto c) {
+    double sum = 0.0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      const double v = candidate[i];
+      if (v > query_envelope.upper[i]) {
+        sum += c(v, query_envelope.upper[i]);
+      } else if (v < query_envelope.lower[i]) {
+        sum += c(v, query_envelope.lower[i]);
+      }
+      if (sum > abandon_above) return sum;
+    }
+    return sum;
+  });
+}
+
+double LbKeoghSymmetric(const Envelope& query_envelope,
+                        std::span<const double> query,
+                        const Envelope& candidate_envelope,
+                        std::span<const double> candidate, CostKind cost) {
+  return std::max(LbKeogh(query_envelope, candidate, cost),
+                  LbKeogh(candidate_envelope, query, cost));
+}
+
+double LbImproved(const Envelope& query_envelope,
+                  std::span<const double> query,
+                  std::span<const double> candidate, size_t band,
+                  CostKind cost) {
+  WARP_CHECK(query.size() == candidate.size());
+  const double first = LbKeogh(query_envelope, candidate, cost);
+
+  // Projection of the candidate onto the query's envelope tube.
+  std::vector<double> projection(candidate.size());
+  for (size_t i = 0; i < candidate.size(); ++i) {
+    projection[i] = std::clamp(candidate[i], query_envelope.lower[i],
+                               query_envelope.upper[i]);
+  }
+  const Envelope projection_envelope = ComputeEnvelope(projection, band);
+  const double second = LbKeogh(projection_envelope, query, cost);
+  return first + second;
+}
+
+}  // namespace warp

@@ -1,0 +1,62 @@
+// Lower bounds for cDTW_w.
+//
+// These are the cheap tests that make repeated exact DTW fast in practice
+// — the "lower bounding and early abandoning" the paper says shave a
+// further two-plus orders of magnitude off cDTW (and that cannot be
+// applied to FastDTW). Each bound B satisfies B(q, c) <= cDTW_w(q, c), so
+// a candidate whose bound already exceeds the best-so-far can be discarded
+// without running DTW.
+//
+// All bounds assume equal-length series (the 1-NN classification setting)
+// and are exact lower bounds for the same CostKind used by the DTW call.
+
+#ifndef WARP_CORE_LOWER_BOUNDS_H_
+#define WARP_CORE_LOWER_BOUNDS_H_
+
+#include <limits>
+#include <span>
+
+#include "warp/core/cost.h"
+#include "warp/core/envelope.h"
+
+namespace warp {
+
+inline constexpr double kNoAbandon = std::numeric_limits<double>::max();
+
+// LB_Kim (first/last variant, as in the UCR suite): the costs of aligning
+// the two endpoints are unavoidable because every warping path matches
+// (0,0) and (n-1,m-1).
+double LbKimFl(std::span<const double> x, std::span<const double> y,
+               CostKind cost = CostKind::kSquared);
+
+// LB_Keogh: sum of each candidate point's excursion outside the query's
+// warping envelope. `envelope` must have been computed from the query with
+// the same band as the eventual cDTW call. Once the partial sum crosses
+// `abandon_above` the scan stops and the partial sum (already a valid
+// lower bound exceeding the threshold) is returned.
+double LbKeogh(const Envelope& query_envelope,
+               std::span<const double> candidate,
+               CostKind cost = CostKind::kSquared,
+               double abandon_above = kNoAbandon);
+
+// Symmetric refinement: max of LB_Keogh(env(q), c) and LB_Keogh(env(c), q).
+// Tighter, but requires the candidate's envelope too.
+double LbKeoghSymmetric(const Envelope& query_envelope,
+                        std::span<const double> query,
+                        const Envelope& candidate_envelope,
+                        std::span<const double> candidate,
+                        CostKind cost = CostKind::kSquared);
+
+// LB_Improved (Lemire 2009): LB_Keogh plus the cost of the *projection*'s
+// excursion — project the candidate onto the query's envelope, then add
+// LB_Keogh of the query against the projection's own envelope (computed
+// with the same band). Strictly >= LB_Keogh and still a valid lower bound
+// of cDTW at that band. `band` must match the envelopes' band.
+double LbImproved(const Envelope& query_envelope,
+                  std::span<const double> query,
+                  std::span<const double> candidate, size_t band,
+                  CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_LOWER_BOUNDS_H_

@@ -1,0 +1,47 @@
+// Open-boundary (subsequence) DTW — Müller's "subsequence DTW".
+//
+// Aligns a short query against the *best-matching contiguous region* of a
+// longer series: the warping path may start at any column of the first
+// row and end at any column of the last row, so the query does not have
+// to explain the whole series. This is the alignment primitive behind
+// score-following and query-by-example; it differs from
+// mining/similarity_search (which z-normalizes fixed-length windows) in
+// that the match region's length is chosen by the warping itself.
+
+#ifndef WARP_CORE_SUBSEQUENCE_DTW_H_
+#define WARP_CORE_SUBSEQUENCE_DTW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "warp/core/cost.h"
+#include "warp/core/warping_path.h"
+
+namespace warp {
+
+struct SubsequenceAlignment {
+  double distance = 0.0;  // Accumulated cost of the best alignment.
+  size_t start = 0;       // First matched index of the long series.
+  size_t end = 0;         // Last matched index (inclusive).
+  // Full alignment path; points use (query index, long-series index).
+  // Starts at (0, start) and ends at (query.size()-1, end), so it is not
+  // a boundary-complete WarpingPath for the full matrix.
+  std::vector<PathPoint> path;
+};
+
+// O(n*m) time and memory (the matrix is kept for traceback); `n` is the
+// query length, `m` the long series length, m >= n is typical but not
+// required.
+SubsequenceAlignment SubsequenceDtw(std::span<const double> query,
+                                    std::span<const double> series,
+                                    CostKind cost = CostKind::kSquared);
+
+// Distance-only variant with O(m) memory.
+double SubsequenceDtwDistance(std::span<const double> query,
+                              std::span<const double> series,
+                              CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_SUBSEQUENCE_DTW_H_

@@ -1,0 +1,102 @@
+#include "warp/core/warping_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+void WarpingPath::Reverse() { std::reverse(points_.begin(), points_.end()); }
+
+bool WarpingPath::IsValid(size_t n, size_t m) const {
+  std::string unused;
+  return Validate(n, m, &unused);
+}
+
+bool WarpingPath::Validate(size_t n, size_t m, std::string* error) const {
+  if (n == 0 || m == 0) {
+    *error = "series lengths must be positive";
+    return false;
+  }
+  if (points_.empty()) {
+    *error = "path is empty";
+    return false;
+  }
+  if (points_.front() != PathPoint{0, 0}) {
+    *error = "path does not start at (0, 0)";
+    return false;
+  }
+  const PathPoint expected_end{static_cast<uint32_t>(n - 1),
+                               static_cast<uint32_t>(m - 1)};
+  if (points_.back() != expected_end) {
+    *error = "path does not end at (n-1, m-1)";
+    return false;
+  }
+  for (size_t k = 1; k < points_.size(); ++k) {
+    const uint32_t di = points_[k].i - points_[k - 1].i;
+    const uint32_t dj = points_[k].j - points_[k - 1].j;
+    // Unsigned wraparound makes any backwards step a huge value, so the
+    // check below also catches non-monotone paths.
+    if (di > 1 || dj > 1 || (di == 0 && dj == 0)) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    "illegal step at index %zu: (%u,%u) -> (%u,%u)", k,
+                    points_[k - 1].i, points_[k - 1].j, points_[k].i,
+                    points_[k].j);
+      *error = buffer;
+      return false;
+    }
+  }
+  for (const PathPoint& p : points_) {
+    if (p.i >= n || p.j >= m) {
+      *error = "path leaves the matrix";
+      return false;
+    }
+  }
+  return true;
+}
+
+double WarpingPath::CostAlong(std::span<const double> x,
+                              std::span<const double> y,
+                              CostKind cost) const {
+  WARP_CHECK(!points_.empty());
+  return WithCost(cost, [&](auto c) {
+    double total = 0.0;
+    for (const PathPoint& p : points_) {
+      WARP_DCHECK(p.i < x.size() && p.j < y.size());
+      total += c(x[p.i], y[p.j]);
+    }
+    return total;
+  });
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> WarpingPath::PerRowColumnRanges(
+    size_t n) const {
+  WARP_CHECK(!points_.empty());
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(
+      n, {std::numeric_limits<uint32_t>::max(), 0});
+  for (const PathPoint& p : points_) {
+    WARP_CHECK(p.i < n);
+    auto& [lo, hi] = ranges[p.i];
+    lo = std::min(lo, p.j);
+    hi = std::max(hi, p.j);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    WARP_CHECK_MSG(ranges[i].first <= ranges[i].second,
+                   "path must touch every row");
+  }
+  return ranges;
+}
+
+uint32_t WarpingPath::MaxDiagonalDeviation() const {
+  uint32_t max_dev = 0;
+  for (const PathPoint& p : points_) {
+    const uint32_t dev = p.i > p.j ? p.i - p.j : p.j - p.i;
+    max_dev = std::max(max_dev, dev);
+  }
+  return max_dev;
+}
+
+}  // namespace warp

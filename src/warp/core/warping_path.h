@@ -1,0 +1,73 @@
+// The warping path: the optimal alignment DTW recovers.
+//
+// A path is a sequence of matrix cells from (0, 0) to (n-1, m-1) whose
+// steps are each one of {down, right, diagonal}. FastDTW threads paths
+// between resolutions, and the alignment examples visualize them, so the
+// type carries full invariant validation.
+
+#ifndef WARP_CORE_WARPING_PATH_H_
+#define WARP_CORE_WARPING_PATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "warp/core/cost.h"
+
+namespace warp {
+
+struct PathPoint {
+  uint32_t i = 0;  // Row: index into the first series.
+  uint32_t j = 0;  // Column: index into the second series.
+
+  friend bool operator==(const PathPoint&, const PathPoint&) = default;
+};
+
+class WarpingPath {
+ public:
+  WarpingPath() = default;
+  explicit WarpingPath(std::vector<PathPoint> points)
+      : points_(std::move(points)) {}
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const PathPoint& operator[](size_t k) const { return points_[k]; }
+  const std::vector<PathPoint>& points() const { return points_; }
+
+  void Append(uint32_t i, uint32_t j) { points_.push_back({i, j}); }
+  void Reverse();
+
+  // True iff the path satisfies the DTW constraints for series of lengths
+  // (n, m): boundary (starts at (0,0), ends at (n-1,m-1)), monotonicity and
+  // continuity (every step is (0,1), (1,0) or (1,1)).
+  bool IsValid(size_t n, size_t m) const;
+
+  // Like IsValid but explains the first violation (for tests/diagnostics).
+  bool Validate(size_t n, size_t m, std::string* error) const;
+
+  // Sum of local costs along this path for the given series; any valid
+  // path's cost upper-bounds the DTW distance.
+  double CostAlong(std::span<const double> x, std::span<const double> y,
+                   CostKind cost = CostKind::kSquared) const;
+
+  // For each row i in [0, n), the inclusive column range the path touches.
+  // Requires a valid path; every row of a valid path is touched by a
+  // contiguous, non-decreasing range. Used by FastDTW's window projection.
+  std::vector<std::pair<uint32_t, uint32_t>> PerRowColumnRanges(
+      size_t n) const;
+
+  // Maximum |i - j| over the path — the smallest Sakoe–Chiba band (in
+  // cells) that contains this alignment. This is how a domain's natural
+  // warping amount W can be estimated from exemplar alignments.
+  uint32_t MaxDiagonalDeviation() const;
+
+ private:
+  std::vector<PathPoint> points_;
+};
+
+}  // namespace warp
+
+#endif  // WARP_CORE_WARPING_PATH_H_

@@ -1,0 +1,37 @@
+// Weighted Dynamic Time Warping (Jeong, Jeong & Omitaomu, 2011).
+//
+// A soft alternative to the hard Sakoe–Chiba cutoff: instead of forbidding
+// cells far from the diagonal, WDTW multiplies each cell's local cost by a
+// logistic weight of the phase difference |i - j|, so distant alignments
+// are increasingly discouraged but never impossible. Included as an
+// extension because it drops straight into the banded engine via a
+// weighted cell cost, and because it makes the same point the paper makes
+// about w: a little warping is good, unbounded warping is pathological.
+
+#ifndef WARP_CORE_WDTW_H_
+#define WARP_CORE_WDTW_H_
+
+#include <span>
+#include <vector>
+
+#include "warp/core/dtw.h"
+
+namespace warp {
+
+// The modified-logistic weight vector: weight[d] for phase difference d,
+//   weight[d] = w_max / (1 + exp(-g * (d - n/2))),
+// where g controls the penalty's steepness (typical 0.01–0.6) and n is
+// the series length.
+std::vector<double> MakeWdtwWeights(size_t n, double g = 0.05,
+                                    double w_max = 1.0);
+
+// Weighted DTW distance, optionally restricted to a Sakoe–Chiba band
+// (band >= length is unconstrained, the usual WDTW formulation).
+// Lengths must be equal (the phase difference needs a common index base).
+double WdtwDistance(std::span<const double> x, std::span<const double> y,
+                    double g, size_t band,
+                    CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_CORE_WDTW_H_

@@ -1,0 +1,62 @@
+#include "warp/gen/adversarial.h"
+
+#include <cmath>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace gen {
+
+std::vector<double> MakeAdversarialSeries(size_t burst_center,
+                                          size_t bump_center,
+                                          const AdversarialOptions& options) {
+  const size_t n = options.length;
+  WARP_CHECK(n >= 64);
+  WARP_CHECK_MSG(options.burst_length % 2 == 0, "burst length must be even");
+  WARP_CHECK(options.burst_length <= n);
+
+  std::vector<double> series(n, 0.0);
+
+  // Period-2 alternating burst, aligned so each (even, odd) index pair is
+  // (+amp, -amp) and therefore averages to exactly zero under
+  // halve-by-two coarsening.
+  size_t burst_start = burst_center - std::min(burst_center,
+                                               options.burst_length / 2);
+  burst_start -= burst_start % 2;  // Even alignment is what hides it.
+  const size_t burst_end = std::min(n, burst_start + options.burst_length);
+  for (size_t t = burst_start; t < burst_end; ++t) {
+    series[t] = (t % 2 == 0) ? options.burst_amplitude
+                             : -options.burst_amplitude;
+  }
+
+  // Tiny smooth bump: survives coarsening (its mean is preserved by PAA).
+  for (size_t t = 0; t < n; ++t) {
+    const double z =
+        (static_cast<double>(t) - static_cast<double>(bump_center)) /
+        options.bump_width;
+    series[t] += options.bump_amplitude * std::exp(-0.5 * z * z);
+  }
+  return series;
+}
+
+AdversarialTriple MakeAdversarialTriple(const AdversarialOptions& options) {
+  AdversarialTriple triple;
+  triple.a = MakeAdversarialSeries(options.burst_center_a,
+                                   options.bump_center_a, options);
+  triple.b = MakeAdversarialSeries(options.burst_center_b,
+                                   options.bump_center_b, options);
+
+  // C: a slow sine of moderate energy — unambiguously different from A
+  // and B under any measure, with a distance between full-DTW(A,B) and
+  // the burst energy FastDTW ends up paying.
+  triple.c.resize(options.length);
+  for (size_t t = 0; t < options.length; ++t) {
+    const double u =
+        static_cast<double>(t) / static_cast<double>(options.length);
+    triple.c[t] = 0.18 * std::sin(2.0 * M_PI * 1.5 * u);
+  }
+  return triple;
+}
+
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,66 @@
+// The Appendix-A adversarial construction (paper Table 2, Figs. 7–8).
+//
+// FastDTW assumes the PAA-coarsened series has the same basic shape as the
+// raw data. The paper defeats that assumption with a pair whose coarse
+// version warps in the *opposite* direction to the optimum:
+//
+//   * Each series carries one BIG feature — a period-2 alternating burst.
+//     Averaging adjacent pairs (FastDTW's halve-by-two) cancels it to
+//     exactly zero, so it is invisible at every coarse resolution.
+//   * Each series also carries one TINY smooth bump that survives
+//     coarsening and dominates the low-resolution alignment.
+//   * The big features are far apart between the two series in one
+//     direction; the tiny bumps are offset in the other direction.
+//
+// Full DTW aligns the big features (paying only the tiny bumps' cost, a
+// near-zero distance). FastDTW's coarse pass sees only the bumps, commits
+// to warping the wrong way, and its radius-bounded refinement can never
+// reach the big-feature alignment — so it pays the full energy of both
+// bursts. The resulting relative error is in the thousands of percent.
+
+#ifndef WARP_GEN_ADVERSARIAL_H_
+#define WARP_GEN_ADVERSARIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace warp {
+namespace gen {
+
+struct AdversarialOptions {
+  size_t length = 512;
+
+  // Big (PAA-invisible) burst: alternating +/- amplitude, even-aligned.
+  double burst_amplitude = 0.5;
+  size_t burst_length = 64;       // Must be even.
+  size_t burst_center_a = 96;     // Early in A...
+  size_t burst_center_b = 416;    // ...late in B: a large rightward warp.
+
+  // Tiny (PAA-visible) bump: smooth Gaussian.
+  double bump_amplitude = 0.04;
+  double bump_width = 12.0;
+  size_t bump_center_a = 288;     // Later in A...
+  size_t bump_center_b = 224;     // ...earlier in B: a leftward warp.
+};
+
+struct AdversarialTriple {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+};
+
+// The pair (A, B) described above.
+std::vector<double> MakeAdversarialSeries(size_t burst_center,
+                                          size_t bump_center,
+                                          const AdversarialOptions& options);
+
+// (A, B, C): A and B as above; C is a slow sine, genuinely different from
+// both, whose DTW distance to A and B sits between full-DTW(A,B) (near
+// zero) and FastDTW(A,B) (large) — so the two dendrograms flip topology.
+AdversarialTriple MakeAdversarialTriple(
+    const AdversarialOptions& options = AdversarialOptions());
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_ADVERSARIAL_H_

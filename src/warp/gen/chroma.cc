@@ -1,0 +1,64 @@
+#include "warp/gen/chroma.h"
+
+#include <cmath>
+
+#include "warp/common/assert.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+
+std::vector<double> MakeSongProfile(size_t length, uint64_t seed) {
+  WARP_CHECK(length >= 16);
+  Rng rng(seed);
+  std::vector<double> profile(length);
+
+  // Chord segments: each 2–8 seconds (200–800 samples at 100 Hz, scaled
+  // for other lengths) at a random energy level.
+  const size_t min_segment = std::max<size_t>(4, length / 120);
+  const size_t max_segment = std::max<size_t>(min_segment + 1, length / 30);
+  size_t t = 0;
+  double level = rng.Uniform(0.5, 2.0);
+  double prev_level = level;
+  while (t < length) {
+    const size_t segment =
+        min_segment + rng.UniformInt(max_segment - min_segment);
+    const size_t end = std::min(length, t + segment);
+    const size_t ramp = std::max<size_t>(1, (end - t) / 8);
+    for (size_t k = t; k < end; ++k) {
+      // Smooth transition from the previous chord over the ramp.
+      const double blend =
+          k - t < ramp ? static_cast<double>(k - t) / static_cast<double>(ramp)
+                       : 1.0;
+      profile[k] = prev_level * (1.0 - blend) + level * blend;
+    }
+    t = end;
+    prev_level = level;
+    level = rng.Uniform(0.5, 2.0);
+  }
+
+  // Beat-level texture: ~2 Hz amplitude modulation plus soft vibrato.
+  for (size_t k = 0; k < length; ++k) {
+    const double u = static_cast<double>(k) / static_cast<double>(length);
+    profile[k] *= 1.0 + 0.15 * std::sin(2.0 * M_PI * 480.0 * u) +
+                  0.05 * std::sin(2.0 * M_PI * 37.0 * u);
+  }
+  ZNormalizeInPlace(profile);
+  return profile;
+}
+
+std::pair<std::vector<double>, std::vector<double>> MakePerformancePair(
+    const ChromaOptions& options) {
+  std::vector<double> studio = MakeSongProfile(options.length, options.seed);
+
+  Rng rng(options.seed + 1);
+  std::vector<double> live =
+      ApplyRandomWarp(studio, options.max_shift_fraction, rng);
+  for (double& v : live) v += rng.Gaussian(0.0, options.noise_stddev);
+  ZNormalizeInPlace(live);
+  return {std::move(studio), std::move(live)};
+}
+
+}  // namespace gen
+}  // namespace warp

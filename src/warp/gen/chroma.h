@@ -1,0 +1,42 @@
+// Music-alignment generator (paper Case B, Section 3.2).
+//
+// The paper aligns a studio recording of a four-minute song against a live
+// performance using chroma-feature energy sampled at 100 Hz (N = 24,000),
+// with the live version at most ~2 s ahead or behind (w = 0.83%). This
+// module synthesizes that setting: a "song profile" of chord-segment
+// energies with note-level texture, plus a performance that is the same
+// profile under a small smooth tempo warp and performance noise.
+
+#ifndef WARP_GEN_CHROMA_H_
+#define WARP_GEN_CHROMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "warp/common/random.h"
+
+namespace warp {
+namespace gen {
+
+struct ChromaOptions {
+  size_t length = 24000;        // 4 minutes at 100 Hz.
+  double max_shift_fraction = 0.0083;  // Paper's 2 s of 240 s.
+  double noise_stddev = 0.03;
+  uint64_t seed = 11;
+};
+
+// The studio "song": piecewise chord segments (2–8 s) with smooth
+// transitions and beat-level amplitude texture, z-normalized.
+std::vector<double> MakeSongProfile(size_t length, uint64_t seed);
+
+// (studio, live): the live rendition is the song under a smooth monotone
+// tempo warp bounded by max_shift_fraction, plus noise. Both z-normalized.
+std::pair<std::vector<double>, std::vector<double>> MakePerformancePair(
+    const ChromaOptions& options);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_CHROMA_H_

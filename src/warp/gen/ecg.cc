@@ -1,0 +1,120 @@
+#include "warp/gen/ecg.h"
+
+#include <cmath>
+
+#include "warp/common/assert.h"
+#include "warp/ts/paa.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+
+namespace {
+
+// One wave component: a Gaussian bump at a fractional position.
+struct Wave {
+  double center;     // Fraction of the beat.
+  double width;      // Fraction of the beat.
+  double amplitude;  // mV-ish units.
+};
+
+// Canonical normal-beat morphology (P, Q, R, S, T).
+constexpr Wave kNormalBeat[] = {
+    {0.18, 0.025, 0.15},   // P
+    {0.38, 0.010, -0.12},  // Q
+    {0.42, 0.012, 1.00},   // R
+    {0.46, 0.010, -0.25},  // S
+    {0.70, 0.060, 0.30},   // T
+};
+
+// PVC-like morphology: no P wave, wide and inverted-ish QRS, tall T.
+constexpr Wave kPvcBeat[] = {
+    {0.35, 0.040, -0.60},  // Wide deep initial deflection.
+    {0.45, 0.050, 1.10},   // Broad R'.
+    {0.72, 0.080, -0.45},  // Discordant T.
+};
+
+void AddWaves(std::span<const Wave> waves, double timing_jitter,
+              std::vector<double>* beat, Rng& rng) {
+  const size_t n = beat->size();
+  for (const Wave& wave : waves) {
+    const double center =
+        (wave.center + rng.Uniform(-timing_jitter, timing_jitter)) *
+        static_cast<double>(n);
+    const double width =
+        wave.width * static_cast<double>(n) * rng.Uniform(0.9, 1.1);
+    const double amplitude = wave.amplitude * rng.Uniform(0.9, 1.1);
+    for (size_t t = 0; t < n; ++t) {
+      const double z = (static_cast<double>(t) - center) / width;
+      (*beat)[t] += amplitude * std::exp(-0.5 * z * z);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> MakeBeat(int label, const EcgOptions& options, Rng& rng) {
+  WARP_CHECK(options.beat_length >= 16);
+  std::vector<double> beat(options.beat_length, 0.0);
+
+  // Wave timing jitter is the domain's natural warping: a couple percent.
+  const double timing_jitter = 0.02;
+  if (label == kPvcBeatLabel) {
+    AddWaves(kPvcBeat, timing_jitter, &beat, rng);
+  } else {
+    AddWaves(kNormalBeat, timing_jitter, &beat, rng);
+  }
+  // Respiration-like baseline wander plus sensor noise.
+  const double wander_phase = rng.Uniform(0.0, 2.0 * M_PI);
+  for (size_t t = 0; t < beat.size(); ++t) {
+    const double u = static_cast<double>(t) / static_cast<double>(beat.size());
+    beat[t] += 0.03 * std::sin(2.0 * M_PI * u + wander_phase) +
+               rng.Gaussian(0.0, options.noise_stddev);
+  }
+  return beat;
+}
+
+Dataset MakeBeatDataset(size_t per_class, const EcgOptions& options) {
+  WARP_CHECK(per_class > 0);
+  Rng rng(options.seed);
+  Dataset dataset;
+  dataset.set_name("synthetic_ecg_beats");
+  for (int label : {kNormalBeatLabel, kPvcBeatLabel}) {
+    for (size_t i = 0; i < per_class; ++i) {
+      std::vector<double> beat = MakeBeat(label, options, rng);
+      ZNormalizeInPlace(beat);
+      TimeSeries series(std::move(beat), label);
+      dataset.Add(std::move(series));
+    }
+  }
+  return dataset;
+}
+
+std::vector<double> MakeRhythm(size_t num_beats, const EcgOptions& options,
+                               std::vector<size_t>* beat_starts,
+                               std::vector<int>* beat_labels) {
+  WARP_CHECK(num_beats > 0);
+  Rng rng(options.seed);
+  std::vector<double> rhythm;
+  rhythm.reserve(num_beats * options.beat_length);
+  for (size_t b = 0; b < num_beats; ++b) {
+    const int label = rng.Bernoulli(options.pvc_probability)
+                          ? kPvcBeatLabel
+                          : kNormalBeatLabel;
+    if (beat_starts != nullptr) beat_starts->push_back(rhythm.size());
+    if (beat_labels != nullptr) beat_labels->push_back(label);
+    std::vector<double> beat = MakeBeat(label, options, rng);
+    // Heart-rate variability: resample the beat to a jittered length.
+    const double scale =
+        1.0 + rng.Uniform(-options.rate_jitter, options.rate_jitter);
+    const size_t target = std::max<size_t>(
+        16, static_cast<size_t>(scale *
+                                static_cast<double>(options.beat_length)));
+    const std::vector<double> stretched = ResampleLinear(beat, target);
+    rhythm.insert(rhythm.end(), stretched.begin(), stretched.end());
+  }
+  return rhythm;
+}
+
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,60 @@
+#include "warp/gen/fall.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace gen {
+
+namespace {
+
+// Number of samples the fall transient occupies (0.7 s at 100 Hz).
+constexpr size_t kTransientLength = 70;
+
+// Value of the transient at sample k: a drop from the standing level
+// (1.0) to the ground level (0.0) with a damped bounce.
+double TransientValue(size_t k) {
+  const double t = static_cast<double>(k) / kTransientLength;  // [0, 1)
+  const double drop = 1.0 - 1.0 / (1.0 + std::exp(-18.0 * (t - 0.25)));
+  const double bounce =
+      0.25 * std::exp(-6.0 * t) * std::sin(24.0 * M_PI * t);
+  return drop + bounce;
+}
+
+}  // namespace
+
+std::vector<double> MakeFallTrace(size_t n, size_t fall_start, Rng& rng,
+                                  double noise_stddev) {
+  WARP_CHECK(n > 0);
+  WARP_CHECK_MSG(fall_start + kTransientLength <= n,
+                 "fall transient must fit in the trace");
+  std::vector<double> trace(n);
+  for (size_t t = 0; t < n; ++t) {
+    double level;
+    if (t < fall_start) {
+      level = 1.0;  // Standing.
+    } else if (t < fall_start + kTransientLength) {
+      level = TransientValue(t - fall_start);
+    } else {
+      level = 0.0;  // On the ground.
+    }
+    trace[t] = level + rng.Gaussian(0.0, noise_stddev);
+  }
+  return trace;
+}
+
+std::pair<std::vector<double>, std::vector<double>> MakeFallPair(
+    double seconds, double hz, Rng& rng) {
+  WARP_CHECK(seconds > 0.0 && hz > 0.0);
+  const size_t n = static_cast<size_t>(std::llround(seconds * hz));
+  WARP_CHECK_MSG(n > kTransientLength,
+                 "window too short for a fall transient");
+  std::vector<double> early = MakeFallTrace(n, 0, rng);
+  std::vector<double> late = MakeFallTrace(n, n - kTransientLength, rng);
+  return {std::move(early), std::move(late)};
+}
+
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,37 @@
+// The Case-D "fall" generator (paper Fig. 5).
+//
+// Models the paper's motion-capture thought experiment: actors fall over
+// at some point within an L-second window recorded at 100 Hz. One series
+// has an immediate fall followed by near-motionlessness; the other is
+// near-motionless until a fall just before the window ends. Aligning the
+// two falls requires warping by ~100% of the length — the only setting in
+// which the paper found FastDTW ever overtakes exact DTW.
+
+#ifndef WARP_GEN_FALL_H_
+#define WARP_GEN_FALL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "warp/common/random.h"
+
+namespace warp {
+namespace gen {
+
+// One fall trace of `n` samples. The fall transient (a sharp level drop
+// with a damped oscillation) occupies roughly 0.7 s at 100 Hz and starts
+// at `fall_start`; elsewhere the actor is near-motionless (small sensor
+// noise around the pre/post-fall levels).
+std::vector<double> MakeFallTrace(size_t n, size_t fall_start, Rng& rng,
+                                  double noise_stddev = 0.01);
+
+// The paper's pair for an L-second window at `hz`: an immediate fall and a
+// fall ending just before the window closes.
+std::pair<std::vector<double>, std::vector<double>> MakeFallPair(
+    double seconds, double hz, Rng& rng);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_FALL_H_

@@ -1,0 +1,129 @@
+#include "warp/gen/gesture.h"
+
+#include <cmath>
+
+#include "warp/common/assert.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+
+namespace {
+
+// Mixes the class seed and id so each class gets an independent template
+// stream regardless of the dataset seed.
+uint64_t TemplateSeed(int class_id, uint64_t seed) {
+  SplitMix64 mix(seed ^ (0xabcdef12345678ULL + static_cast<uint64_t>(class_id)));
+  mix.Next();
+  return mix.Next();
+}
+
+}  // namespace
+
+std::vector<double> GestureTemplate(int class_id, size_t length,
+                                    uint64_t seed) {
+  WARP_CHECK(class_id >= 0);
+  WARP_CHECK(length >= 8);
+  Rng rng(TemplateSeed(class_id, seed));
+
+  std::vector<double> series(length, 0.0);
+  // Low-frequency sinusoid mixture: 3 components with random frequency,
+  // phase and weight.
+  for (int component = 0; component < 3; ++component) {
+    const double freq = rng.Uniform(0.5, 4.0);
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    const double weight = rng.Uniform(0.4, 1.0);
+    for (size_t t = 0; t < length; ++t) {
+      const double u = static_cast<double>(t) / static_cast<double>(length);
+      series[t] += weight * std::sin(2.0 * M_PI * freq * u + phase);
+    }
+  }
+  // A few localized bumps make classes more separable (gesture "strokes").
+  const int num_bumps = static_cast<int>(2 + rng.UniformInt(3));
+  for (int b = 0; b < num_bumps; ++b) {
+    const double center = rng.Uniform(0.1, 0.9) * static_cast<double>(length);
+    const double width = rng.Uniform(0.02, 0.08) * static_cast<double>(length);
+    const double height = rng.Uniform(-1.5, 1.5);
+    for (size_t t = 0; t < length; ++t) {
+      const double z = (static_cast<double>(t) - center) / width;
+      series[t] += height * std::exp(-0.5 * z * z);
+    }
+  }
+  ZNormalizeInPlace(series);
+  return series;
+}
+
+TimeSeries MakeGesture(int class_id, const GestureOptions& options,
+                       Rng& rng) {
+  const std::vector<double> base =
+      GestureTemplate(class_id, options.length, options.seed);
+  std::vector<double> warped =
+      options.warp_fraction > 0.0
+          ? ApplyRandomWarp(base, options.warp_fraction, rng)
+          : base;
+  const double amplitude =
+      1.0 + rng.Uniform(-options.amplitude_jitter, options.amplitude_jitter);
+  for (double& v : warped) {
+    v = amplitude * v + rng.Gaussian(0.0, options.noise_stddev);
+  }
+  ZNormalizeInPlace(warped);
+  return TimeSeries(std::move(warped), class_id);
+}
+
+Dataset MakeGestureDataset(size_t per_class, const GestureOptions& options) {
+  WARP_CHECK(per_class > 0);
+  WARP_CHECK(options.num_classes > 0);
+  Rng rng(options.seed);
+  Dataset dataset;
+  dataset.set_name("synthetic_gestures");
+  for (int cls = 0; cls < options.num_classes; ++cls) {
+    for (size_t i = 0; i < per_class; ++i) {
+      dataset.Add(MakeGesture(cls, options, rng));
+    }
+  }
+  return dataset;
+}
+
+MultiSeries MakeMultiGesture(int class_id, size_t num_channels,
+                             const GestureOptions& options, Rng& rng) {
+  WARP_CHECK(num_channels > 0);
+  // All channels of one exemplar share the time-warp: a re-performed
+  // gesture is faster or slower as a whole, not per body part.
+  const std::vector<double> warp_map = MakeSmoothMonotoneWarp(
+      options.length, options.warp_fraction, rng);
+  std::vector<std::vector<double>> channels;
+  channels.reserve(num_channels);
+  for (size_t c = 0; c < num_channels; ++c) {
+    // Each channel has its own template, derived from (class, channel).
+    const std::vector<double> base = GestureTemplate(
+        class_id, options.length,
+        options.seed + 0x1000003ULL * (c + 1));
+    std::vector<double> warped = ApplyWarpMap(base, warp_map);
+    const double amplitude = 1.0 + rng.Uniform(-options.amplitude_jitter,
+                                               options.amplitude_jitter);
+    for (double& v : warped) {
+      v = amplitude * v + rng.Gaussian(0.0, options.noise_stddev);
+    }
+    ZNormalizeInPlace(warped);
+    channels.push_back(std::move(warped));
+  }
+  return MultiSeries(std::move(channels), class_id);
+}
+
+std::vector<MultiSeries> MakeMultiGestureDataset(
+    size_t per_class, size_t num_channels, const GestureOptions& options) {
+  WARP_CHECK(per_class > 0);
+  Rng rng(options.seed);
+  std::vector<MultiSeries> dataset;
+  dataset.reserve(per_class * static_cast<size_t>(options.num_classes));
+  for (int cls = 0; cls < options.num_classes; ++cls) {
+    for (size_t i = 0; i < per_class; ++i) {
+      dataset.push_back(MakeMultiGesture(cls, num_channels, options, rng));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace gen
+}  // namespace warp

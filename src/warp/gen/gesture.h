@@ -1,0 +1,57 @@
+// Gesture-like series generators.
+//
+// Stand-ins for the paper's UWaveGestureLibraryAll exemplars (Fig. 1) and
+// the Appendix-B skeleton-keypoint gestures. Each gesture class has a
+// deterministic smooth template (a mixture of random sinusoids and bumps);
+// exemplars are template + bounded random time-warp + amplitude jitter +
+// noise, then z-normalized — the structure of real repeated human motions,
+// whose natural warping W is small.
+
+#ifndef WARP_GEN_GESTURE_H_
+#define WARP_GEN_GESTURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "warp/common/random.h"
+#include "warp/ts/dataset.h"
+#include "warp/ts/multi_series.h"
+
+namespace warp {
+namespace gen {
+
+struct GestureOptions {
+  size_t length = 945;            // UWaveGestureLibraryAll exemplar length.
+  int num_classes = 8;            // UWave has eight gesture vocabularies.
+  double warp_fraction = 0.05;    // Natural W of human gestures (Case A).
+  double noise_stddev = 0.05;
+  double amplitude_jitter = 0.1;  // Relative amplitude variation.
+  uint64_t seed = 7;
+};
+
+// The deterministic class template (before warping/noise), z-normalized.
+std::vector<double> GestureTemplate(int class_id, size_t length,
+                                    uint64_t seed);
+
+// One exemplar of `class_id` under `options`, drawn from `rng`.
+TimeSeries MakeGesture(int class_id, const GestureOptions& options, Rng& rng);
+
+// `per_class` exemplars of each class; series are z-normalized and
+// labeled with their class id.
+Dataset MakeGestureDataset(size_t per_class, const GestureOptions& options);
+
+// Multichannel exemplar: `num_channels` coupled channels per gesture (the
+// channels share the exemplar's time-warp, as real body-part trajectories
+// do). Used by the Appendix-B reproduction.
+MultiSeries MakeMultiGesture(int class_id, size_t num_channels,
+                             const GestureOptions& options, Rng& rng);
+
+std::vector<MultiSeries> MakeMultiGestureDataset(size_t per_class,
+                                                 size_t num_channels,
+                                                 const GestureOptions& options);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_GESTURE_H_

@@ -1,0 +1,96 @@
+#include "warp/gen/power_demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace gen {
+
+namespace {
+
+// Program geometry as fractions of the trace length: two wash peaks and a
+// drying peak, mirroring the three conserved peaks in the paper's Fig. 3.
+struct Peak {
+  double start;     // Offset from program start, fraction of n.
+  double duration;  // Fraction of n.
+  double height;    // kW above baseline.
+};
+
+constexpr Peak kProgram[] = {
+    {0.00, 0.08, 2.0},  // First wash heating.
+    {0.14, 0.07, 1.9},  // Second wash heating.
+    {0.30, 0.10, 1.5},  // Drying.
+};
+
+constexpr double kProgramSpan = 0.40;  // Total program span, fraction of n.
+
+double BaselineAt(size_t t, size_t n, Rng& rng) {
+  // Fridge compressor cycling: a soft square wave around 0.1 kW.
+  const double phase =
+      std::sin(2.0 * M_PI * 6.0 * static_cast<double>(t) /
+               static_cast<double>(n));
+  const double fridge = phase > 0.3 ? 0.12 : 0.06;
+  return fridge + std::fabs(rng.Gaussian(0.0, 0.01));
+}
+
+}  // namespace
+
+TimeSeries MakeQuietNight(size_t n, Rng& rng) {
+  WARP_CHECK(n > 0);
+  std::vector<double> values(n);
+  for (size_t t = 0; t < n; ++t) values[t] = BaselineAt(t, n, rng);
+  return TimeSeries(std::move(values), kQuietNightLabel);
+}
+
+size_t MaxProgramStart(size_t n) {
+  const double span = kProgramSpan * static_cast<double>(n);
+  return n > static_cast<size_t>(span) + 1
+             ? n - static_cast<size_t>(span) - 1
+             : 0;
+}
+
+TimeSeries MakeDishwasherNight(size_t n, size_t program_start, Rng& rng) {
+  WARP_CHECK(n > 0);
+  WARP_CHECK_MSG(program_start <= MaxProgramStart(n),
+                 "dishwasher program must fit in the trace");
+  TimeSeries night = MakeQuietNight(n, rng);
+  night.set_label(kDishwasherNightLabel);
+  for (const Peak& peak : kProgram) {
+    const size_t start =
+        program_start +
+        static_cast<size_t>(peak.start * static_cast<double>(n));
+    const size_t duration = std::max<size_t>(
+        1, static_cast<size_t>(peak.duration * static_cast<double>(n)));
+    for (size_t k = 0; k < duration && start + k < n; ++k) {
+      // Rounded shoulders so the peaks look like heater duty cycles.
+      const double u = static_cast<double>(k) / static_cast<double>(duration);
+      const double shape = std::clamp(8.0 * std::min(u, 1.0 - u), 0.0, 1.0);
+      night[start + k] += peak.height * shape * (1.0 + rng.Gaussian(0.0, 0.02));
+    }
+  }
+  return night;
+}
+
+Dataset MakePowerDemandDataset(size_t count, size_t n,
+                               double dishwasher_probability, uint64_t seed) {
+  WARP_CHECK(count > 0);
+  WARP_CHECK(dishwasher_probability >= 0.0 && dishwasher_probability <= 1.0);
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.set_name("power_demand");
+  const size_t max_start = MaxProgramStart(n);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.Bernoulli(dishwasher_probability) && max_start > 0) {
+      const size_t start = rng.UniformInt(max_start + 1);
+      dataset.Add(MakeDishwasherNight(n, start, rng));
+    } else {
+      dataset.Add(MakeQuietNight(n, rng));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace gen
+}  // namespace warp

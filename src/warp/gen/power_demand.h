@@ -1,0 +1,47 @@
+// Residential electrical power demand generator (paper Fig. 3, Case C).
+//
+// Models the paper's example: the first hour of each day's power demand in
+// a UK residence, sampled every eight seconds (450 points). Most nights
+// are quiet; some nights a dishwasher programmed to run after midnight
+// produces a conserved three-peak heating pattern whose start time drifts
+// by up to ~30% of the hour — a short series with a *wide* natural warping
+// amount W.
+
+#ifndef WARP_GEN_POWER_DEMAND_H_
+#define WARP_GEN_POWER_DEMAND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "warp/common/random.h"
+#include "warp/ts/dataset.h"
+#include "warp/ts/time_series.h"
+
+namespace warp {
+namespace gen {
+
+// Labels used by MakePowerDemandDataset.
+inline constexpr int kQuietNightLabel = 0;
+inline constexpr int kDishwasherNightLabel = 1;
+
+// A quiet night: low fridge-cycle baseline plus noise.
+TimeSeries MakeQuietNight(size_t n, Rng& rng);
+
+// A dishwasher night: the quiet baseline plus the dishwasher program — two
+// wash-heater peaks and a final drying peak — starting at `program_start`
+// (sample index). The program spans about 40% of the hour.
+TimeSeries MakeDishwasherNight(size_t n, size_t program_start, Rng& rng);
+
+// Largest admissible `program_start` for a trace of length n.
+size_t MaxProgramStart(size_t n);
+
+// A dataset of `count` nights of length n; each night is a dishwasher
+// night with probability `dishwasher_probability`, with a start time drawn
+// uniformly over the admissible range.
+Dataset MakePowerDemandDataset(size_t count, size_t n,
+                               double dishwasher_probability, uint64_t seed);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_POWER_DEMAND_H_

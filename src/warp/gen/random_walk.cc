@@ -1,0 +1,35 @@
+#include "warp/gen/random_walk.h"
+
+#include "warp/common/assert.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+
+std::vector<double> RandomWalk(size_t n, Rng& rng, double step_stddev) {
+  WARP_CHECK(n > 0);
+  std::vector<double> walk(n);
+  double value = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    value += rng.Gaussian(0.0, step_stddev);
+    walk[t] = value;
+  }
+  return walk;
+}
+
+Dataset RandomWalkDataset(size_t count, size_t n, uint64_t seed,
+                          double step_stddev) {
+  WARP_CHECK(count > 0);
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.set_name("random_walk");
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> walk = RandomWalk(n, rng, step_stddev);
+    ZNormalizeInPlace(walk);
+    dataset.Add(TimeSeries(std::move(walk), /*label=*/0));
+  }
+  return dataset;
+}
+
+}  // namespace gen
+}  // namespace warp

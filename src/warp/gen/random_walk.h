@@ -1,0 +1,30 @@
+// Random-walk series.
+//
+// The paper's Fig. 4 experiment uses random walks directly ("since the
+// timing for both algorithms does not depend on the data itself"); they
+// are also the workhorse of the property-based tests.
+
+#ifndef WARP_GEN_RANDOM_WALK_H_
+#define WARP_GEN_RANDOM_WALK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "warp/common/random.h"
+#include "warp/ts/dataset.h"
+
+namespace warp {
+namespace gen {
+
+// A Gaussian random walk of length n: x[0] ~ N(0, step), x[t] = x[t-1] + N(0, step).
+std::vector<double> RandomWalk(size_t n, Rng& rng, double step_stddev = 1.0);
+
+// `count` independent z-normalized random walks of length n.
+Dataset RandomWalkDataset(size_t count, size_t n, uint64_t seed,
+                          double step_stddev = 1.0);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_RANDOM_WALK_H_

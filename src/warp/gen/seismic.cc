@@ -1,0 +1,68 @@
+#include "warp/gen/seismic.h"
+
+#include <cmath>
+
+#include "warp/common/assert.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+
+namespace {
+
+// An enveloped wave packet: carrier sine under an asymmetric (fast
+// attack, slow decay) envelope.
+void AddWavePacket(std::vector<double>* trace, double onset_fraction,
+                   double duration_fraction, double frequency,
+                   double amplitude, Rng& rng) {
+  const size_t n = trace->size();
+  const double onset = onset_fraction * static_cast<double>(n);
+  const double duration = duration_fraction * static_cast<double>(n);
+  const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+  const size_t begin = static_cast<size_t>(std::max(0.0, onset));
+  const size_t end =
+      std::min(n, static_cast<size_t>(onset + 4.0 * duration));
+  for (size_t t = begin; t < end; ++t) {
+    const double rel = (static_cast<double>(t) - onset) / duration;
+    if (rel < 0.0) continue;
+    const double envelope =
+        rel < 0.15 ? rel / 0.15 : std::exp(-(rel - 0.15) / 1.2);
+    (*trace)[t] += amplitude * envelope *
+                   std::sin(2.0 * M_PI * frequency * rel + phase);
+  }
+}
+
+}  // namespace
+
+std::vector<double> MakeSeismicTrace(const SeismicOptions& options,
+                                     Rng& rng) {
+  WARP_CHECK(options.length >= 100);
+  std::vector<double> trace(options.length, 0.0);
+  // P wave: higher frequency, smaller; S wave: lower frequency, larger;
+  // surface-wave coda: lowest and longest.
+  AddWavePacket(&trace, options.p_arrival, 0.03, 60.0, 0.5, rng);
+  AddWavePacket(&trace, options.s_arrival, 0.05, 30.0, 1.0, rng);
+  AddWavePacket(&trace, options.s_arrival + 0.08, 0.12, 12.0, 0.6, rng);
+  for (double& v : trace) v += rng.Gaussian(0.0, options.noise_stddev);
+  return trace;
+}
+
+std::pair<std::vector<double>, std::vector<double>> MakeSeismicPair(
+    const SeismicOptions& options) {
+  Rng rng(options.seed);
+  std::vector<double> station_a = MakeSeismicTrace(options, rng);
+  // Station B sees the same ground motion under a small smooth delay,
+  // with its own sensor noise.
+  std::vector<double> station_b =
+      ApplyRandomWarp(station_a, options.max_delay_fraction, rng);
+  for (double& v : station_b) {
+    v += rng.Gaussian(0.0, options.noise_stddev);
+  }
+  ZNormalizeInPlace(station_a);
+  ZNormalizeInPlace(station_b);
+  return {std::move(station_a), std::move(station_b)};
+}
+
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,44 @@
+// Synthetic seismic-trace generator (paper Table 1, Case B's other
+// domain).
+//
+// Long recordings (tens of thousands of samples) where two stations — or
+// two events at the same station — see the same P-wave / S-wave / coda
+// structure with small relative timing differences: long N, narrow W.
+// Each trace is background microtremor noise plus enveloped wave-packet
+// arrivals; a pair shares the arrivals with a small inter-trace delay.
+
+#ifndef WARP_GEN_SEISMIC_H_
+#define WARP_GEN_SEISMIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "warp/common/random.h"
+
+namespace warp {
+namespace gen {
+
+struct SeismicOptions {
+  size_t length = 20000;        // e.g. 200 s at 100 Hz.
+  double p_arrival = 0.25;      // P-wave onset, fraction of the trace.
+  double s_arrival = 0.45;      // S-wave onset (larger, lower frequency).
+  double noise_stddev = 0.02;   // Microtremor background.
+  double max_delay_fraction = 0.005;  // Inter-trace timing difference (W).
+  uint64_t seed = 17;
+};
+
+// A single event trace.
+std::vector<double> MakeSeismicTrace(const SeismicOptions& options,
+                                     Rng& rng);
+
+// (station A, station B): the same event with a small smooth relative
+// delay bounded by max_delay_fraction, independent noise. Z-normalized.
+std::pair<std::vector<double>, std::vector<double>> MakeSeismicPair(
+    const SeismicOptions& options);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_SEISMIC_H_

@@ -1,0 +1,95 @@
+#include "warp/gen/warping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace gen {
+
+std::vector<double> MakeSmoothMonotoneWarp(size_t n, double max_warp_fraction,
+                                           Rng& rng, int num_knots) {
+  WARP_CHECK(n >= 2);
+  WARP_CHECK(max_warp_fraction >= 0.0 && max_warp_fraction < 1.0);
+  WARP_CHECK(num_knots >= 2);
+
+  const double max_dev = max_warp_fraction * static_cast<double>(n);
+
+  // Perturb interior knots of the identity map, then clamp each knot
+  // between its neighbors to preserve monotonicity.
+  const int k = num_knots;
+  std::vector<double> knot_x(static_cast<size_t>(k));
+  std::vector<double> knot_y(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    knot_x[static_cast<size_t>(i)] = static_cast<double>(n - 1) *
+                                     static_cast<double>(i) /
+                                     static_cast<double>(k - 1);
+    knot_y[static_cast<size_t>(i)] = knot_x[static_cast<size_t>(i)];
+  }
+  for (int i = 1; i + 1 < k; ++i) {
+    knot_y[static_cast<size_t>(i)] += rng.Uniform(-max_dev, max_dev);
+  }
+  // Monotone repair: sweep forward enforcing a non-decreasing sequence
+  // within the valid range.
+  for (int i = 1; i < k; ++i) {
+    knot_y[static_cast<size_t>(i)] =
+        std::clamp(knot_y[static_cast<size_t>(i)],
+                   knot_y[static_cast<size_t>(i - 1)],
+                   static_cast<double>(n - 1));
+  }
+
+  // Piecewise-linear interpolation of the knots, then a final clamp to the
+  // advertised deviation bound (the monotone repair can only have moved
+  // knots toward the identity, but the interpolated midpoints are clamped
+  // for safety).
+  std::vector<double> map(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double pos = x / static_cast<double>(n - 1) *
+                       static_cast<double>(k - 1);
+    size_t seg = std::min(static_cast<size_t>(pos),
+                          static_cast<size_t>(k - 2));
+    const double frac = pos - static_cast<double>(seg);
+    double y = knot_y[seg] * (1.0 - frac) + knot_y[seg + 1] * frac;
+    y = std::clamp(y, x - max_dev, x + max_dev);
+    y = std::clamp(y, 0.0, static_cast<double>(n - 1));
+    map[i] = y;
+  }
+  // The pointwise deviation clamp can locally break monotonicity; one
+  // forward pass restores it without re-violating the bound.
+  for (size_t i = 1; i < n; ++i) map[i] = std::max(map[i], map[i - 1]);
+  map[0] = 0.0;
+  map[n - 1] = static_cast<double>(n - 1);
+  return map;
+}
+
+std::vector<double> ApplyWarpMap(std::span<const double> values,
+                                 std::span<const double> warp_map) {
+  WARP_CHECK(!values.empty());
+  const double last = static_cast<double>(values.size() - 1);
+  std::vector<double> out(warp_map.size());
+  for (size_t i = 0; i < warp_map.size(); ++i) {
+    const double pos = warp_map[i];
+    WARP_CHECK_MSG(pos >= 0.0 && pos <= last,
+                   "warp map position out of range");
+    if (values.size() == 1) {
+      out[i] = values[0];
+      continue;
+    }
+    const size_t base = std::min(static_cast<size_t>(pos), values.size() - 2);
+    const double frac = pos - static_cast<double>(base);
+    out[i] = values[base] * (1.0 - frac) + values[base + 1] * frac;
+  }
+  return out;
+}
+
+std::vector<double> ApplyRandomWarp(std::span<const double> values,
+                                    double max_warp_fraction, Rng& rng) {
+  const std::vector<double> map =
+      MakeSmoothMonotoneWarp(values.size(), max_warp_fraction, rng);
+  return ApplyWarpMap(values, map);
+}
+
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,40 @@
+// Smooth monotone time-warps.
+//
+// Several generators need "the same shape, performed a little faster here
+// and slower there" — a gesture re-performed, a live rendition of a song.
+// This module builds random smooth monotone index maps with a bounded
+// deviation from the identity and resamples series along them. The bound
+// is exactly the paper's W: the natural amount of warping in a domain,
+// expressed as a fraction of the series length.
+
+#ifndef WARP_GEN_WARPING_H_
+#define WARP_GEN_WARPING_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "warp/common/random.h"
+
+namespace warp {
+namespace gen {
+
+// A monotone map from output index to (fractional) input position:
+// map[0] == 0, map[n-1] == n-1, map strictly non-decreasing, and
+// |map[i] - i| <= max_warp_fraction * n for all i.
+std::vector<double> MakeSmoothMonotoneWarp(size_t n, double max_warp_fraction,
+                                           Rng& rng, int num_knots = 8);
+
+// Samples `values` at the (fractional) positions of `warp_map` with linear
+// interpolation. warp_map values must lie in [0, values.size() - 1].
+std::vector<double> ApplyWarpMap(std::span<const double> values,
+                                 std::span<const double> warp_map);
+
+// Convenience: MakeSmoothMonotoneWarp + ApplyWarpMap.
+std::vector<double> ApplyRandomWarp(std::span<const double> values,
+                                    double max_warp_fraction, Rng& rng);
+
+}  // namespace gen
+}  // namespace warp
+
+#endif  // WARP_GEN_WARPING_H_

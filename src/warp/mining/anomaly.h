@@ -1,0 +1,59 @@
+// Time-series discord discovery (anomaly detection).
+//
+// The "anomaly detection" task from the paper's opening list. A discord
+// is the subsequence whose nearest non-self-overlapping neighbor is
+// farthest away — the most anomalous window of a long series. This is the
+// classic brute-force-with-pruning formulation: the outer candidate is
+// abandoned as soon as any neighbor falls below the best discord distance
+// found so far, and the inner distance computation early-abandons at the
+// candidate's current nearest-neighbor bound.
+
+#ifndef WARP_MINING_ANOMALY_H_
+#define WARP_MINING_ANOMALY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "warp/core/cost.h"
+
+namespace warp {
+
+struct Discord {
+  size_t position = 0;          // Start of the discord window.
+  double nn_distance = 0.0;     // Distance to its nearest neighbor.
+  size_t nn_position = 0;       // That neighbor's start.
+};
+
+struct DiscordStats {
+  uint64_t candidates = 0;
+  uint64_t distance_calls = 0;
+  uint64_t abandoned_candidates = 0;  // Outer loop cut short.
+};
+
+// Finds the top discord of window length m under z-normalized cDTW_band
+// (band 0 = Euclidean). Windows overlapping by any amount are not
+// neighbors of each other (self-match exclusion |i - j| >= m). The series
+// must have at least 2*m points. `stride` examines every stride-th
+// candidate/neighbor (1 = exact).
+Discord FindTopDiscord(std::span<const double> series, size_t m, size_t band,
+                       CostKind cost = CostKind::kSquared, size_t stride = 1,
+                       DiscordStats* stats = nullptr);
+
+// The mirror problem ("summarization / rule discovery" in the paper's
+// task list): the top motif is the closest pair of non-overlapping
+// z-normalized windows.
+struct Motif {
+  size_t position_a = 0;
+  size_t position_b = 0;
+  double distance = 0.0;
+};
+
+Motif FindTopMotif(std::span<const double> series, size_t m, size_t band,
+                   CostKind cost = CostKind::kSquared, size_t stride = 1,
+                   DiscordStats* stats = nullptr);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_ANOMALY_H_

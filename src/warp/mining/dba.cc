@@ -1,0 +1,99 @@
+#include "warp/mining/dba.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "warp/common/assert.h"
+#include "warp/core/dtw.h"
+
+namespace warp {
+
+namespace {
+
+size_t EffectiveBand(const DbaOptions& options, size_t length) {
+  return options.band == 0 ? length : options.band;
+}
+
+double TotalCost(const std::vector<std::vector<double>>& series,
+                 const std::vector<double>& average,
+                 const DbaOptions& options) {
+  double total = 0.0;
+  DtwBuffer buffer;
+  for (const auto& s : series) {
+    total += CdtwDistance(average, s,
+                          EffectiveBand(options, average.size()),
+                          options.cost, &buffer);
+  }
+  return total;
+}
+
+size_t MedoidIndex(const std::vector<std::vector<double>>& series,
+                   const DbaOptions& options) {
+  size_t best_index = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  DtwBuffer buffer;
+  for (size_t i = 0; i < series.size(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < series.size(); ++j) {
+      if (i == j) continue;
+      sum += CdtwDistance(series[i], series[j],
+                          EffectiveBand(options, series[i].size()),
+                          options.cost, &buffer);
+      if (sum >= best_sum) break;
+    }
+    if (sum < best_sum) {
+      best_sum = sum;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace
+
+DbaResult DtwBarycenterAverage(const std::vector<std::vector<double>>& series,
+                               const DbaOptions& options) {
+  WARP_CHECK(!series.empty());
+  for (const auto& s : series) WARP_CHECK(!s.empty());
+
+  DbaResult result;
+  result.barycenter = series[MedoidIndex(series, options)];
+  double previous_cost = std::numeric_limits<double>::infinity();
+
+  std::vector<double> sums(result.barycenter.size());
+  std::vector<size_t> counts(result.barycenter.size());
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+
+    // Align every series to the current average and collect, for each
+    // average index, all the values warped onto it.
+    for (const auto& s : series) {
+      const DtwResult alignment =
+          Cdtw(result.barycenter, s,
+               EffectiveBand(options, result.barycenter.size()),
+               options.cost);
+      for (const PathPoint& p : alignment.path.points()) {
+        sums[p.i] += s[p.j];
+        ++counts[p.i];
+      }
+    }
+    for (size_t i = 0; i < result.barycenter.size(); ++i) {
+      WARP_DCHECK(counts[i] > 0);  // Every row is on some path.
+      result.barycenter[i] = sums[i] / static_cast<double>(counts[i]);
+    }
+    ++result.iterations_run;
+
+    const double cost = TotalCost(series, result.barycenter, options);
+    if (previous_cost - cost <
+        options.convergence_threshold * std::max(1.0, previous_cost)) {
+      result.total_cost = cost;
+      return result;
+    }
+    previous_cost = cost;
+  }
+  result.total_cost = TotalCost(series, result.barycenter, options);
+  return result;
+}
+
+}  // namespace warp

@@ -1,0 +1,43 @@
+// DTW Barycenter Averaging (Petitjean, Ketterlin & Gançarski, 2011).
+//
+// An extension beyond the paper: computes a consensus series minimizing
+// the sum of (c)DTW distances to a set, by repeatedly aligning every
+// series to the current average and re-averaging the values mapped to
+// each index. Exercises path recovery at scale and powers the clustering
+// example's cluster prototypes.
+
+#ifndef WARP_MINING_DBA_H_
+#define WARP_MINING_DBA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "warp/core/cost.h"
+
+namespace warp {
+
+struct DbaOptions {
+  size_t iterations = 10;
+  // Sakoe–Chiba band for the alignments; 0 means unconstrained (band of
+  // the full length).
+  size_t band = 0;
+  CostKind cost = CostKind::kSquared;
+  // Stop early when the average's total within-set cost improves by less
+  // than this relative amount between iterations.
+  double convergence_threshold = 1e-6;
+};
+
+struct DbaResult {
+  std::vector<double> barycenter;
+  double total_cost = 0.0;       // Sum of DTW distances at the end.
+  size_t iterations_run = 0;
+};
+
+// All series must be non-empty; the initial average is the medoid (the
+// series with the smallest sum of distances to the others).
+DbaResult DtwBarycenterAverage(const std::vector<std::vector<double>>& series,
+                               const DbaOptions& options = DbaOptions());
+
+}  // namespace warp
+
+#endif  // WARP_MINING_DBA_H_

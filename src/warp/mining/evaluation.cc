@@ -1,0 +1,162 @@
+#include "warp/mining/evaluation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "warp/common/assert.h"
+#include "warp/common/table_printer.h"
+
+namespace warp {
+
+void ConfusionMatrix::Add(int actual, int predicted) {
+  ++counts_[{actual, predicted}];
+  ++actual_totals_[actual];
+  ++predicted_totals_[predicted];
+  ++total_;
+}
+
+size_t ConfusionMatrix::count(int actual, int predicted) const {
+  const auto it = counts_.find({actual, predicted});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  WARP_CHECK(total_ > 0);
+  size_t correct = 0;
+  for (const auto& [key, n] : counts_) {
+    if (key.first == key.second) correct += n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int label) const {
+  const auto it = predicted_totals_.find(label);
+  if (it == predicted_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(count(label, label)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::Recall(int label) const {
+  const auto it = actual_totals_.find(label);
+  if (it == actual_totals_.end() || it->second == 0) return 0.0;
+  return static_cast<double>(count(label, label)) /
+         static_cast<double>(it->second);
+}
+
+double ConfusionMatrix::F1(int label) const {
+  const double p = Precision(label);
+  const double r = Recall(label);
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::MacroF1() const {
+  const std::vector<int> labels = Labels();
+  WARP_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (int label : labels) sum += F1(label);
+  return sum / static_cast<double>(labels.size());
+}
+
+std::vector<int> ConfusionMatrix::Labels() const {
+  std::set<int> labels;
+  for (const auto& [label, n] : actual_totals_) labels.insert(label);
+  for (const auto& [label, n] : predicted_totals_) labels.insert(label);
+  return {labels.begin(), labels.end()};
+}
+
+std::string ConfusionMatrix::ToString() const {
+  const std::vector<int> labels = Labels();
+  std::vector<std::string> headers;
+  headers.push_back("actual\\pred");
+  for (int label : labels) headers.push_back(std::to_string(label));
+  headers.push_back("recall");
+  TablePrinter table(std::move(headers));
+  for (int actual : labels) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(actual));
+    for (int predicted : labels) {
+      row.push_back(std::to_string(count(actual, predicted)));
+    }
+    row.push_back(TablePrinter::FormatDouble(Recall(actual), 3));
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> precision_row;
+  precision_row.push_back("precision");
+  for (int label : labels) {
+    precision_row.push_back(TablePrinter::FormatDouble(Precision(label), 3));
+  }
+  precision_row.push_back(TablePrinter::FormatDouble(Accuracy(), 3));
+  table.AddRow(std::move(precision_row));
+  return table.ToString();
+}
+
+namespace {
+
+// Pair-counting contingency sums shared by the Rand variants.
+struct PairCounts {
+  double same_both = 0.0;   // Pairs together in both partitions.
+  double same_a = 0.0;      // Pairs together in a.
+  double same_b = 0.0;      // Pairs together in b.
+  double total_pairs = 0.0;
+};
+
+PairCounts CountPairs(std::span<const int> a, std::span<const int> b) {
+  WARP_CHECK(a.size() == b.size());
+  WARP_CHECK(a.size() >= 2);
+  // Contingency table.
+  std::map<std::pair<int, int>, size_t> cells;
+  std::map<int, size_t> a_sizes;
+  std::map<int, size_t> b_sizes;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++cells[{a[i], b[i]}];
+    ++a_sizes[a[i]];
+    ++b_sizes[b[i]];
+  }
+  auto choose2 = [](size_t n) {
+    return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  };
+  PairCounts counts;
+  for (const auto& [key, n] : cells) counts.same_both += choose2(n);
+  for (const auto& [key, n] : a_sizes) counts.same_a += choose2(n);
+  for (const auto& [key, n] : b_sizes) counts.same_b += choose2(n);
+  counts.total_pairs = choose2(a.size());
+  return counts;
+}
+
+}  // namespace
+
+double RandIndex(std::span<const int> a, std::span<const int> b) {
+  const PairCounts counts = CountPairs(a, b);
+  // Agreements = together-in-both + apart-in-both.
+  const double apart_both = counts.total_pairs - counts.same_a -
+                            counts.same_b + counts.same_both;
+  return (counts.same_both + apart_both) / counts.total_pairs;
+}
+
+double AdjustedRandIndex(std::span<const int> a, std::span<const int> b) {
+  const PairCounts counts = CountPairs(a, b);
+  const double expected =
+      counts.same_a * counts.same_b / counts.total_pairs;
+  const double maximum = 0.5 * (counts.same_a + counts.same_b);
+  if (maximum == expected) return 1.0;  // Degenerate: single clusters.
+  return (counts.same_both - expected) / (maximum - expected);
+}
+
+double Purity(std::span<const int> clusters, std::span<const int> labels) {
+  WARP_CHECK(clusters.size() == labels.size());
+  WARP_CHECK(!clusters.empty());
+  std::map<int, std::map<int, size_t>> by_cluster;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    ++by_cluster[clusters[i]][labels[i]];
+  }
+  size_t majority_total = 0;
+  for (const auto& [cluster, label_counts] : by_cluster) {
+    size_t best = 0;
+    for (const auto& [label, n] : label_counts) best = std::max(best, n);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(clusters.size());
+}
+
+}  // namespace warp

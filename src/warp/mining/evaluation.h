@@ -1,0 +1,66 @@
+// Evaluation metrics for classification and clustering.
+//
+// The quantities the experiments report: confusion matrices with
+// per-class precision/recall/F1 for classifiers, and (adjusted) Rand
+// indices for comparing clusterings against ground truth or each other.
+
+#ifndef WARP_MINING_EVALUATION_H_
+#define WARP_MINING_EVALUATION_H_
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace warp {
+
+// ---------------------------------------------------------------------------
+// Classification.
+
+class ConfusionMatrix {
+ public:
+  // Labels may be any ints; rows/columns are created on demand.
+  void Add(int actual, int predicted);
+
+  size_t count(int actual, int predicted) const;
+  size_t total() const { return total_; }
+
+  double Accuracy() const;
+  // Per-class one-vs-rest metrics; a class with no predictions has
+  // precision 0 by convention (and no examples -> recall 0).
+  double Precision(int label) const;
+  double Recall(int label) const;
+  double F1(int label) const;
+  // Unweighted mean F1 over the classes that appear (macro-F1).
+  double MacroF1() const;
+
+  std::vector<int> Labels() const;
+  std::string ToString() const;  // Aligned table, actual rows x predicted cols.
+
+ private:
+  std::map<std::pair<int, int>, size_t> counts_;
+  std::map<int, size_t> actual_totals_;
+  std::map<int, size_t> predicted_totals_;
+  size_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Clustering. Assignments are arbitrary integer cluster ids; only the
+// induced partition matters.
+
+// Rand index: share of pairs on which the two partitions agree
+// (same-same or different-different). In [0, 1].
+double RandIndex(std::span<const int> a, std::span<const int> b);
+
+// Adjusted Rand index (Hubert & Arabie): Rand corrected for chance;
+// 1 = identical partitions, ~0 = random agreement (can be negative).
+double AdjustedRandIndex(std::span<const int> a, std::span<const int> b);
+
+// Clustering purity against ground-truth labels: each cluster votes for
+// its majority label. In (0, 1].
+double Purity(std::span<const int> clusters, std::span<const int> labels);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_EVALUATION_H_

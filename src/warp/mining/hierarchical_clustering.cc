@@ -1,0 +1,198 @@
+#include "warp/mining/hierarchical_clustering.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Dendrogram::Dendrogram(size_t num_leaves, std::vector<MergeStep> merges)
+    : num_leaves_(num_leaves), merges_(std::move(merges)) {
+  WARP_CHECK(num_leaves_ >= 1);
+  WARP_CHECK_MSG(merges_.size() == num_leaves_ - 1,
+                 "a dendrogram over n leaves has exactly n-1 merges");
+}
+
+std::vector<size_t> Dendrogram::LeavesOf(size_t cluster_id) const {
+  std::vector<size_t> leaves;
+  std::vector<size_t> stack{cluster_id};
+  while (!stack.empty()) {
+    const size_t id = stack.back();
+    stack.pop_back();
+    if (id < num_leaves_) {
+      leaves.push_back(id);
+    } else {
+      const MergeStep& merge = merges_[id - num_leaves_];
+      // Right first so the left subtree is emitted first.
+      stack.push_back(merge.right);
+      stack.push_back(merge.left);
+    }
+  }
+  return leaves;
+}
+
+std::vector<int> Dendrogram::CutIntoClusters(size_t k) const {
+  WARP_CHECK(k >= 1 && k <= num_leaves_);
+  // The clusters after undoing the last k-1 merges are the roots of the
+  // forest formed by merges [0, n-1-k].
+  const size_t kept_merges = num_leaves_ - k;
+  std::vector<bool> is_child(num_leaves_ + kept_merges, false);
+  for (size_t s = 0; s < kept_merges; ++s) {
+    is_child[merges_[s].left] = true;
+    is_child[merges_[s].right] = true;
+  }
+  std::vector<int> assignment(num_leaves_, -1);
+  int cluster = 0;
+  for (size_t id = 0; id < num_leaves_ + kept_merges; ++id) {
+    if (is_child[id]) continue;
+    for (size_t leaf : LeavesOf(id)) assignment[leaf] = cluster;
+    ++cluster;
+  }
+  WARP_CHECK(cluster == static_cast<int>(k));
+  return assignment;
+}
+
+std::string Dendrogram::ToNewick(std::span<const std::string> labels) const {
+  WARP_CHECK(labels.size() == num_leaves_);
+
+  // Branch length of a child = parent height - child height (leaves have
+  // height 0).
+  auto height_of = [&](size_t id) {
+    return id < num_leaves_ ? 0.0 : merges_[id - num_leaves_].height;
+  };
+
+  // Recursive (via explicit lambda recursion) Newick emission.
+  std::string out;
+  auto emit = [&](auto&& self, size_t id, double parent_height) -> void {
+    char buffer[48];
+    if (id < num_leaves_) {
+      out += labels[id];
+    } else {
+      const MergeStep& merge = merges_[id - num_leaves_];
+      out += '(';
+      self(self, merge.left, merge.height);
+      out += ',';
+      self(self, merge.right, merge.height);
+      out += ')';
+    }
+    std::snprintf(buffer, sizeof(buffer), ":%.6g",
+                  parent_height - height_of(id));
+    out += buffer;
+  };
+
+  const size_t root = num_leaves_ + merges_.size() - 1;
+  if (num_leaves_ == 1) {
+    out = labels[0];
+  } else {
+    const MergeStep& top = merges_.back();
+    out += '(';
+    emit(emit, top.left, top.height);
+    out += ',';
+    emit(emit, top.right, top.height);
+    out += ')';
+  }
+  (void)root;
+  out += ';';
+  return out;
+}
+
+std::string Dendrogram::RenderAscii(
+    std::span<const std::string> labels) const {
+  WARP_CHECK(labels.size() == num_leaves_);
+  std::string out;
+  auto emit = [&](auto&& self, size_t id, int depth) -> void {
+    for (int d = 0; d < depth; ++d) out += "    ";
+    if (id < num_leaves_) {
+      out += "+-- ";
+      out += labels[id];
+      out += '\n';
+      return;
+    }
+    const MergeStep& merge = merges_[id - num_leaves_];
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "+-- [height %.4g]\n", merge.height);
+    out += buffer;
+    self(self, merge.left, depth + 1);
+    self(self, merge.right, depth + 1);
+  };
+  emit(emit, num_leaves_ + merges_.size() - 1, 0);
+  return out;
+}
+
+Dendrogram AgglomerativeCluster(const DistanceMatrix& distances,
+                                Linkage linkage) {
+  const size_t n = distances.size();
+  WARP_CHECK(n >= 1);
+
+  // Active clusters, their ids, sizes, and a working copy of pairwise
+  // linkage distances indexed by active-slot.
+  std::vector<size_t> id(n);
+  std::vector<size_t> size(n, 1);
+  std::vector<bool> active(n, true);
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    id[i] = i;
+    for (size_t j = 0; j < n; ++j) d[i][j] = distances.at(i, j);
+  }
+
+  std::vector<MergeStep> merges;
+  merges.reserve(n - 1);
+  size_t next_id = n;
+
+  for (size_t round = 0; round + 1 < n; ++round) {
+    // Find the closest active pair.
+    double best = kInf;
+    size_t bi = 0;
+    size_t bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    WARP_CHECK(best < kInf);
+
+    merges.push_back({id[bi], id[bj], best});
+
+    // Lance–Williams update into slot bi; slot bj is retired.
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double updated = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          updated = std::min(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kComplete:
+          updated = std::max(d[bi][k], d[bj][k]);
+          break;
+        case Linkage::kAverage: {
+          const double wi = static_cast<double>(size[bi]);
+          const double wj = static_cast<double>(size[bj]);
+          updated = (wi * d[bi][k] + wj * d[bj][k]) / (wi + wj);
+          break;
+        }
+      }
+      d[bi][k] = updated;
+      d[k][bi] = updated;
+    }
+    size[bi] += size[bj];
+    active[bj] = false;
+    id[bi] = next_id++;
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace warp

@@ -1,0 +1,67 @@
+// Agglomerative hierarchical clustering and dendrograms (paper Fig. 7).
+//
+// The paper's headline accuracy failure is a *clustering topology flip*:
+// under Full DTW the adversarial pair {A, B} merges first; under
+// FastDTW_20 it does not. This module builds dendrograms from any
+// DistanceMatrix with single, complete, or average linkage and renders
+// them as ASCII trees and Newick strings.
+
+#ifndef WARP_MINING_HIERARCHICAL_CLUSTERING_H_
+#define WARP_MINING_HIERARCHICAL_CLUSTERING_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "warp/core/distance_matrix.h"
+
+namespace warp {
+
+enum class Linkage {
+  kSingle,    // Nearest members.
+  kComplete,  // Farthest members.
+  kAverage,   // Unweighted mean (UPGMA).
+};
+
+// One merge: clusters are numbered 0..n-1 for leaves, n+k for the cluster
+// created by merge k.
+struct MergeStep {
+  size_t left = 0;
+  size_t right = 0;
+  double height = 0.0;  // Linkage distance at which the merge happened.
+};
+
+class Dendrogram {
+ public:
+  Dendrogram(size_t num_leaves, std::vector<MergeStep> merges);
+
+  size_t num_leaves() const { return num_leaves_; }
+  const std::vector<MergeStep>& merges() const { return merges_; }
+
+  // Leaf labels of the subtree rooted at cluster `id`, left to right.
+  std::vector<size_t> LeavesOf(size_t cluster_id) const;
+
+  // Cluster assignment (values 0..k-1) obtained by undoing the last k-1
+  // merges. k must be in [1, num_leaves].
+  std::vector<int> CutIntoClusters(size_t k) const;
+
+  // Newick tree with branch heights, e.g. "((A:0.01,B:0.01):3.4,C:3.41);".
+  std::string ToNewick(std::span<const std::string> labels) const;
+
+  // Indented ASCII rendering with merge heights.
+  std::string RenderAscii(std::span<const std::string> labels) const;
+
+ private:
+  size_t num_leaves_;
+  std::vector<MergeStep> merges_;
+};
+
+// O(n^3) Lance–Williams agglomeration — ample for the paper's use (3–1000
+// series).
+Dendrogram AgglomerativeCluster(const DistanceMatrix& distances,
+                                Linkage linkage);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_HIERARCHICAL_CLUSTERING_H_

@@ -1,0 +1,122 @@
+#include "warp/mining/kmeans.h"
+
+#include <limits>
+
+#include "warp/common/assert.h"
+#include "warp/common/random.h"
+#include "warp/core/dtw.h"
+#include "warp/mining/dba.h"
+
+namespace warp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+size_t EffectiveBand(const KMeansOptions& options, size_t length) {
+  return options.band == 0 ? length : options.band;
+}
+
+// k-means++-style seeding: first centroid uniform, each next centroid a
+// member whose distance to its nearest chosen centroid is maximal among a
+// small random sample (cheap and deterministic).
+std::vector<std::vector<double>> SeedCentroids(
+    const std::vector<std::vector<double>>& series,
+    const KMeansOptions& options, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(series[rng.UniformInt(series.size())]);
+  DtwBuffer buffer;
+  while (centroids.size() < options.k) {
+    size_t best_index = 0;
+    double best_distance = -1.0;
+    // Sample up to 16 candidates; pick the one farthest from its nearest
+    // existing centroid.
+    const size_t samples = std::min<size_t>(16, series.size());
+    for (size_t s = 0; s < samples; ++s) {
+      const size_t index = rng.UniformInt(series.size());
+      double nearest = kInf;
+      for (const auto& centroid : centroids) {
+        nearest = std::min(
+            nearest,
+            CdtwDistance(centroid, series[index],
+                         EffectiveBand(options, centroid.size()),
+                         options.cost, &buffer));
+      }
+      if (nearest > best_distance) {
+        best_distance = nearest;
+        best_index = index;
+      }
+    }
+    centroids.push_back(series[best_index]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
+                       const KMeansOptions& options) {
+  WARP_CHECK(!series.empty());
+  WARP_CHECK(options.k >= 1 && options.k <= series.size());
+  for (const auto& s : series) WARP_CHECK(!s.empty());
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedCentroids(series, options, rng);
+  result.assignment.assign(series.size(), -1);
+
+  DtwBuffer buffer;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      int best_cluster = 0;
+      double best_distance = kInf;
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double d = CdtwDistance(
+            result.centroids[c], series[i],
+            EffectiveBand(options, result.centroids[c].size()),
+            options.cost, &buffer);
+        if (d < best_distance) {
+          best_distance = d;
+          best_cluster = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_cluster) {
+        result.assignment[i] = best_cluster;
+        changed = true;
+      }
+      result.inertia += best_distance;
+    }
+    ++result.iterations_run;
+    if (!changed) {
+      result.converged = true;
+      return result;
+    }
+
+    // Update step: DBA over each cluster's members; an emptied cluster is
+    // re-seeded with a random series.
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      std::vector<std::vector<double>> members;
+      for (size_t i = 0; i < series.size(); ++i) {
+        if (result.assignment[i] == static_cast<int>(c)) {
+          members.push_back(series[i]);
+        }
+      }
+      if (members.empty()) {
+        result.centroids[c] = series[rng.UniformInt(series.size())];
+        continue;
+      }
+      DbaOptions dba_options;
+      dba_options.iterations = options.dba_iterations;
+      dba_options.band = options.band;
+      dba_options.cost = options.cost;
+      result.centroids[c] =
+          DtwBarycenterAverage(members, dba_options).barycenter;
+    }
+  }
+  return result;
+}
+
+}  // namespace warp

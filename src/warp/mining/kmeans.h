@@ -1,0 +1,44 @@
+// k-means clustering under (c)DTW with DBA centroids.
+//
+// The "clustering" task from the paper's opening list of DTW
+// applications, assembled from the library's own parts: assignment by
+// exact banded DTW, centroid update by DTW Barycenter Averaging. The
+// usual k-means caveats apply (local optima, seed sensitivity), so the
+// seed is explicit and results are deterministic per seed.
+
+#ifndef WARP_MINING_KMEANS_H_
+#define WARP_MINING_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "warp/core/cost.h"
+
+namespace warp {
+
+struct KMeansOptions {
+  size_t k = 2;
+  size_t max_iterations = 10;
+  // Sakoe–Chiba band for assignments and DBA; 0 = unconstrained.
+  size_t band = 0;
+  CostKind cost = CostKind::kSquared;
+  uint64_t seed = 1;
+  size_t dba_iterations = 3;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;    // k centroids.
+  std::vector<int> assignment;                   // Per-series centroid id.
+  double inertia = 0.0;                          // Sum of member distances.
+  size_t iterations_run = 0;
+  bool converged = false;                        // Assignment reached a fixed point.
+};
+
+// All series must be non-empty; k must be in [1, series.size()].
+KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
+                       const KMeansOptions& options);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_KMEANS_H_

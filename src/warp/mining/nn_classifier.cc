@@ -1,0 +1,293 @@
+#include "warp/mining/nn_classifier.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "warp/common/assert.h"
+#include "warp/common/stopwatch.h"
+#include "warp/core/dtw.h"
+#include "warp/core/lower_bounds.h"
+
+namespace warp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void Finalize(ClassificationStats* stats) {
+  stats->accuracy = stats->total > 0 ? static_cast<double>(stats->correct) /
+                                           static_cast<double>(stats->total)
+                                     : 0.0;
+  stats->error_rate = 1.0 - stats->accuracy;
+}
+
+}  // namespace
+
+Prediction Classify1Nn(const Dataset& train, std::span<const double> query,
+                       const SeriesMeasure& measure) {
+  WARP_CHECK(!train.empty());
+  Prediction best;
+  best.distance = kInf;
+  for (size_t i = 0; i < train.size(); ++i) {
+    const double d = measure(train[i].view(), query);
+    if (d < best.distance) {
+      best.distance = d;
+      best.nn_index = i;
+      best.label = train[i].label();
+    }
+  }
+  return best;
+}
+
+ClassificationStats Evaluate1Nn(const Dataset& train, const Dataset& test,
+                                const SeriesMeasure& measure) {
+  WARP_CHECK(!train.empty() && !test.empty());
+  ClassificationStats stats;
+  Stopwatch watch;
+  for (const TimeSeries& query : test.series()) {
+    const Prediction prediction = Classify1Nn(train, query.view(), measure);
+    ++stats.total;
+    if (prediction.label == query.label()) ++stats.correct;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  Finalize(&stats);
+  return stats;
+}
+
+namespace {
+
+// A bounded set of the k nearest (distance, index) pairs, kept sorted
+// ascending; worst() is the pruning threshold once full.
+class KBest {
+ public:
+  explicit KBest(size_t k) : k_(k) {}
+
+  void Offer(double distance, size_t index) {
+    if (entries_.size() == k_ && distance >= worst()) return;
+    const std::pair<double, size_t> entry{distance, index};
+    const auto at = std::upper_bound(entries_.begin(), entries_.end(), entry);
+    entries_.insert(at, entry);
+    if (entries_.size() > k_) entries_.pop_back();
+  }
+
+  bool full() const { return entries_.size() == k_; }
+  double worst() const {
+    return entries_.empty() ? std::numeric_limits<double>::infinity()
+                            : entries_.back().first;
+  }
+  double PruneThreshold() const {
+    return full() ? worst() : std::numeric_limits<double>::infinity();
+  }
+  const std::vector<std::pair<double, size_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  size_t k_;
+  std::vector<std::pair<double, size_t>> entries_;
+};
+
+// Majority vote over the k nearest; ties resolved toward the class whose
+// nearest member is closest (entries are sorted, so first-seen wins).
+Prediction VoteFromKBest(const Dataset& train, const KBest& kbest) {
+  WARP_CHECK(!kbest.entries().empty());
+  std::map<int, size_t> votes;
+  for (const auto& [distance, index] : kbest.entries()) {
+    ++votes[train[index].label()];
+  }
+  size_t best_votes = 0;
+  for (const auto& [label, n] : votes) best_votes = std::max(best_votes, n);
+
+  Prediction prediction;
+  prediction.nn_index = kbest.entries().front().second;
+  prediction.distance = kbest.entries().front().first;
+  for (const auto& [distance, index] : kbest.entries()) {
+    if (votes[train[index].label()] == best_votes) {
+      prediction.label = train[index].label();
+      break;
+    }
+  }
+  return prediction;
+}
+
+}  // namespace
+
+Prediction ClassifyKnn(const Dataset& train, std::span<const double> query,
+                       size_t k, const SeriesMeasure& measure) {
+  WARP_CHECK(!train.empty());
+  WARP_CHECK(k >= 1 && k <= train.size());
+  KBest kbest(k);
+  for (size_t i = 0; i < train.size(); ++i) {
+    kbest.Offer(measure(train[i].view(), query), i);
+  }
+  return VoteFromKBest(train, kbest);
+}
+
+ClassificationStats EvaluateKnn(const Dataset& train, const Dataset& test,
+                                size_t k, const SeriesMeasure& measure) {
+  WARP_CHECK(!train.empty() && !test.empty());
+  ClassificationStats stats;
+  Stopwatch watch;
+  for (const TimeSeries& query : test.series()) {
+    const Prediction prediction =
+        ClassifyKnn(train, query.view(), k, measure);
+    ++stats.total;
+    if (prediction.label == query.label()) ++stats.correct;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  Finalize(&stats);
+  return stats;
+}
+
+Prediction Classify1NnMulti(const std::vector<MultiSeries>& train,
+                            const MultiSeries& query,
+                            const MultiMeasure& measure) {
+  WARP_CHECK(!train.empty());
+  Prediction best;
+  best.distance = kInf;
+  for (size_t i = 0; i < train.size(); ++i) {
+    const double d = measure(train[i], query);
+    if (d < best.distance) {
+      best.distance = d;
+      best.nn_index = i;
+      best.label = train[i].label();
+    }
+  }
+  return best;
+}
+
+ClassificationStats Evaluate1NnMulti(const std::vector<MultiSeries>& train,
+                                     const std::vector<MultiSeries>& test,
+                                     const MultiMeasure& measure) {
+  WARP_CHECK(!train.empty() && !test.empty());
+  ClassificationStats stats;
+  Stopwatch watch;
+  for (const MultiSeries& query : test) {
+    const Prediction prediction = Classify1NnMulti(train, query, measure);
+    ++stats.total;
+    if (prediction.label == query.label()) ++stats.correct;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  Finalize(&stats);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+
+AcceleratedNnClassifier::AcceleratedNnClassifier(const Dataset& train,
+                                                 size_t band, CostKind cost)
+    : train_(train), band_(band), cost_(cost) {
+  WARP_CHECK(!train_.empty());
+  length_ = train_.UniformLength();
+  WARP_CHECK_MSG(length_ > 0,
+                 "accelerated classifier requires uniform-length series");
+  train_envelopes_.reserve(train_.size());
+  for (const TimeSeries& series : train_.series()) {
+    train_envelopes_.push_back(ComputeEnvelope(series.view(), band_));
+  }
+}
+
+Prediction AcceleratedNnClassifier::Classify(
+    std::span<const double> query, ClassificationStats* stats) const {
+  WARP_CHECK_MSG(query.size() == length_,
+                 "query length must match the training set");
+  const Envelope query_envelope = ComputeEnvelope(query, band_);
+
+  Prediction best;
+  best.distance = kInf;
+  DtwBuffer buffer;
+  for (size_t i = 0; i < train_.size(); ++i) {
+    if (stats != nullptr) ++stats->candidates;
+    const std::span<const double> candidate = train_[i].view();
+
+    // Rung 1: constant-time LB_Kim.
+    if (LbKimFl(query, candidate, cost_) >= best.distance) {
+      if (stats != nullptr) ++stats->pruned_by_kim;
+      continue;
+    }
+    // Rung 2: LB_Keogh with the query envelope, early-abandoning at the
+    // best-so-far, then the (tighter on some pairs) reversed direction.
+    if (LbKeogh(query_envelope, candidate, cost_, best.distance) >=
+            best.distance ||
+        LbKeogh(train_envelopes_[i], query, cost_, best.distance) >=
+            best.distance) {
+      if (stats != nullptr) ++stats->pruned_by_keogh;
+      continue;
+    }
+    // Rung 3: exact cDTW with early abandoning.
+    const double d = CdtwDistanceAbandoning(query, candidate, band_,
+                                            best.distance, cost_, &buffer);
+    if (stats != nullptr) {
+      if (d == kInf) {
+        ++stats->abandoned_dtw;
+      } else {
+        ++stats->full_dtw;
+      }
+    }
+    if (d < best.distance) {
+      best.distance = d;
+      best.nn_index = i;
+      best.label = train_[i].label();
+    }
+  }
+  return best;
+}
+
+Prediction AcceleratedNnClassifier::ClassifyKnn(
+    std::span<const double> query, size_t k,
+    ClassificationStats* stats) const {
+  WARP_CHECK_MSG(query.size() == length_,
+                 "query length must match the training set");
+  WARP_CHECK(k >= 1 && k <= train_.size());
+  const Envelope query_envelope = ComputeEnvelope(query, band_);
+
+  KBest kbest(k);
+  DtwBuffer buffer;
+  for (size_t i = 0; i < train_.size(); ++i) {
+    if (stats != nullptr) ++stats->candidates;
+    const std::span<const double> candidate = train_[i].view();
+    const double threshold = kbest.PruneThreshold();
+
+    if (LbKimFl(query, candidate, cost_) >= threshold) {
+      if (stats != nullptr) ++stats->pruned_by_kim;
+      continue;
+    }
+    if (LbKeogh(query_envelope, candidate, cost_, threshold) >= threshold ||
+        LbKeogh(train_envelopes_[i], query, cost_, threshold) >= threshold) {
+      if (stats != nullptr) ++stats->pruned_by_keogh;
+      continue;
+    }
+    const double d = CdtwDistanceAbandoning(query, candidate, band_,
+                                            threshold, cost_, &buffer);
+    if (stats != nullptr) {
+      if (d == kInf) {
+        ++stats->abandoned_dtw;
+      } else {
+        ++stats->full_dtw;
+      }
+    }
+    if (d < kInf) kbest.Offer(d, i);
+  }
+  return VoteFromKBest(train_, kbest);
+}
+
+ClassificationStats AcceleratedNnClassifier::Evaluate(
+    const Dataset& test) const {
+  WARP_CHECK(!test.empty());
+  ClassificationStats stats;
+  Stopwatch watch;
+  for (const TimeSeries& query : test.series()) {
+    const Prediction prediction = Classify(query.view(), &stats);
+    ++stats.total;
+    if (prediction.label == query.label()) ++stats.correct;
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  stats.accuracy = static_cast<double>(stats.correct) /
+                   static_cast<double>(stats.total);
+  stats.error_rate = 1.0 - stats.accuracy;
+  return stats;
+}
+
+}  // namespace warp

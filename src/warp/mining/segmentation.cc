@@ -1,0 +1,115 @@
+#include "warp/mining/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+namespace {
+
+// Least-squares line fit over series[begin..end], returning a Segment.
+Segment FitSegment(std::span<const double> series, size_t begin,
+                   size_t end) {
+  WARP_DCHECK(begin <= end && end < series.size());
+  Segment segment;
+  segment.begin = begin;
+  segment.end = end;
+  const size_t count = end - begin + 1;
+  if (count == 1) {
+    segment.intercept = series[begin];
+    return segment;
+  }
+  // x runs 0..count-1 relative to `begin`.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  for (size_t k = 0; k < count; ++k) {
+    const double x = static_cast<double>(k);
+    const double y = series[begin + k];
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const double n = static_cast<double>(count);
+  const double denom = n * sum_xx - sum_x * sum_x;
+  segment.slope = denom != 0.0 ? (n * sum_xy - sum_x * sum_y) / denom : 0.0;
+  segment.intercept = (sum_y - segment.slope * sum_x) / n;
+  for (size_t k = 0; k < count; ++k) {
+    const double residual =
+        series[begin + k] -
+        (segment.intercept + segment.slope * static_cast<double>(k));
+    segment.error += residual * residual;
+  }
+  return segment;
+}
+
+}  // namespace
+
+std::vector<Segment> BottomUpSegmentation(std::span<const double> series,
+                                          const SegmentationOptions& options) {
+  WARP_CHECK(series.size() >= 2);
+  WARP_CHECK(options.max_segments >= 1);
+
+  // Seed: segments of two points (last one may take three).
+  std::vector<Segment> segments;
+  for (size_t begin = 0; begin + 1 < series.size(); begin += 2) {
+    const size_t end =
+        (begin + 3 >= series.size()) ? series.size() - 1 : begin + 1;
+    segments.push_back(FitSegment(series, begin, end));
+    if (end == series.size() - 1) break;
+  }
+
+  // Merge cost of joining segments[i] and segments[i+1].
+  auto merged = [&](size_t i) {
+    return FitSegment(series, segments[i].begin, segments[i + 1].end);
+  };
+
+  std::vector<Segment> merge_result;
+  merge_result.reserve(segments.size());
+  while (segments.size() > options.max_segments) {
+    size_t best_index = 0;
+    double best_error = std::numeric_limits<double>::infinity();
+    Segment best_merge;
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+      const Segment candidate = merged(i);
+      const double increase =
+          candidate.error - segments[i].error - segments[i + 1].error;
+      if (increase < best_error) {
+        best_error = increase;
+        best_index = i;
+        best_merge = candidate;
+      }
+    }
+    if (best_merge.error > options.max_segment_error) break;
+    segments[best_index] = best_merge;
+    segments.erase(segments.begin() + static_cast<ptrdiff_t>(best_index) + 1);
+  }
+  return segments;
+}
+
+std::vector<double> ReconstructFromSegments(
+    const std::vector<Segment>& segments) {
+  WARP_CHECK(!segments.empty());
+  std::vector<double> out;
+  out.reserve(segments.back().end + 1);
+  for (const Segment& segment : segments) {
+    WARP_CHECK_MSG(segment.begin == out.size(),
+                   "segments must tile the series contiguously");
+    for (size_t index = segment.begin; index <= segment.end; ++index) {
+      out.push_back(segment.ValueAt(index));
+    }
+  }
+  return out;
+}
+
+double TotalSegmentationError(const std::vector<Segment>& segments) {
+  double total = 0.0;
+  for (const Segment& segment : segments) total += segment.error;
+  return total;
+}
+
+}  // namespace warp

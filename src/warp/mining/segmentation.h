@@ -1,0 +1,55 @@
+// Bottom-up piecewise-linear segmentation (Keogh et al., ICDM 2001).
+//
+// The "segmentation" task from the paper's opening list: approximate a
+// series by k straight-line segments, merging greedily from an initial
+// fine segmentation, always taking the merge with the smallest error
+// increase. Useful on its own and as a preprocessing step (the PLA
+// representation is the piecewise-linear cousin of the PAA used by
+// FastDTW's coarsening).
+
+#ifndef WARP_MINING_SEGMENTATION_H_
+#define WARP_MINING_SEGMENTATION_H_
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace warp {
+
+struct Segment {
+  size_t begin = 0;      // First index covered.
+  size_t end = 0;        // Last index covered (inclusive).
+  double slope = 0.0;    // Least-squares line over [begin, end].
+  double intercept = 0.0;  // Value at index `begin`.
+  double error = 0.0;    // Sum of squared residuals of the fit.
+
+  double ValueAt(size_t index) const {
+    return intercept + slope * static_cast<double>(index - begin);
+  }
+};
+
+struct SegmentationOptions {
+  // Stop when this many segments remain (lower bound).
+  size_t max_segments = 1;
+  // ...or earlier, when the cheapest merge would push any segment's
+  // residual error above this.
+  double max_segment_error = std::numeric_limits<double>::max();
+};
+
+// Bottom-up merge from 2-point seed segments. O(n^2) worst case (merge
+// costs are recomputed locally), fine for n up to tens of thousands.
+// Series must have at least 2 points.
+std::vector<Segment> BottomUpSegmentation(std::span<const double> series,
+                                          const SegmentationOptions& options);
+
+// Reconstructs the PLA approximation (same length as the original).
+std::vector<double> ReconstructFromSegments(
+    const std::vector<Segment>& segments);
+
+// Total squared reconstruction error of a segmentation.
+double TotalSegmentationError(const std::vector<Segment>& segments);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_SEGMENTATION_H_

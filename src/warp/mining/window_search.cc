@@ -1,0 +1,73 @@
+#include "warp/mining/window_search.h"
+
+#include <limits>
+
+#include "warp/common/assert.h"
+#include "warp/core/dtw.h"
+#include "warp/core/envelope.h"
+#include "warp/core/lower_bounds.h"
+
+namespace warp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double LoocvAccuracy(const Dataset& dataset, size_t band, CostKind cost) {
+  WARP_CHECK(dataset.size() >= 2);
+  WARP_CHECK_MSG(dataset.UniformLength() > 0,
+                 "window search requires uniform-length series");
+
+  // Precompute envelopes once per band.
+  std::vector<Envelope> envelopes;
+  envelopes.reserve(dataset.size());
+  for (const TimeSeries& series : dataset.series()) {
+    envelopes.push_back(ComputeEnvelope(series.view(), band));
+  }
+
+  size_t correct = 0;
+  DtwBuffer buffer;
+  for (size_t q = 0; q < dataset.size(); ++q) {
+    const std::span<const double> query = dataset[q].view();
+    double best = kInf;
+    int best_label = TimeSeries::kUnlabeled;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      if (i == q) continue;
+      const std::span<const double> candidate = dataset[i].view();
+      if (LbKimFl(query, candidate, cost) >= best) continue;
+      if (LbKeogh(envelopes[q], candidate, cost, best) >= best) continue;
+      if (LbKeogh(envelopes[i], query, cost, best) >= best) continue;
+      const double d =
+          CdtwDistanceAbandoning(query, candidate, band, best, cost, &buffer);
+      if (d < best) {
+        best = d;
+        best_label = dataset[i].label();
+      }
+    }
+    if (best_label == dataset[q].label()) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+WindowSearchResult FindBestWindowLoocv(const Dataset& dataset,
+                                       size_t max_band, size_t step,
+                                       CostKind cost) {
+  WARP_CHECK(step > 0);
+  WindowSearchResult result;
+  result.best_accuracy = -1.0;
+  for (size_t band = 0; band <= max_band; band += step) {
+    const double accuracy = LoocvAccuracy(dataset, band, cost);
+    result.bands.push_back(band);
+    result.accuracy_by_band.push_back(accuracy);
+    // Strictly-greater keeps the smallest band on ties (UCR convention).
+    if (accuracy > result.best_accuracy) {
+      result.best_accuracy = accuracy;
+      result.best_band = band;
+    }
+  }
+  return result;
+}
+
+}  // namespace warp

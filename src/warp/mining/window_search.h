@@ -1,0 +1,47 @@
+// Brute-force search for the best warping window (the UCR archive method).
+//
+// The "optimal w" values the paper histograms in Fig. 2 were produced by
+// leave-one-out cross-validated 1-NN accuracy over every candidate window.
+// This module reimplements that procedure (with lower-bound pruning and
+// early abandoning so it stays tractable), both to let users find the W of
+// their own domains and to regenerate Fig. 2-style data from raw datasets.
+
+#ifndef WARP_MINING_WINDOW_SEARCH_H_
+#define WARP_MINING_WINDOW_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "warp/core/cost.h"
+#include "warp/ts/dataset.h"
+
+namespace warp {
+
+struct WindowSearchResult {
+  size_t best_band = 0;        // In cells.
+  double best_accuracy = 0.0;  // LOOCV accuracy at best_band.
+  // accuracy_by_band[k] is the LOOCV accuracy for band = bands[k].
+  std::vector<size_t> bands;
+  std::vector<double> accuracy_by_band;
+
+  double best_window_percent(size_t series_length) const {
+    return 100.0 * static_cast<double>(best_band) /
+           static_cast<double>(series_length);
+  }
+};
+
+// Evaluates every band in {0, step, 2*step, ..., <= max_band} by
+// leave-one-out 1-NN over `dataset` (uniform length required) and returns
+// the band maximizing accuracy; ties prefer the smaller band, matching the
+// UCR archive convention.
+WindowSearchResult FindBestWindowLoocv(const Dataset& dataset,
+                                       size_t max_band, size_t step = 1,
+                                       CostKind cost = CostKind::kSquared);
+
+// LOOCV accuracy of 1-NN cDTW at a single band.
+double LoocvAccuracy(const Dataset& dataset, size_t band,
+                     CostKind cost = CostKind::kSquared);
+
+}  // namespace warp
+
+#endif  // WARP_MINING_WINDOW_SEARCH_H_

@@ -1,0 +1,74 @@
+#include "warp/ts/dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "warp/common/assert.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+
+std::vector<int> Dataset::Labels() const {
+  std::set<int> labels;
+  for (const auto& s : series_) labels.insert(s.label());
+  return {labels.begin(), labels.end()};
+}
+
+std::map<int, size_t> Dataset::ClassCounts() const {
+  std::map<int, size_t> counts;
+  for (const auto& s : series_) ++counts[s.label()];
+  return counts;
+}
+
+size_t Dataset::UniformLength() const {
+  if (series_.empty()) return 0;
+  const size_t length = series_[0].size();
+  for (const auto& s : series_) {
+    if (s.size() != length) return 0;
+  }
+  return length;
+}
+
+void Dataset::ZNormalizeAll() {
+  for (auto& s : series_) ZNormalizeInPlace(s.mutable_values());
+}
+
+void Dataset::Shuffle(Rng& rng) {
+  for (size_t i = series_.size(); i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap(series_[i - 1], series_[j]);
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::StratifiedSplit(
+    double train_fraction) const {
+  WARP_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  const std::map<int, size_t> counts = ClassCounts();
+
+  Dataset train;
+  Dataset test;
+  train.set_name(name_ + "_train");
+  test.set_name(name_ + "_test");
+
+  std::map<int, size_t> train_quota;
+  for (const auto& [label, count] : counts) {
+    size_t quota = static_cast<size_t>(train_fraction *
+                                       static_cast<double>(count));
+    if (quota == 0 && count > 0) quota = 1;
+    train_quota[label] = quota;
+  }
+
+  std::map<int, size_t> taken;
+  for (const auto& s : series_) {
+    if (taken[s.label()] < train_quota[s.label()]) {
+      train.Add(s);
+      ++taken[s.label()];
+    } else {
+      test.Add(s);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace warp

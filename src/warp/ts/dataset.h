@@ -1,0 +1,63 @@
+// A labeled collection of time series plus the split/shuffle operations the
+// classification experiments need.
+
+#ifndef WARP_TS_DATASET_H_
+#define WARP_TS_DATASET_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "warp/common/random.h"
+#include "warp/ts/time_series.h"
+
+namespace warp {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<TimeSeries> series)
+      : series_(std::move(series)) {}
+
+  size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+
+  const TimeSeries& operator[](size_t i) const { return series_[i]; }
+  TimeSeries& operator[](size_t i) { return series_[i]; }
+
+  const std::vector<TimeSeries>& series() const { return series_; }
+
+  void Add(TimeSeries series) { series_.push_back(std::move(series)); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Distinct labels present, in ascending order.
+  std::vector<int> Labels() const;
+
+  // Count of series per label.
+  std::map<int, size_t> ClassCounts() const;
+
+  // Length of the series if uniform, 0 otherwise.
+  size_t UniformLength() const;
+
+  // Z-normalizes every series in place.
+  void ZNormalizeAll();
+
+  // Fisher–Yates shuffle with the provided RNG.
+  void Shuffle(Rng& rng);
+
+  // Splits into (train, test) preserving per-class proportions:
+  // `train_fraction` of each class goes to train (at least one exemplar per
+  // class if the class is non-empty). Order within each class is preserved.
+  std::pair<Dataset, Dataset> StratifiedSplit(double train_fraction) const;
+
+ private:
+  std::vector<TimeSeries> series_;
+  std::string name_;
+};
+
+}  // namespace warp
+
+#endif  // WARP_TS_DATASET_H_

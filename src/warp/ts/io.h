@@ -1,0 +1,41 @@
+// Dataset and series I/O.
+//
+// Supports the UCR-archive text format (one exemplar per line, class label
+// first, values separated by tabs, commas, or spaces) so users who have the
+// real archive can run every experiment on it, and plain CSV for single
+// series. All loaders validate that every value parses and is finite.
+
+#ifndef WARP_TS_IO_H_
+#define WARP_TS_IO_H_
+
+#include <string>
+
+#include "warp/ts/dataset.h"
+#include "warp/ts/time_series.h"
+
+namespace warp {
+
+// Loading failures (missing file, parse error, non-finite value) are
+// reported by returning false and filling *error.
+bool LoadUcrFile(const std::string& path, Dataset* dataset,
+                 std::string* error);
+
+// Writes in tab-separated UCR format. Returns false on I/O failure.
+bool SaveUcrFile(const std::string& path, const Dataset& dataset,
+                 std::string* error);
+
+// Loads a single unlabeled series: one value per line, or one line of
+// comma/whitespace-separated values.
+bool LoadSeriesFile(const std::string& path, TimeSeries* series,
+                    std::string* error);
+
+bool SaveSeriesFile(const std::string& path, const TimeSeries& series,
+                    std::string* error);
+
+// Parses one UCR-format line (label + values). Exposed for testing.
+bool ParseUcrLine(const std::string& line, TimeSeries* series,
+                  std::string* error);
+
+}  // namespace warp
+
+#endif  // WARP_TS_IO_H_

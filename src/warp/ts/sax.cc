@@ -1,0 +1,103 @@
+#include "warp/ts/sax.h"
+
+#include <algorithm>
+
+#include "warp/common/assert.h"
+#include "warp/ts/paa.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+
+namespace {
+
+// Standard-normal quantiles at k/a for k = 1..a-1, per alphabet size.
+constexpr double kBreakpoints3[] = {-0.4307, 0.4307};
+constexpr double kBreakpoints2[] = {0.0};
+constexpr double kBreakpoints4[] = {-0.6745, 0.0, 0.6745};
+constexpr double kBreakpoints5[] = {-0.8416, -0.2533, 0.2533, 0.8416};
+constexpr double kBreakpoints6[] = {-0.9674, -0.4307, 0.0, 0.4307, 0.9674};
+constexpr double kBreakpoints7[] = {-1.0676, -0.5659, -0.1800,
+                                    0.1800,  0.5659,  1.0676};
+constexpr double kBreakpoints8[] = {-1.1503, -0.6745, -0.3186, 0.0,
+                                    0.3186,  0.6745,  1.1503};
+constexpr double kBreakpoints9[] = {-1.2206, -0.7647, -0.4307, -0.1397,
+                                    0.1397,  0.4307,  0.7647,  1.2206};
+constexpr double kBreakpoints10[] = {-1.2816, -0.8416, -0.5244,
+                                     -0.2533, 0.0,     0.2533,
+                                     0.5244,  0.8416,  1.2816};
+
+}  // namespace
+
+std::span<const double> SaxBreakpoints(size_t alphabet_size) {
+  switch (alphabet_size) {
+    case 2:
+      return kBreakpoints2;
+    case 3:
+      return kBreakpoints3;
+    case 4:
+      return kBreakpoints4;
+    case 5:
+      return kBreakpoints5;
+    case 6:
+      return kBreakpoints6;
+    case 7:
+      return kBreakpoints7;
+    case 8:
+      return kBreakpoints8;
+    case 9:
+      return kBreakpoints9;
+    case 10:
+      return kBreakpoints10;
+    default:
+      WARP_CHECK_MSG(false, "SAX alphabet size must be in [2, 10]");
+  }
+}
+
+std::vector<uint8_t> SaxWord(std::span<const double> values,
+                             size_t word_length, size_t alphabet_size) {
+  WARP_CHECK(word_length > 0);
+  WARP_CHECK(!values.empty());
+  const std::span<const double> breakpoints = SaxBreakpoints(alphabet_size);
+
+  const std::vector<double> normalized = ZNormalized(values);
+  const std::vector<double> paa =
+      Paa(normalized, std::min(word_length, normalized.size()));
+
+  std::vector<uint8_t> word(paa.size());
+  for (size_t s = 0; s < paa.size(); ++s) {
+    // Symbol = number of breakpoints below the segment mean.
+    const auto it =
+        std::upper_bound(breakpoints.begin(), breakpoints.end(), paa[s]);
+    word[s] = static_cast<uint8_t>(it - breakpoints.begin());
+  }
+  return word;
+}
+
+std::string SaxWordToString(std::span<const uint8_t> word) {
+  std::string out;
+  out.reserve(word.size());
+  for (uint8_t symbol : word) out += static_cast<char>('a' + symbol);
+  return out;
+}
+
+double SaxMinDistSquared(std::span<const uint8_t> a,
+                         std::span<const uint8_t> b, size_t original_length,
+                         size_t alphabet_size) {
+  WARP_CHECK_MSG(a.size() == b.size(), "SAX words must have equal length");
+  WARP_CHECK(!a.empty());
+  const std::span<const double> breakpoints = SaxBreakpoints(alphabet_size);
+
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const uint8_t lo = std::min(a[i], b[i]);
+    const uint8_t hi = std::max(a[i], b[i]);
+    WARP_DCHECK(hi < alphabet_size);
+    if (hi - lo <= 1) continue;  // Adjacent regions: gap can be zero.
+    const double gap = breakpoints[hi - 1] - breakpoints[lo];
+    sum += gap * gap;
+  }
+  return static_cast<double>(original_length) /
+         static_cast<double>(a.size()) * sum;
+}
+
+}  // namespace warp

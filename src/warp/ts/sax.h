@@ -1,0 +1,51 @@
+// SAX — Symbolic Aggregate approXimation (Lin, Keogh, Lonardi & Chiu).
+//
+// Discretizes a z-normalized series into a short word over a small
+// alphabet: PAA segments are mapped to symbols by equiprobable Gaussian
+// breakpoints. Two properties make it useful here:
+//   * MINDIST between words lower-bounds the Euclidean distance between
+//     the original (z-normalized) series — another pruning rung, and
+//   * it is the classic index/summary representation of the Keogh-lab
+//     tool chain the paper's ecosystem assumes.
+
+#ifndef WARP_TS_SAX_H_
+#define WARP_TS_SAX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace warp {
+
+// Alphabet sizes 2..10 are supported (the standard breakpoint tables).
+inline constexpr size_t kMinSaxAlphabet = 2;
+inline constexpr size_t kMaxSaxAlphabet = 10;
+
+// Gaussian breakpoints for `alphabet_size` equiprobable regions:
+// alphabet_size - 1 ascending values.
+std::span<const double> SaxBreakpoints(size_t alphabet_size);
+
+// The SAX word of `values`: z-normalize, PAA to word_length, discretize.
+// Symbols are 0..alphabet_size-1 (0 = lowest region).
+std::vector<uint8_t> SaxWord(std::span<const double> values,
+                             size_t word_length, size_t alphabet_size);
+
+// Human-readable rendering ('a' = 0, 'b' = 1, ...).
+std::string SaxWordToString(std::span<const uint8_t> word);
+
+// Squared MINDIST between two SAX words of series of length
+// `original_length`:
+//   (n / w) * sum_i cell(a_i, b_i)^2,
+// where cell() is the breakpoint gap (zero for adjacent symbols). This
+// lower-bounds the *squared* Euclidean distance between the z-normalized
+// originals — the same convention as EuclideanDistance(CostKind::kSquared)
+// on z-normalized inputs.
+double SaxMinDistSquared(std::span<const uint8_t> a,
+                         std::span<const uint8_t> b, size_t original_length,
+                         size_t alphabet_size);
+
+}  // namespace warp
+
+#endif  // WARP_TS_SAX_H_

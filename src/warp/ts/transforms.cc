@@ -1,0 +1,94 @@
+#include "warp/ts/transforms.h"
+
+#include <algorithm>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+std::vector<double> MovingAverage(std::span<const double> values,
+                                  size_t radius) {
+  WARP_CHECK(!values.empty());
+  const size_t n = values.size();
+  std::vector<double> out(n);
+  // Sliding-sum: O(n) regardless of radius.
+  double sum = 0.0;
+  size_t lo = 0;  // Inclusive window start.
+  size_t hi = 0;  // Exclusive window end.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t want_lo = i > radius ? i - radius : 0;
+    const size_t want_hi = std::min(n, i + radius + 1);
+    while (hi < want_hi) sum += values[hi++];
+    while (lo < want_lo) sum -= values[lo++];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::vector<double> Difference(std::span<const double> values) {
+  WARP_CHECK(values.size() >= 2);
+  std::vector<double> out(values.size() - 1);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    out[i] = values[i + 1] - values[i];
+  }
+  return out;
+}
+
+std::vector<double> DetrendLinear(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  const size_t n = values.size();
+  if (n == 1) return {0.0};
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sum_x += x;
+    sum_y += values[i];
+    sum_xx += x * x;
+    sum_xy += x * values[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_xx - sum_x * sum_x;
+  const double slope = denom != 0.0 ? (dn * sum_xy - sum_x * sum_y) / denom
+                                    : 0.0;
+  const double intercept = (sum_y - slope * sum_x) / dn;
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[i] - (intercept + slope * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> ExponentialSmoothing(std::span<const double> values,
+                                         double alpha) {
+  WARP_CHECK(!values.empty());
+  WARP_CHECK(alpha > 0.0 && alpha <= 1.0);
+  std::vector<double> out(values.size());
+  out[0] = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    out[i] = alpha * values[i] + (1.0 - alpha) * out[i - 1];
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScale(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  const auto [lo_it, hi_it] =
+      std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  std::vector<double> out(values.size());
+  if (hi == lo) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return out;
+  }
+  const double inv = 1.0 / (hi - lo);
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - lo) * inv;
+  }
+  return out;
+}
+
+}  // namespace warp

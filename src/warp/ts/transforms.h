@@ -1,0 +1,38 @@
+// Common series preprocessing transforms.
+//
+// The steps that precede distance computation in real pipelines:
+// smoothing, differencing, detrending. All are length-documented, pure
+// functions; none are applied implicitly by any distance.
+
+#ifndef WARP_TS_TRANSFORMS_H_
+#define WARP_TS_TRANSFORMS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace warp {
+
+// Centered moving average with half-width `radius` (window 2*radius+1,
+// truncated at the edges). radius 0 is the identity.
+std::vector<double> MovingAverage(std::span<const double> values,
+                                  size_t radius);
+
+// First difference: out[i] = values[i+1] - values[i]; length n-1.
+// Requires at least 2 points.
+std::vector<double> Difference(std::span<const double> values);
+
+// Removes the least-squares line; length preserved.
+std::vector<double> DetrendLinear(std::span<const double> values);
+
+// Exponential (EWMA) smoothing with factor alpha in (0, 1]:
+// out[0] = values[0], out[i] = alpha*values[i] + (1-alpha)*out[i-1].
+std::vector<double> ExponentialSmoothing(std::span<const double> values,
+                                         double alpha);
+
+// Min-max rescaling to [0, 1]; a constant series maps to all 0.5.
+std::vector<double> MinMaxScale(std::span<const double> values);
+
+}  // namespace warp
+
+#endif  // WARP_TS_TRANSFORMS_H_

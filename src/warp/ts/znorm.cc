@@ -1,0 +1,41 @@
+#include "warp/ts/znorm.h"
+
+#include "warp/common/assert.h"
+
+namespace warp {
+
+MeanStd ComputeMeanStd(std::span<const double> values) {
+  WARP_CHECK(!values.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(values.size());
+  MeanStd result;
+  result.mean = sum / n;
+  const double variance = sum_sq / n - result.mean * result.mean;
+  result.stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return result;
+}
+
+void ZNormalizeInPlace(std::span<double> values, double min_stddev) {
+  if (values.empty()) return;
+  const MeanStd ms = ComputeMeanStd(values);
+  if (ms.stddev < min_stddev) {
+    for (double& v : values) v = 0.0;
+    return;
+  }
+  const double inv = 1.0 / ms.stddev;
+  for (double& v : values) v = (v - ms.mean) * inv;
+}
+
+std::vector<double> ZNormalized(std::span<const double> values,
+                                double min_stddev) {
+  std::vector<double> out(values.begin(), values.end());
+  ZNormalizeInPlace(out, min_stddev);
+  return out;
+}
+
+}  // namespace warp

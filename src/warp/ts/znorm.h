@@ -1,0 +1,78 @@
+// Z-normalization utilities.
+//
+// The UCR suite's "just-in-time normalization" trick — normalizing each
+// sliding window on the fly from running sums rather than materializing
+// normalized copies — lives here as RunningMeanStd; the similarity-search
+// module builds on it.
+
+#ifndef WARP_TS_ZNORM_H_
+#define WARP_TS_ZNORM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace warp {
+
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;  // Population standard deviation.
+};
+
+MeanStd ComputeMeanStd(std::span<const double> values);
+
+// (x - mean) / stddev for each element. A constant series (stddev below
+// `min_stddev`) normalizes to all zeros rather than dividing by ~0.
+void ZNormalizeInPlace(std::span<double> values, double min_stddev = 1e-12);
+std::vector<double> ZNormalized(std::span<const double> values,
+                                double min_stddev = 1e-12);
+
+// Maintains running sum and sum of squares over a sliding window of fixed
+// length, supporting O(1) mean/stddev per step. This is the arithmetic
+// behind just-in-time normalization in subsequence search.
+class RunningMeanStd {
+ public:
+  explicit RunningMeanStd(size_t window) : window_(window) {}
+
+  // Pushes the next value; once `size() == window`, old values must be
+  // popped by the caller providing the expiring value.
+  void Push(double value) {
+    sum_ += value;
+    sum_sq_ += value * value;
+    ++count_;
+  }
+
+  void Pop(double value) {
+    sum_ -= value;
+    sum_sq_ -= value * value;
+    --count_;
+  }
+
+  size_t size() const { return count_; }
+  size_t window() const { return window_; }
+
+  double mean() const { return sum_ / static_cast<double>(count_); }
+
+  double stddev() const {
+    const double m = mean();
+    const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  void Reset() {
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  size_t window_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace warp
+
+#endif  // WARP_TS_ZNORM_H_

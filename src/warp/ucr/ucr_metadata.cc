@@ -1,0 +1,212 @@
+#include "warp/ucr/ucr_metadata.h"
+
+#include <algorithm>
+#include <array>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace ucr {
+
+namespace {
+
+// {name, train, test, length, classes, best_w%, ed_err, cdtw_err}
+constexpr DatasetInfo kDatasets[] = {
+    {"ACSF1", 100, 100, 1460, 10, 4, 0.460, 0.380},
+    {"Adiac", 390, 391, 176, 37, 3, 0.389, 0.391},
+    {"AllGestureWiimoteX", 300, 700, 500, 10, 14, 0.485, 0.283},
+    {"AllGestureWiimoteY", 300, 700, 500, 10, 9, 0.431, 0.270},
+    {"AllGestureWiimoteZ", 300, 700, 500, 10, 11, 0.546, 0.349},
+    {"ArrowHead", 36, 175, 251, 3, 0, 0.200, 0.200},
+    {"BME", 30, 150, 128, 3, 4, 0.167, 0.020},
+    {"Beef", 30, 30, 470, 5, 0, 0.333, 0.333},
+    {"BeetleFly", 20, 20, 512, 2, 7, 0.250, 0.300},
+    {"BirdChicken", 20, 20, 512, 2, 6, 0.450, 0.300},
+    {"CBF", 30, 900, 128, 3, 11, 0.148, 0.004},
+    {"Car", 60, 60, 577, 4, 1, 0.267, 0.233},
+    {"Chinatown", 20, 343, 24, 2, 0, 0.047, 0.047},
+    {"ChlorineConcentration", 467, 3840, 166, 3, 0, 0.350, 0.350},
+    {"CinCECGTorso", 40, 1380, 1639, 4, 1, 0.103, 0.070},
+    {"Coffee", 28, 28, 286, 2, 0, 0.000, 0.000},
+    {"Computers", 250, 250, 720, 2, 12, 0.424, 0.380},
+    {"CricketX", 390, 390, 300, 12, 10, 0.423, 0.228},
+    {"CricketY", 390, 390, 300, 12, 17, 0.433, 0.238},
+    {"CricketZ", 390, 390, 300, 12, 5, 0.413, 0.254},
+    {"Crop", 7200, 16800, 46, 24, 0, 0.288, 0.288},
+    {"DiatomSizeReduction", 16, 306, 345, 4, 0, 0.065, 0.065},
+    {"DistalPhalanxOutlineAgeGroup", 400, 139, 80, 3, 0, 0.374, 0.374},
+    {"DistalPhalanxOutlineCorrect", 600, 276, 80, 2, 1, 0.283, 0.272},
+    {"DistalPhalanxTW", 400, 139, 80, 6, 0, 0.367, 0.367},
+    {"DodgerLoopDay", 78, 80, 288, 7, 0, 0.450, 0.450},
+    {"DodgerLoopGame", 20, 138, 288, 2, 6, 0.117, 0.070},
+    {"DodgerLoopWeekend", 20, 138, 288, 2, 8, 0.015, 0.022},
+    {"ECG200", 100, 100, 96, 2, 0, 0.120, 0.120},
+    {"ECG5000", 500, 4500, 140, 5, 1, 0.075, 0.075},
+    {"ECGFiveDays", 23, 861, 136, 2, 0, 0.203, 0.203},
+    {"EOGHorizontalSignal", 362, 362, 1250, 12, 3, 0.583, 0.525},
+    {"EOGVerticalSignal", 362, 362, 1250, 12, 4, 0.558, 0.525},
+    {"Earthquakes", 322, 139, 512, 2, 6, 0.288, 0.273},
+    {"ElectricDevices", 8926, 7711, 96, 7, 14, 0.449, 0.381},
+    {"EthanolLevel", 504, 500, 1751, 4, 1, 0.726, 0.718},
+    {"FaceAll", 560, 1690, 131, 14, 3, 0.286, 0.192},
+    {"FaceFour", 24, 88, 350, 4, 2, 0.216, 0.114},
+    {"FacesUCR", 200, 2050, 131, 14, 12, 0.231, 0.088},
+    {"FiftyWords", 450, 455, 270, 50, 6, 0.369, 0.242},
+    {"Fish", 175, 175, 463, 7, 4, 0.217, 0.154},
+    {"FordA", 3601, 1320, 500, 2, 1, 0.335, 0.309},
+    {"FordB", 3636, 810, 500, 2, 1, 0.394, 0.393},
+    {"FreezerRegularTrain", 150, 2850, 301, 2, 1, 0.195, 0.093},
+    {"FreezerSmallTrain", 28, 2850, 301, 2, 3, 0.333, 0.242},
+    {"Fungi", 18, 186, 201, 18, 0, 0.177, 0.177},
+    {"GestureMidAirD1", 208, 130, 360, 26, 4, 0.423, 0.362},
+    {"GestureMidAirD2", 208, 130, 360, 26, 4, 0.508, 0.385},
+    {"GestureMidAirD3", 208, 130, 360, 26, 2, 0.654, 0.623},
+    {"GesturePebbleZ1", 132, 172, 455, 6, 13, 0.267, 0.174},
+    {"GesturePebbleZ2", 146, 158, 455, 6, 9, 0.329, 0.222},
+    {"GunPoint", 50, 150, 150, 2, 0, 0.087, 0.087},
+    {"GunPointAgeSpan", 135, 316, 150, 2, 2, 0.101, 0.035},
+    {"GunPointMaleVersusFemale", 135, 316, 150, 2, 1, 0.025, 0.003},
+    {"GunPointOldVersusYoung", 136, 315, 150, 2, 3, 0.048, 0.016},
+    {"Ham", 109, 105, 431, 2, 0, 0.400, 0.400},
+    {"HandOutlines", 1000, 370, 2709, 2, 1, 0.138, 0.119},
+    {"Haptics", 155, 308, 1092, 5, 2, 0.630, 0.588},
+    {"Herring", 64, 64, 512, 2, 5, 0.484, 0.469},
+    {"HouseTwenty", 40, 119, 2000, 2, 11, 0.336, 0.076},
+    {"InlineSkate", 100, 550, 1882, 7, 14, 0.658, 0.613},
+    {"InsectEPGRegularTrain", 62, 249, 601, 3, 11, 0.322, 0.128},
+    {"InsectEPGSmallTrain", 17, 249, 601, 3, 14, 0.663, 0.305},
+    {"InsectWingbeatSound", 220, 1980, 256, 11, 1, 0.438, 0.422},
+    {"ItalyPowerDemand", 67, 1029, 24, 2, 0, 0.045, 0.045},
+    {"LargeKitchenAppliances", 375, 375, 720, 3, 94, 0.507, 0.205},
+    {"Lightning2", 60, 61, 637, 2, 6, 0.246, 0.131},
+    {"Lightning7", 70, 73, 319, 7, 5, 0.425, 0.288},
+    {"Mallat", 55, 2345, 1024, 8, 0, 0.086, 0.086},
+    {"Meat", 60, 60, 448, 3, 0, 0.067, 0.067},
+    {"MedicalImages", 381, 760, 99, 10, 20, 0.316, 0.253},
+    {"MelbournePedestrian", 1194, 2439, 24, 10, 0, 0.152, 0.152},
+    {"MiddlePhalanxOutlineAgeGroup", 400, 154, 80, 3, 0, 0.481, 0.481},
+    {"MiddlePhalanxOutlineCorrect", 600, 291, 80, 2, 0, 0.234, 0.234},
+    {"MiddlePhalanxTW", 399, 154, 80, 6, 0, 0.487, 0.487},
+    {"MixedShapesRegularTrain", 500, 2425, 1024, 5, 4, 0.103, 0.058},
+    {"MixedShapesSmallTrain", 100, 2425, 1024, 5, 6, 0.164, 0.110},
+    {"MoteStrain", 20, 1252, 84, 2, 1, 0.121, 0.113},
+    {"NonInvasiveFetalECGThorax1", 1800, 1965, 750, 42, 1, 0.171, 0.154},
+    {"NonInvasiveFetalECGThorax2", 1800, 1965, 750, 42, 1, 0.120, 0.106},
+    {"OSULeaf", 200, 242, 427, 6, 7, 0.479, 0.388},
+    {"OliveOil", 30, 30, 570, 4, 0, 0.133, 0.133},
+    {"PLAID", 537, 537, 1345, 11, 3, 0.480, 0.160},
+    {"PhalangesOutlinesCorrect", 1800, 858, 80, 2, 0, 0.239, 0.239},
+    {"Phoneme", 214, 1896, 1024, 39, 14, 0.891, 0.773},
+    {"PickupGestureWiimoteZ", 50, 50, 361, 10, 16, 0.440, 0.340},
+    {"PigAirwayPressure", 104, 208, 2000, 52, 1, 0.942, 0.903},
+    {"PigArtPressure", 104, 208, 2000, 52, 1, 0.875, 0.803},
+    {"PigCVP", 104, 208, 2000, 52, 2, 0.918, 0.841},
+    {"Plane", 105, 105, 144, 7, 6, 0.038, 0.000},
+    {"PowerCons", 180, 180, 144, 2, 3, 0.067, 0.078},
+    {"ProximalPhalanxOutlineAgeGroup", 400, 205, 80, 3, 0, 0.215, 0.215},
+    {"ProximalPhalanxOutlineCorrect", 600, 291, 80, 2, 0, 0.192, 0.192},
+    {"ProximalPhalanxTW", 400, 205, 80, 6, 0, 0.293, 0.293},
+    {"RefrigerationDevices", 375, 375, 720, 3, 8, 0.605, 0.536},
+    {"Rock", 20, 50, 2844, 4, 0, 0.160, 0.160},
+    {"ScreenType", 375, 375, 720, 3, 17, 0.640, 0.589},
+    {"SemgHandGenderCh2", 300, 600, 1500, 2, 1, 0.238, 0.155},
+    {"SemgHandMovementCh2", 450, 450, 1500, 6, 1, 0.631, 0.362},
+    {"SemgHandSubjectCh2", 450, 450, 1500, 5, 2, 0.596, 0.200},
+    {"ShakeGestureWiimoteZ", 50, 50, 385, 10, 6, 0.400, 0.140},
+    {"ShapeletSim", 20, 180, 500, 2, 3, 0.461, 0.300},
+    {"ShapesAll", 600, 600, 512, 60, 4, 0.248, 0.198},
+    {"SmallKitchenAppliances", 375, 375, 720, 3, 15, 0.659, 0.328},
+    {"SmoothSubspace", 150, 150, 15, 3, 13, 0.093, 0.047},
+    {"SonyAIBORobotSurface1", 20, 601, 70, 2, 0, 0.305, 0.305},
+    {"SonyAIBORobotSurface2", 27, 953, 65, 2, 0, 0.141, 0.141},
+    {"StarLightCurves", 1000, 8236, 1024, 3, 16, 0.151, 0.095},
+    {"Strawberry", 613, 370, 235, 2, 0, 0.054, 0.054},
+    {"SwedishLeaf", 500, 625, 128, 15, 2, 0.211, 0.154},
+    {"Symbols", 25, 995, 398, 6, 8, 0.100, 0.062},
+    {"SyntheticControl", 300, 300, 60, 6, 6, 0.120, 0.017},
+    {"ToeSegmentation1", 40, 228, 277, 2, 8, 0.320, 0.250},
+    {"ToeSegmentation2", 36, 130, 343, 2, 5, 0.192, 0.092},
+    {"Trace", 100, 100, 275, 4, 3, 0.240, 0.010},
+    {"TwoLeadECG", 23, 1139, 82, 2, 4, 0.253, 0.132},
+    {"TwoPatterns", 1000, 4000, 128, 4, 4, 0.093, 0.002},
+    {"UMD", 36, 144, 150, 3, 11, 0.236, 0.028},
+    {"UWaveGestureLibraryAll", 896, 3582, 945, 8, 4, 0.052, 0.034},
+    {"UWaveGestureLibraryX", 896, 3582, 315, 8, 4, 0.261, 0.227},
+    {"UWaveGestureLibraryY", 896, 3582, 315, 8, 4, 0.338, 0.301},
+    {"UWaveGestureLibraryZ", 896, 3582, 315, 8, 6, 0.350, 0.322},
+    {"Wafer", 1000, 6164, 152, 2, 1, 0.005, 0.005},
+    {"Wine", 57, 54, 234, 2, 0, 0.389, 0.389},
+    {"WordSynonyms", 267, 638, 270, 25, 9, 0.382, 0.252},
+    {"Worms", 181, 77, 900, 5, 9, 0.545, 0.416},
+    {"WormsTwoClass", 181, 77, 900, 2, 9, 0.390, 0.377},
+    {"Yoga", 300, 3000, 426, 2, 2, 0.170, 0.155},
+};
+
+constexpr size_t kNumDatasets = sizeof(kDatasets) / sizeof(kDatasets[0]);
+static_assert(kNumDatasets == 128, "the UCR-2018 archive has 128 datasets");
+
+}  // namespace
+
+std::span<const DatasetInfo> AllDatasets() {
+  return {kDatasets, kNumDatasets};
+}
+
+const DatasetInfo* FindDataset(std::string_view name) {
+  const auto it = std::lower_bound(
+      std::begin(kDatasets), std::end(kDatasets), name,
+      [](const DatasetInfo& info, std::string_view key) {
+        return info.name < key;
+      });
+  if (it != std::end(kDatasets) && it->name == name) return &*it;
+  return nullptr;
+}
+
+std::vector<double> BestWindowPercents() {
+  std::vector<double> values;
+  values.reserve(kNumDatasets);
+  for (const DatasetInfo& info : kDatasets) {
+    values.push_back(static_cast<double>(info.best_window_percent));
+  }
+  return values;
+}
+
+WarpingCase CaseOf(const DatasetInfo& info) {
+  const bool long_series = info.length >= 1000;
+  const bool wide_warping = info.best_window_percent >= 20;
+  if (long_series) return wide_warping ? WarpingCase::kD : WarpingCase::kB;
+  return wide_warping ? WarpingCase::kC : WarpingCase::kA;
+}
+
+const char* CaseName(WarpingCase c) {
+  switch (c) {
+    case WarpingCase::kA:
+      return "A (short N, narrow W)";
+    case WarpingCase::kB:
+      return "B (long N, narrow W)";
+    case WarpingCase::kC:
+      return "C (short N, wide W)";
+    case WarpingCase::kD:
+      return "D (long N, wide W)";
+  }
+  return "?";
+}
+
+std::array<size_t, 4> CaseCensus() {
+  std::array<size_t, 4> census{0, 0, 0, 0};
+  for (const DatasetInfo& info : kDatasets) {
+    ++census[static_cast<size_t>(CaseOf(info))];
+  }
+  return census;
+}
+
+std::vector<double> SeriesLengths() {
+  std::vector<double> values;
+  values.reserve(kNumDatasets);
+  for (const DatasetInfo& info : kDatasets) {
+    values.push_back(static_cast<double>(info.length));
+  }
+  return values;
+}
+
+}  // namespace ucr
+}  // namespace warp

@@ -1,0 +1,66 @@
+// Bundled metadata snapshot of the 128-dataset UCR Time Series
+// Classification Archive (2018 edition).
+//
+// Fig. 2 of the paper histograms two columns of the archive's published
+// summary table: the optimal warping window w (found by brute-force LOOCV)
+// and the series length. Those histograms need only the metadata, not the
+// raw series, so the table is bundled here. Values are transcribed from
+// the public archive summary; error rates and some best-w values are
+// approximate (the archive is occasionally revised), which does not affect
+// the distributional claims the figure makes. Datasets with variable
+// length (the 2018 gesture additions) carry their maximum length, as in
+// the archive's own table.
+
+#ifndef WARP_UCR_UCR_METADATA_H_
+#define WARP_UCR_UCR_METADATA_H_
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace warp {
+namespace ucr {
+
+struct DatasetInfo {
+  std::string_view name;
+  int train_size;
+  int test_size;
+  int length;           // Series length (max length for variable sets).
+  int num_classes;
+  int best_window_percent;  // Optimal w for 1-NN cDTW, percent of length.
+  double ed_error;          // 1-NN Euclidean test error.
+  double cdtw_error;        // 1-NN cDTW (best w) test error.
+};
+
+// The full archive table, sorted by name. Always 128 entries.
+std::span<const DatasetInfo> AllDatasets();
+
+// Lookup by exact name; returns nullptr if absent.
+const DatasetInfo* FindDataset(std::string_view name);
+
+// Column extractors for the Fig. 2 histograms.
+std::vector<double> BestWindowPercents();
+std::vector<double> SeriesLengths();
+
+// The paper's Table-1 quadrant for a dataset, using the paper's own
+// (avowedly subjective) boundaries: N transitions around 1,000 and W
+// around 20%.
+enum class WarpingCase {
+  kA,  // Short N, narrow W — "at least 99% of all uses".
+  kB,  // Long N, narrow W.
+  kC,  // Short N, wide W.
+  kD,  // Long N, wide W — "no obvious applications".
+};
+
+WarpingCase CaseOf(const DatasetInfo& info);
+const char* CaseName(WarpingCase c);
+
+// Counts of archive datasets per quadrant.
+std::array<size_t, 4> CaseCensus();
+
+}  // namespace ucr
+}  // namespace warp
+
+#endif  // WARP_UCR_UCR_METADATA_H_

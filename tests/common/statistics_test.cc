@@ -1,0 +1,88 @@
+// Unit tests for descriptive statistics and histograms.
+
+#include "warp/common/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warp {
+namespace {
+
+TEST(StatisticsTest, MeanMedianStd) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 3.0);
+  EXPECT_DOUBLE_EQ(Median(x), 3.0);
+  EXPECT_NEAR(StdDev(x), std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatisticsTest, MedianOfEvenCountInterpolates) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(Median(x), 2.5);
+}
+
+TEST(StatisticsTest, SingleElement) {
+  const std::vector<double> x = {7.0};
+  EXPECT_DOUBLE_EQ(Mean(x), 7.0);
+  EXPECT_DOUBLE_EQ(StdDev(x), 0.0);
+  EXPECT_DOUBLE_EQ(Median(x), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(x, 99.0), 7.0);
+}
+
+TEST(StatisticsTest, PercentileEndpoints) {
+  const std::vector<double> x = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(x, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(x, 50.0), 2.5);
+}
+
+TEST(StatisticsTest, ComputeStatsAggregates) {
+  const std::vector<double> x = {2.0, 4.0, 6.0};
+  const SampleStats stats = ComputeStats(x);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 6.0);
+  EXPECT_DOUBLE_EQ(stats.median, 4.0);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.0);   // Bin 0.
+  hist.Add(1.99);  // Bin 0.
+  hist.Add(2.0);   // Bin 1.
+  hist.Add(9.99);  // Bin 4.
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBins) {
+  Histogram hist(0.0, 10.0, 2);
+  hist.Add(-5.0);
+  hist.Add(100.0);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(1), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram hist(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(3), 7.5);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(3), 10.0);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.Add(0.5);
+  hist.Add(0.5);
+  hist.Add(1.5);
+  const std::string rendered = hist.Render(10);
+  EXPECT_NE(rendered.find("##########"), std::string::npos);
+  EXPECT_NE(rendered.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,82 @@
+// Unit tests for TablePrinter and Stopwatch.
+
+#include "warp/common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/common/stopwatch.h"
+
+namespace warp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({std::string("a"), std::string("1")});
+  table.AddRow({std::string("longer"), std::string("22")});
+  const std::string out = table.ToString();
+  // Every line has the same width.
+  size_t first_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  TablePrinter table({"x", "y"});
+  table.AddRow(std::vector<double>{1.23456, 2.0}, 2);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderSeparatorPresent) {
+  TablePrinter table({"h"});
+  table.AddRow({std::string("v")});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoubleHelper) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 0), "1");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GT(watch.ElapsedMicros(), watch.ElapsedSeconds());
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(MeasureRepeatedTest, ReportsConsistentStatistics) {
+  int calls = 0;
+  const TimingSummary summary = MeasureRepeated(
+      [&calls] {
+        ++calls;
+        volatile double sink = 0.0;
+        for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+      },
+      /*repetitions=*/5, /*warmup=*/2);
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(summary.repetitions, 5);
+  EXPECT_LE(summary.min, summary.mean);
+  EXPECT_LE(summary.mean, summary.max);
+  EXPECT_GT(summary.total, 0.0);
+  EXPECT_FALSE(summary.ToString().empty());
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,89 @@
+// Unit and property tests for Amerced DTW.
+
+#include "warp/core/adtw.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+TEST(AdtwTest, ZeroPenaltyIsExactlyDtw) {
+  Rng rng(281);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 2 + rng.UniformInt(60);
+    const size_t m = 2 + rng.UniformInt(60);
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    const std::vector<double> y = gen::RandomWalk(m, rng);
+    EXPECT_NEAR(AdtwDistance(x, y, 0.0), DtwDistance(x, y), 1e-9);
+  }
+}
+
+TEST(AdtwTest, HugePenaltyIsEuclideanOnEqualLengths) {
+  Rng rng(282);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(50, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(50, rng));
+  EXPECT_NEAR(AdtwDistance(x, y, 1e12), EuclideanDistance(x, y), 1e-6);
+}
+
+TEST(AdtwTest, MonotoneNonDecreasingInOmega) {
+  Rng rng(283);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(64, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(64, rng));
+  double previous = AdtwDistance(x, y, 0.0);
+  for (double omega : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+    const double d = AdtwDistance(x, y, omega);
+    EXPECT_GE(d, previous - 1e-12) << "omega=" << omega;
+    previous = d;
+  }
+}
+
+TEST(AdtwTest, SandwichedBetweenDtwAndEuclidean) {
+  Rng rng(284);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<double> x = ZNormalized(gen::RandomWalk(40, rng));
+    const std::vector<double> y = ZNormalized(gen::RandomWalk(40, rng));
+    const double omega = rng.Uniform(0.0, 2.0);
+    const double adtw = AdtwDistance(x, y, omega);
+    EXPECT_GE(adtw, DtwDistance(x, y) - 1e-12);
+    EXPECT_LE(adtw, EuclideanDistance(x, y) + 1e-12);
+  }
+}
+
+TEST(AdtwTest, SymmetricInArguments) {
+  Rng rng(285);
+  const std::vector<double> x = gen::RandomWalk(30, rng);
+  const std::vector<double> y = gen::RandomWalk(45, rng);
+  EXPECT_NEAR(AdtwDistance(x, y, 0.5), AdtwDistance(y, x, 0.5), 1e-9);
+}
+
+TEST(AdtwTest, SelfDistanceZeroForAnyOmega) {
+  Rng rng(286);
+  const std::vector<double> x = gen::RandomWalk(50, rng);
+  for (double omega : {0.0, 0.5, 100.0}) {
+    EXPECT_NEAR(AdtwDistance(x, x, omega), 0.0, 1e-12);
+  }
+}
+
+TEST(AdtwTest, PenaltyChargedPerNonDiagonalStep) {
+  // Singleton vs pair: the path must take exactly one non-diagonal step.
+  const std::vector<double> x = {3.0};
+  const std::vector<double> y = {3.0, 3.0};
+  EXPECT_DOUBLE_EQ(AdtwDistance(x, y, 0.25), 0.25);
+}
+
+TEST(AdtwTest, SuggestOmegaScalesWithRatio) {
+  Rng rng(287);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(64, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(64, rng));
+  EXPECT_DOUBLE_EQ(SuggestAdtwOmega(x, y, 0.0), 0.0);
+  EXPECT_NEAR(SuggestAdtwOmega(x, y, 1.0),
+              EuclideanDistance(x, y) / 64.0, 1e-12);
+  EXPECT_NEAR(SuggestAdtwOmega(x, y, 0.5),
+              0.5 * SuggestAdtwOmega(x, y, 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,34 @@
+// Unit tests for the FastDTW-paper error metric.
+
+#include "warp/core/approx_error.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace warp {
+namespace {
+
+TEST(ApproxErrorTest, ExactMatchIsZero) {
+  EXPECT_DOUBLE_EQ(ApproxErrorPercent(5.0, 5.0), 0.0);
+}
+
+TEST(ApproxErrorTest, DoubleIsHundredPercent) {
+  EXPECT_DOUBLE_EQ(ApproxErrorPercent(10.0, 5.0), 100.0);
+}
+
+TEST(ApproxErrorTest, PaperHeadlineExample) {
+  // Table 2: exact 0.020, FastDTW_20 31.24 -> ~156,100%.
+  EXPECT_NEAR(ApproxErrorPercent(31.24, 0.020), 156100.0, 0.5);
+}
+
+TEST(ApproxErrorTest, ZeroExactZeroApprox) {
+  EXPECT_DOUBLE_EQ(ApproxErrorPercent(0.0, 0.0), 0.0);
+}
+
+TEST(ApproxErrorTest, ZeroExactNonZeroApproxIsInfinite) {
+  EXPECT_TRUE(std::isinf(ApproxErrorPercent(1.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace warp

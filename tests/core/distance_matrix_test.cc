@@ -1,0 +1,67 @@
+// Unit tests for DistanceMatrix.
+
+#include "warp/core/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+
+namespace warp {
+namespace {
+
+TEST(DistanceMatrixTest, DiagonalIsZero) {
+  DistanceMatrix matrix(3);
+  EXPECT_DOUBLE_EQ(matrix.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.at(2, 2), 0.0);
+}
+
+TEST(DistanceMatrixTest, SetIsSymmetric) {
+  DistanceMatrix matrix(4);
+  matrix.set(1, 3, 2.5);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 3), 2.5);
+  EXPECT_DOUBLE_EQ(matrix.at(3, 1), 2.5);
+}
+
+TEST(DistanceMatrixTest, AllPairsIndependentlyAddressable) {
+  const size_t n = 7;
+  DistanceMatrix matrix(n);
+  double v = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, v);
+      v += 1.0;
+    }
+  }
+  v = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), v) << i << "," << j;
+      v += 1.0;
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, ComputePairwiseUsesMeasure) {
+  const std::vector<std::vector<double>> series = {
+      {0.0, 0.0}, {1.0, 1.0}, {3.0, 3.0}};
+  const DistanceMatrix matrix = ComputePairwiseMatrix(
+      series, [](std::span<const double> a, std::span<const double> b) {
+        return EuclideanDistance(a, b);
+      });
+  EXPECT_DOUBLE_EQ(matrix.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(matrix.at(0, 2), 18.0);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 2), 8.0);
+}
+
+TEST(DistanceMatrixTest, ToStringContainsLabelsAndValues) {
+  DistanceMatrix matrix(2);
+  matrix.set(0, 1, 1.5);
+  const std::vector<std::string> labels = {"A", "B"};
+  const std::string rendered = matrix.ToString(labels, 1);
+  EXPECT_NE(rendered.find("A"), std::string::npos);
+  EXPECT_NE(rendered.find("B"), std::string::npos);
+  EXPECT_NE(rendered.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warp

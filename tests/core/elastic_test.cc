@@ -1,0 +1,192 @@
+// Unit and property tests for LCSS, ERP, and MSM.
+
+#include "warp/core/elastic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+// --------------------------------------------------------------------------
+// LCSS.
+
+TEST(LcssTest, IdenticalSeriesMatchFully) {
+  Rng rng(291);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  EXPECT_EQ(LcssLength(x, x, 0.0, 0), 40u);
+  EXPECT_DOUBLE_EQ(LcssDistance(x, x, 0.0, 0), 0.0);
+}
+
+TEST(LcssTest, DisjointValueRangesShareNothing) {
+  std::vector<double> x(20, 0.0);
+  std::vector<double> y(20, 100.0);
+  EXPECT_EQ(LcssLength(x, y, 1.0, 20), 0u);
+  EXPECT_DOUBLE_EQ(LcssDistance(x, y, 1.0, 20), 1.0);
+}
+
+TEST(LcssTest, KnownSubsequence) {
+  // x = 1 2 3 4 5, y = 9 2 9 4 9: common subsequence {2, 4}.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {9, 2, 9, 4, 9};
+  EXPECT_EQ(LcssLength(x, y, 0.1, 5), 2u);
+}
+
+TEST(LcssTest, EpsilonLoosensMatching) {
+  Rng rng(292);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(60, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(60, rng));
+  size_t previous = 0;
+  for (double epsilon : {0.0, 0.1, 0.5, 1.0, 5.0}) {
+    const size_t length = LcssLength(x, y, epsilon, 60);
+    EXPECT_GE(length, previous);
+    previous = length;
+  }
+  EXPECT_EQ(previous, 60u);  // Huge epsilon matches everything.
+}
+
+TEST(LcssTest, BandRestrictsMatches) {
+  Rng rng(293);
+  const std::vector<double> x = gen::RandomWalk(50, rng);
+  std::vector<double> shifted(x.begin() + 10, x.end());
+  shifted.insert(shifted.end(), 10, x.back());
+  // Matching the 10-step shift needs a band >= 10.
+  const size_t narrow = LcssLength(x, shifted, 1e-9, 2);
+  const size_t wide = LcssLength(x, shifted, 1e-9, 15);
+  EXPECT_GT(wide, narrow);
+  EXPECT_GE(wide, 40u);
+}
+
+TEST(LcssTest, SymmetricInArguments) {
+  Rng rng(294);
+  const std::vector<double> x = gen::RandomWalk(30, rng);
+  const std::vector<double> y = gen::RandomWalk(45, rng);
+  EXPECT_EQ(LcssLength(x, y, 0.3, 10), LcssLength(y, x, 0.3, 10));
+}
+
+// --------------------------------------------------------------------------
+// ERP.
+
+TEST(ErpTest, SelfDistanceZeroAndSymmetry) {
+  Rng rng(295);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  const std::vector<double> y = gen::RandomWalk(33, rng);
+  EXPECT_DOUBLE_EQ(ErpDistance(x, x), 0.0);
+  EXPECT_NEAR(ErpDistance(x, y), ErpDistance(y, x), 1e-9);
+}
+
+TEST(ErpTest, BoundedAboveByL1OnEqualLengths) {
+  Rng rng(296);
+  const std::vector<double> x = gen::RandomWalk(50, rng);
+  const std::vector<double> y = gen::RandomWalk(50, rng);
+  double l1 = 0.0;
+  for (size_t i = 0; i < 50; ++i) l1 += std::fabs(x[i] - y[i]);
+  EXPECT_LE(ErpDistance(x, y), l1 + 1e-9);
+}
+
+TEST(ErpTest, GapChargesAgainstReference) {
+  // x = {5}, y = {5, 2}: either match 5-5 and gap 2 (|2 - g|) or other
+  // combos; with g = 0 the answer is 2.
+  const std::vector<double> x = {5.0};
+  const std::vector<double> y = {5.0, 2.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 0.0), 2.0);
+  // With g = 2 the gap is free.
+  EXPECT_DOUBLE_EQ(ErpDistance(x, y, 2.0), 0.0 + std::fabs(5 - 5));
+}
+
+TEST(ErpTest, TriangleInequalityHolds) {
+  // ERP is a metric; spot-check on random triples.
+  Rng rng(297);
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<double> a = gen::RandomWalk(10 + rng.UniformInt(20), rng);
+    const std::vector<double> b = gen::RandomWalk(10 + rng.UniformInt(20), rng);
+    const std::vector<double> c = gen::RandomWalk(10 + rng.UniformInt(20), rng);
+    const double ab = ErpDistance(a, b);
+    const double bc = ErpDistance(b, c);
+    const double ac = ErpDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9) << "round=" << round;
+  }
+}
+
+TEST(ErpTest, TotalGapEqualsReferenceMass) {
+  // Against a single zero point with g = 0, everything in x is gapped:
+  // distance = sum |x_i| (plus matching one element against 0).
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const std::vector<double> zero = {0.0};
+  EXPECT_DOUBLE_EQ(ErpDistance(x, zero, 0.0), 6.0);
+}
+
+// --------------------------------------------------------------------------
+// MSM.
+
+TEST(MsmTest, SelfDistanceZeroAndSymmetry) {
+  Rng rng(298);
+  const std::vector<double> x = gen::RandomWalk(30, rng);
+  const std::vector<double> y = gen::RandomWalk(40, rng);
+  EXPECT_DOUBLE_EQ(MsmDistance(x, x), 0.0);
+  EXPECT_NEAR(MsmDistance(x, y, 0.5), MsmDistance(y, x, 0.5), 1e-9);
+}
+
+TEST(MsmTest, HugeCostForcesPointwiseL1OnEqualLengths) {
+  Rng rng(299);
+  const std::vector<double> x = gen::RandomWalk(25, rng);
+  const std::vector<double> y = gen::RandomWalk(25, rng);
+  double l1 = 0.0;
+  for (size_t i = 0; i < 25; ++i) l1 += std::fabs(x[i] - y[i]);
+  EXPECT_NEAR(MsmDistance(x, y, 1e9), l1, 1e-6);
+}
+
+TEST(MsmTest, SplitCostChargedForLengthMismatch) {
+  // x = {3}, y = {3, 3}: one merge at cost c (values equal, between).
+  const std::vector<double> x = {3.0};
+  const std::vector<double> y = {3.0, 3.0};
+  EXPECT_DOUBLE_EQ(MsmDistance(x, y, 0.25), 0.25);
+}
+
+TEST(MsmTest, MonotoneInCost) {
+  Rng rng(300);
+  const std::vector<double> x = gen::RandomWalk(30, rng);
+  const std::vector<double> y = gen::RandomWalk(45, rng);
+  double previous = MsmDistance(x, y, 0.0);
+  for (double c : {0.01, 0.1, 1.0, 10.0}) {
+    const double d = MsmDistance(x, y, c);
+    EXPECT_GE(d, previous - 1e-12);
+    previous = d;
+  }
+}
+
+TEST(MsmTest, TriangleInequalityHolds) {
+  Rng rng(301);
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<double> a = gen::RandomWalk(8 + rng.UniformInt(16), rng);
+    const std::vector<double> b = gen::RandomWalk(8 + rng.UniformInt(16), rng);
+    const std::vector<double> c = gen::RandomWalk(8 + rng.UniformInt(16), rng);
+    EXPECT_LE(MsmDistance(a, c), MsmDistance(a, b) + MsmDistance(b, c) + 1e-9)
+        << "round=" << round;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Cross-measure sanity: on a warped pair, every elastic measure should
+// beat its rigid counterpart.
+
+TEST(ElasticTest, AllMeasuresAbsorbAWarp) {
+  Rng rng(302);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(100, rng));
+  std::vector<double> y = x;
+  y.erase(y.begin(), y.begin() + 3);  // Small shift via deletion.
+  y.insert(y.end(), 3, x.back());
+  double l1 = 0.0;
+  for (size_t i = 0; i < 100; ++i) l1 += std::fabs(x[i] - y[i]);
+  EXPECT_LT(ErpDistance(x, y), l1);
+  EXPECT_LT(MsmDistance(x, y, 0.1), l1);
+  EXPECT_LT(LcssDistance(x, y, 0.1, 10), 0.3);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,73 @@
+// Unit tests for the Lemire streaming envelope.
+
+#include "warp/core/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(EnvelopeTest, BandZeroIsTheSeriesItself) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const Envelope env = ComputeEnvelope(x, 0);
+  EXPECT_EQ(env.upper, x);
+  EXPECT_EQ(env.lower, x);
+}
+
+TEST(EnvelopeTest, HugeBandIsGlobalMinMax) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const Envelope env = ComputeEnvelope(x, 100);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.upper[i], 5.0);
+    EXPECT_DOUBLE_EQ(env.lower[i], 1.0);
+  }
+}
+
+TEST(EnvelopeTest, SmallHandExample) {
+  const std::vector<double> x = {0.0, 2.0, 1.0, 3.0};
+  const Envelope env = ComputeEnvelope(x, 1);
+  EXPECT_EQ(env.upper, (std::vector<double>{2.0, 2.0, 3.0, 3.0}));
+  EXPECT_EQ(env.lower, (std::vector<double>{0.0, 0.0, 1.0, 1.0}));
+}
+
+TEST(EnvelopeTest, EnvelopeSandwichesSeries) {
+  Rng rng(41);
+  const std::vector<double> x = gen::RandomWalk(300, rng);
+  for (size_t band : {0u, 1u, 5u, 20u}) {
+    const Envelope env = ComputeEnvelope(x, band);
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_LE(env.lower[i], x[i]);
+      EXPECT_GE(env.upper[i], x[i]);
+    }
+  }
+}
+
+TEST(EnvelopeTest, StreamingMatchesNaiveReference) {
+  Rng rng(42);
+  for (int round = 0; round < 10; ++round) {
+    const size_t n = 1 + rng.UniformInt(200);
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    for (size_t band : {0u, 1u, 2u, 7u, 50u, 500u}) {
+      const Envelope fast = ComputeEnvelope(x, band);
+      const Envelope naive = ComputeEnvelopeNaive(x, band);
+      EXPECT_EQ(fast.upper, naive.upper) << "n=" << n << " band=" << band;
+      EXPECT_EQ(fast.lower, naive.lower) << "n=" << n << " band=" << band;
+    }
+  }
+}
+
+TEST(EnvelopeTest, WiderBandLoosensEnvelope) {
+  Rng rng(43);
+  const std::vector<double> x = gen::RandomWalk(100, rng);
+  const Envelope narrow = ComputeEnvelope(x, 2);
+  const Envelope wide = ComputeEnvelope(x, 10);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(wide.lower[i], narrow.lower[i]);
+    EXPECT_GE(wide.upper[i], narrow.upper[i]);
+  }
+}
+
+}  // namespace
+}  // namespace warp

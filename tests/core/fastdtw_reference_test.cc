@@ -1,0 +1,109 @@
+// Unit tests for the literal port of the reference FastDTW package, and
+// differential tests against the optimized reimplementation.
+
+#include "warp/core/fastdtw_reference.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/fastdtw.h"
+#include "warp/gen/adversarial.h"
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(ReferenceFastDtwTest, IdenticalSeriesIsZero) {
+  Rng rng(1);
+  const std::vector<double> x = gen::RandomWalk(120, rng);
+  const DtwResult result = ReferenceFastDtw(x, x, 1);
+  EXPECT_NEAR(result.distance, 0.0, 1e-12);
+  EXPECT_TRUE(result.path.IsValid(x.size(), x.size()));
+}
+
+TEST(ReferenceFastDtwTest, BaseCaseIsExactDtw) {
+  Rng rng(2);
+  const std::vector<double> x = gen::RandomWalk(12, rng);
+  const std::vector<double> y = gen::RandomWalk(9, rng);
+  EXPECT_NEAR(ReferenceFastDtw(x, y, 12).distance, DtwDistance(x, y), 1e-9);
+}
+
+TEST(ReferenceFastDtwTest, NeverUndershootsExactDtw) {
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    const size_t n = 16 + rng.UniformInt(150);
+    const size_t m = 16 + rng.UniformInt(150);
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    const std::vector<double> y = gen::RandomWalk(m, rng);
+    const double exact = DtwDistance(x, y);
+    for (size_t radius : {0u, 1u, 2u, 10u}) {
+      EXPECT_GE(ReferenceFastDtw(x, y, radius).distance, exact - 1e-9)
+          << "n=" << n << " m=" << m << " r=" << radius;
+    }
+  }
+}
+
+TEST(ReferenceFastDtwTest, PathIsValidAndCostsItsDistance) {
+  Rng rng(4);
+  const std::vector<double> x = gen::RandomWalk(143, rng);  // Odd length.
+  const std::vector<double> y = gen::RandomWalk(200, rng);
+  for (size_t radius : {0u, 1u, 5u}) {
+    const DtwResult result = ReferenceFastDtw(x, y, radius);
+    EXPECT_TRUE(result.path.IsValid(x.size(), y.size())) << "r=" << radius;
+    EXPECT_NEAR(result.path.CostAlong(x, y), result.distance, 1e-9);
+  }
+}
+
+TEST(ReferenceFastDtwTest, AgreesWithOptimizedImplementationClosely) {
+  // The two implementations build their windows with slightly different
+  // (but same-radius) semantics, so exact equality is not guaranteed;
+  // they must agree to within a small relative tolerance across a batch.
+  Rng rng(5);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<double> x = gen::RandomWalk(200, rng);
+    const std::vector<double> y = gen::RandomWalk(200, rng);
+    for (size_t radius : {1u, 5u, 20u}) {
+      const double reference = ReferenceFastDtw(x, y, radius).distance;
+      const double optimized = FastDtwDistance(x, y, radius);
+      EXPECT_NEAR(optimized, reference,
+                  0.05 * reference + 1e-6)
+          << "round=" << round << " r=" << radius;
+    }
+  }
+}
+
+TEST(ReferenceFastDtwTest, ReproducesAdversarialFailure) {
+  // The reference package fails on the Appendix-A pair the same way.
+  const gen::AdversarialTriple triple = gen::MakeAdversarialTriple();
+  const double exact = DtwDistance(triple.a, triple.b);
+  const double reference = ReferenceFastDtw(triple.a, triple.b, 20).distance;
+  EXPECT_GT(reference, 100.0 * exact);
+}
+
+TEST(ReferenceMultiFastDtwTest, SingleChannelMatchesScalar) {
+  Rng rng(6);
+  const std::vector<double> x = gen::RandomWalk(90, rng);
+  const std::vector<double> y = gen::RandomWalk(110, rng);
+  const MultiSeries mx(std::vector<std::vector<double>>{x});
+  const MultiSeries my(std::vector<std::vector<double>>{y});
+  EXPECT_NEAR(ReferenceMultiFastDtw(mx, my, 3).distance,
+              ReferenceFastDtw(x, y, 3).distance, 1e-9);
+}
+
+TEST(ReferenceFastDtwTest, CountsMoreOverheadThanOptimized) {
+  // Not a timing test (too flaky in CI); instead assert the structural
+  // fact that both visit a comparable number of cells, so any speed gap
+  // is pure constant factor.
+  Rng rng(7);
+  const std::vector<double> x = gen::RandomWalk(512, rng);
+  const std::vector<double> y = gen::RandomWalk(512, rng);
+  const uint64_t reference_cells =
+      ReferenceFastDtw(x, y, 10).cells_visited;
+  const uint64_t optimized_cells = FastDtw(x, y, 10).cells_visited;
+  EXPECT_LT(reference_cells, optimized_cells * 2);
+  EXPECT_GT(reference_cells, optimized_cells / 2);
+}
+
+}  // namespace
+}  // namespace warp

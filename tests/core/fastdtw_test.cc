@@ -1,0 +1,157 @@
+// Unit tests for FastDTW: base cases, approximation guarantees, radius
+// monotonicity trends, and the adversarial failure mode from Appendix A.
+
+#include "warp/core/fastdtw.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/approx_error.h"
+#include "warp/gen/adversarial.h"
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(FastDtwTest, IdenticalSeriesIsZero) {
+  Rng rng(1);
+  const std::vector<double> x = gen::RandomWalk(200, rng);
+  const DtwResult result = FastDtw(x, x, 1);
+  EXPECT_NEAR(result.distance, 0.0, 1e-12);
+  EXPECT_TRUE(result.path.IsValid(x.size(), x.size()));
+}
+
+TEST(FastDtwTest, ShortSeriesFallBackToExactDtw) {
+  // Below radius + 2 the recursion bottoms out at exact DTW.
+  Rng rng(2);
+  const std::vector<double> x = gen::RandomWalk(10, rng);
+  const std::vector<double> y = gen::RandomWalk(10, rng);
+  EXPECT_DOUBLE_EQ(FastDtwDistance(x, y, /*radius=*/10), DtwDistance(x, y));
+}
+
+TEST(FastDtwTest, HugeRadiusReproducesExactDtw) {
+  Rng rng(3);
+  const std::vector<double> x = gen::RandomWalk(300, rng);
+  const std::vector<double> y = gen::RandomWalk(300, rng);
+  // radius >= length: every level's window is the full matrix.
+  EXPECT_NEAR(FastDtwDistance(x, y, 300), DtwDistance(x, y), 1e-9);
+}
+
+TEST(FastDtwTest, NeverUndershootsExactDtw) {
+  // FastDTW restricts the search space, so its path cost is always >= the
+  // true optimum — the core approximation property.
+  Rng rng(4);
+  for (int round = 0; round < 15; ++round) {
+    const size_t n = 20 + rng.UniformInt(200);
+    const size_t m = 20 + rng.UniformInt(200);
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    const std::vector<double> y = gen::RandomWalk(m, rng);
+    const double exact = DtwDistance(x, y);
+    for (size_t radius : {0u, 1u, 2u, 5u, 10u}) {
+      EXPECT_GE(FastDtwDistance(x, y, radius), exact - 1e-9)
+          << "n=" << n << " m=" << m << " radius=" << radius;
+    }
+  }
+}
+
+TEST(FastDtwTest, ReturnedPathIsValidAndCostsItsDistance) {
+  Rng rng(5);
+  for (size_t radius : {0u, 1u, 3u, 7u}) {
+    const std::vector<double> x = gen::RandomWalk(157, rng);  // Odd length.
+    const std::vector<double> y = gen::RandomWalk(212, rng);
+    const DtwResult result = FastDtw(x, y, radius);
+    EXPECT_TRUE(result.path.IsValid(x.size(), y.size()))
+        << "radius=" << radius;
+    EXPECT_NEAR(result.path.CostAlong(x, y), result.distance, 1e-9);
+  }
+}
+
+TEST(FastDtwTest, OddLengthsAndRadiusZero) {
+  // The corner the reference implementation mishandles: odd lengths leave
+  // the last row/column uncovered by the projected window at radius 0.
+  // Our canonicalization must still produce a complete path.
+  Rng rng(6);
+  const std::vector<double> x = gen::RandomWalk(101, rng);
+  const std::vector<double> y = gen::RandomWalk(99, rng);
+  const DtwResult result = FastDtw(x, y, 0);
+  EXPECT_TRUE(result.path.IsValid(101, 99));
+  EXPECT_GE(result.distance, DtwDistance(x, y) - 1e-9);
+}
+
+TEST(FastDtwTest, LargerRadiusVisitsMoreCells) {
+  Rng rng(7);
+  const std::vector<double> x = gen::RandomWalk(500, rng);
+  const std::vector<double> y = gen::RandomWalk(500, rng);
+  const uint64_t cells_r1 = FastDtw(x, y, 1).cells_visited;
+  const uint64_t cells_r10 = FastDtw(x, y, 10).cells_visited;
+  const uint64_t cells_r40 = FastDtw(x, y, 40).cells_visited;
+  EXPECT_LT(cells_r1, cells_r10);
+  EXPECT_LT(cells_r10, cells_r40);
+}
+
+TEST(FastDtwTest, ApproximationImprovesWithRadiusOnAverage) {
+  // Not guaranteed pairwise, but the mean error over a batch must shrink
+  // from a tiny radius to a large one.
+  Rng rng(8);
+  double total_error_r0 = 0.0;
+  double total_error_r20 = 0.0;
+  const int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::vector<double> x = gen::RandomWalk(256, rng);
+    const std::vector<double> y = gen::RandomWalk(256, rng);
+    const double exact = DtwDistance(x, y);
+    total_error_r0 += ApproxErrorPercent(FastDtwDistance(x, y, 0), exact);
+    total_error_r20 += ApproxErrorPercent(FastDtwDistance(x, y, 20), exact);
+  }
+  EXPECT_LE(total_error_r20, total_error_r0);
+}
+
+TEST(FastDtwTest, AdversarialPairProducesHugeError) {
+  // The Appendix-A construction: full DTW finds a near-perfect alignment,
+  // FastDTW (radius 20, as in the paper's Table 2) pays the burst energy.
+  const gen::AdversarialTriple triple = gen::MakeAdversarialTriple();
+  const double exact = DtwDistance(triple.a, triple.b);
+  const double approx = FastDtwDistance(triple.a, triple.b, 20);
+  ASSERT_GT(exact, 0.0);
+  const double error_percent = ApproxErrorPercent(approx, exact);
+  // The paper reports 156,100%; we only require "catastrophic".
+  EXPECT_GT(error_percent, 1000.0)
+      << "exact=" << exact << " approx=" << approx;
+}
+
+TEST(FastDtwTest, AdversarialCPairsAreNotAffected) {
+  // d(A,C) and d(B,C) should be essentially identical under both
+  // measures, as in the paper's Table 2.
+  const gen::AdversarialTriple triple = gen::MakeAdversarialTriple();
+  const double exact_ac = DtwDistance(triple.a, triple.c);
+  const double approx_ac = FastDtwDistance(triple.a, triple.c, 20);
+  EXPECT_LT(ApproxErrorPercent(approx_ac, exact_ac), 25.0);
+}
+
+TEST(MultiFastDtwTest, SingleChannelMatchesScalarFastDtw) {
+  Rng rng(9);
+  const std::vector<double> x = gen::RandomWalk(200, rng);
+  const std::vector<double> y = gen::RandomWalk(180, rng);
+  const MultiSeries mx(std::vector<std::vector<double>>{x});
+  const MultiSeries my(std::vector<std::vector<double>>{y});
+  EXPECT_NEAR(MultiFastDtw(mx, my, 5).distance, FastDtwDistance(x, y, 5),
+              1e-9);
+}
+
+TEST(MultiFastDtwTest, NeverUndershootsExactMultiDtw) {
+  Rng rng(10);
+  const MultiSeries mx(std::vector<std::vector<double>>{
+      gen::RandomWalk(120, rng), gen::RandomWalk(120, rng),
+      gen::RandomWalk(120, rng)});
+  const MultiSeries my(std::vector<std::vector<double>>{
+      gen::RandomWalk(120, rng), gen::RandomWalk(120, rng),
+      gen::RandomWalk(120, rng)});
+  const double exact = MultiDtwDistance(mx, my);
+  for (size_t radius : {0u, 2u, 8u}) {
+    EXPECT_GE(MultiFastDtw(mx, my, radius).distance, exact - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,127 @@
+// Unit and property tests for the lower-bound cascade. The indispensable
+// property: every bound really is a lower bound of the cDTW distance it
+// prunes for — otherwise the "exact" accelerated search would be wrong.
+
+#include "warp/core/lower_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+TEST(LbKimTest, EndpointCosts) {
+  const std::vector<double> x = {1.0, 9.0, 2.0};
+  const std::vector<double> y = {2.0, 7.0, 4.0};
+  EXPECT_DOUBLE_EQ(LbKimFl(x, y), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(LbKimFl(x, y, CostKind::kAbsolute), 1.0 + 2.0);
+}
+
+TEST(LbKimTest, LowerBoundsFullDtw) {
+  Rng rng(51);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<double> x = gen::RandomWalk(40, rng);
+    const std::vector<double> y = gen::RandomWalk(40, rng);
+    EXPECT_LE(LbKimFl(x, y), DtwDistance(x, y) + 1e-12);
+  }
+}
+
+TEST(LbKeoghTest, ZeroForSeriesInsideEnvelope) {
+  const std::vector<double> q = {0.0, 1.0, 0.0, -1.0, 0.0};
+  const Envelope env = ComputeEnvelope(q, 2);
+  // q itself is always inside its own envelope.
+  EXPECT_DOUBLE_EQ(LbKeogh(env, q), 0.0);
+}
+
+TEST(LbKeoghTest, CountsOnlyExcursions) {
+  const std::vector<double> q = {0.0, 0.0, 0.0};
+  const Envelope env = ComputeEnvelope(q, 0);  // upper = lower = 0.
+  const std::vector<double> c = {1.0, -2.0, 0.0};
+  EXPECT_DOUBLE_EQ(LbKeogh(env, c), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(LbKeogh(env, c, CostKind::kAbsolute), 3.0);
+}
+
+TEST(LbKeoghTest, LowerBoundsCdtwAtMatchingBand) {
+  Rng rng(52);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 8 + rng.UniformInt(60);
+    const std::vector<double> q =
+        ZNormalized(gen::RandomWalk(n, rng));
+    const std::vector<double> c =
+        ZNormalized(gen::RandomWalk(n, rng));
+    for (size_t band : {0u, 1u, 3u, 10u}) {
+      const Envelope env = ComputeEnvelope(q, band);
+      const double lb = LbKeogh(env, c);
+      const double d = CdtwDistance(q, c, band);
+      EXPECT_LE(lb, d + 1e-9) << "n=" << n << " band=" << band;
+    }
+  }
+}
+
+TEST(LbKeoghTest, SymmetricBoundIsTighterAndStillValid) {
+  Rng rng(53);
+  for (int round = 0; round < 30; ++round) {
+    const size_t n = 16 + rng.UniformInt(50);
+    const std::vector<double> q = ZNormalized(gen::RandomWalk(n, rng));
+    const std::vector<double> c = ZNormalized(gen::RandomWalk(n, rng));
+    const size_t band = 4;
+    const Envelope eq = ComputeEnvelope(q, band);
+    const Envelope ec = ComputeEnvelope(c, band);
+    const double one_sided = LbKeogh(eq, c);
+    const double symmetric = LbKeoghSymmetric(eq, q, ec, c);
+    const double d = CdtwDistance(q, c, band);
+    EXPECT_GE(symmetric, one_sided - 1e-12);
+    EXPECT_LE(symmetric, d + 1e-9);
+  }
+}
+
+TEST(LbKeoghTest, EarlyAbandonReturnsValueAboveThreshold) {
+  const std::vector<double> q(100, 0.0);
+  const Envelope env = ComputeEnvelope(q, 2);
+  std::vector<double> c(100, 5.0);  // Every point is an excursion of 25.
+  const double bound = LbKeogh(env, c, CostKind::kSquared, 50.0);
+  EXPECT_GT(bound, 50.0);
+  // And the abandoned value never exceeds the exact bound.
+  EXPECT_LE(bound, LbKeogh(env, c) + 1e-12);
+}
+
+TEST(LbImprovedTest, AtLeastLbKeoghAndStillALowerBound) {
+  Rng rng(55);
+  for (int round = 0; round < 40; ++round) {
+    const size_t n = 16 + rng.UniformInt(60);
+    const std::vector<double> q = ZNormalized(gen::RandomWalk(n, rng));
+    const std::vector<double> c = ZNormalized(gen::RandomWalk(n, rng));
+    for (size_t band : {1u, 4u, 10u}) {
+      const Envelope env = ComputeEnvelope(q, band);
+      const double keogh = LbKeogh(env, c);
+      const double improved = LbImproved(env, q, c, band);
+      const double d = CdtwDistance(q, c, band);
+      EXPECT_GE(improved, keogh - 1e-12) << "n=" << n << " band=" << band;
+      EXPECT_LE(improved, d + 1e-9) << "n=" << n << " band=" << band;
+    }
+  }
+}
+
+TEST(LbImprovedTest, ZeroWhenCandidateInsideEnvelope) {
+  const std::vector<double> q = {0.0, 1.0, 0.0, -1.0, 0.0};
+  const Envelope env = ComputeEnvelope(q, 2);
+  EXPECT_DOUBLE_EQ(LbImproved(env, q, q, 2), 0.0);
+}
+
+TEST(LbKeoghTest, WiderBandWeakensBound) {
+  Rng rng(54);
+  const std::vector<double> q = ZNormalized(gen::RandomWalk(64, rng));
+  const std::vector<double> c = ZNormalized(gen::RandomWalk(64, rng));
+  double previous = LbKeogh(ComputeEnvelope(q, 0), c);
+  for (size_t band : {1u, 2u, 4u, 8u, 16u}) {
+    const double lb = LbKeogh(ComputeEnvelope(q, band), c);
+    EXPECT_LE(lb, previous + 1e-12);
+    previous = lb;
+  }
+}
+
+}  // namespace
+}  // namespace warp

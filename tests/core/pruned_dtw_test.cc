@@ -1,0 +1,101 @@
+// Differential and property tests for PrunedDTW: always exact, never
+// more work than the plain kernel.
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+TEST(PrunedDtwTest, AlwaysEqualsPlainCdtw) {
+  Rng rng(251);
+  for (int round = 0; round < 100; ++round) {
+    const size_t n = 2 + rng.UniformInt(100);
+    const std::vector<double> x = ZNormalized(gen::RandomWalk(n, rng));
+    const std::vector<double> y = ZNormalized(gen::RandomWalk(n, rng));
+    for (size_t band : {0u, 2u, 8u, 1000u}) {
+      const double plain = CdtwDistance(x, y, band);
+      const double pruned = PrunedCdtwDistance(x, y, band);
+      ASSERT_NEAR(pruned, plain, 1e-9)
+          << "n=" << n << " band=" << band << " round=" << round;
+    }
+  }
+}
+
+TEST(PrunedDtwTest, NeverVisitsMoreCellsThanPlain) {
+  Rng rng(252);
+  for (int round = 0; round < 30; ++round) {
+    const size_t n = 16 + rng.UniformInt(150);
+    const std::vector<double> x = ZNormalized(gen::RandomWalk(n, rng));
+    const std::vector<double> y = ZNormalized(gen::RandomWalk(n, rng));
+    const size_t band = 4 + rng.UniformInt(20);
+    uint64_t plain_cells = 0;
+    uint64_t pruned_cells = 0;
+    CdtwDistance(x, y, band, CostKind::kSquared, nullptr, &plain_cells);
+    PrunedCdtwDistance(x, y, band, CostKind::kSquared, -1.0, nullptr,
+                       &pruned_cells);
+    EXPECT_LE(pruned_cells, plain_cells);
+  }
+}
+
+TEST(PrunedDtwTest, SimilarSeriesPruneHard) {
+  // When the series are near-copies the Euclidean bound is tight and
+  // pruning should skip a large share of the band.
+  Rng rng(253);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(500, rng));
+  const std::vector<double> y =
+      ZNormalized(gen::ApplyRandomWarp(x, 0.02, rng));
+  const size_t band = 100;  // 20% band, far wider than the 2% warp.
+  uint64_t plain_cells = 0;
+  uint64_t pruned_cells = 0;
+  CdtwDistance(x, y, band, CostKind::kSquared, nullptr, &plain_cells);
+  const double d = PrunedCdtwDistance(x, y, band, CostKind::kSquared, -1.0,
+                                      nullptr, &pruned_cells);
+  EXPECT_NEAR(d, CdtwDistance(x, y, band), 1e-9);
+  // The loose Euclidean bound prunes a modest but real share here; the
+  // dramatic savings come from tight best-so-far bounds (next test).
+  EXPECT_LT(pruned_cells, plain_cells * 9 / 10)
+      << pruned_cells << " vs " << plain_cells;
+}
+
+TEST(PrunedDtwTest, TighterCallerBoundPrunesMore) {
+  Rng rng(254);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(300, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(300, rng));
+  const size_t band = 50;
+  const double exact = CdtwDistance(x, y, band);
+
+  uint64_t loose_cells = 0;
+  uint64_t tight_cells = 0;
+  PrunedCdtwDistance(x, y, band, CostKind::kSquared, -1.0, nullptr,
+                     &loose_cells);
+  const double with_tight = PrunedCdtwDistance(
+      x, y, band, CostKind::kSquared, exact * 1.0001, nullptr, &tight_cells);
+  EXPECT_NEAR(with_tight, exact, 1e-9);
+  EXPECT_LE(tight_cells, loose_cells);
+}
+
+TEST(PrunedDtwTest, TooTightBoundReturnsInfinityNotGarbage) {
+  Rng rng(255);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(64, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(64, rng));
+  const double exact = CdtwDistance(x, y, 8);
+  const double result =
+      PrunedCdtwDistance(x, y, 8, CostKind::kSquared, exact * 0.5);
+  EXPECT_TRUE(std::isinf(result) || result >= exact - 1e-9);
+}
+
+TEST(PrunedDtwTest, AbsoluteCostKindWorksToo) {
+  Rng rng(256);
+  const std::vector<double> x = ZNormalized(gen::RandomWalk(80, rng));
+  const std::vector<double> y = ZNormalized(gen::RandomWalk(80, rng));
+  EXPECT_NEAR(PrunedCdtwDistance(x, y, 10, CostKind::kAbsolute),
+              CdtwDistance(x, y, 10, CostKind::kAbsolute), 1e-9);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,98 @@
+// Unit tests for open-boundary (subsequence) DTW.
+
+#include "warp/core/subsequence_dtw.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+
+namespace warp {
+namespace {
+
+TEST(SubsequenceDtwTest, ExactEmbeddedCopyScoresZero) {
+  Rng rng(181);
+  std::vector<double> series = gen::RandomWalk(300, rng);
+  const std::vector<double> query(series.begin() + 100,
+                                  series.begin() + 150);
+  const SubsequenceAlignment alignment = SubsequenceDtw(query, series);
+  EXPECT_NEAR(alignment.distance, 0.0, 1e-12);
+  EXPECT_EQ(alignment.start, 100u);
+  EXPECT_EQ(alignment.end, 149u);
+}
+
+TEST(SubsequenceDtwTest, DistanceOnlyMatchesFullVariant) {
+  Rng rng(182);
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<double> series = gen::RandomWalk(120, rng);
+    const std::vector<double> query = gen::RandomWalk(30, rng);
+    EXPECT_NEAR(SubsequenceDtw(query, series).distance,
+                SubsequenceDtwDistance(query, series), 1e-9);
+  }
+}
+
+TEST(SubsequenceDtwTest, NeverAboveFullDtw) {
+  // Aligning to any subsequence can only beat (or tie) explaining the
+  // whole series.
+  Rng rng(183);
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<double> series = gen::RandomWalk(80, rng);
+    const std::vector<double> query = gen::RandomWalk(40, rng);
+    EXPECT_LE(SubsequenceDtwDistance(query, series),
+              DtwDistance(query, series) + 1e-9);
+  }
+}
+
+TEST(SubsequenceDtwTest, FindsWarpedEmbeddedCopy) {
+  Rng rng(184);
+  std::vector<double> series = gen::RandomWalk(400, rng);
+  std::vector<double> query = gen::RandomWalk(60, rng);
+  for (double& v : query) v += 20.0;  // Keep it distinct from the noise.
+  const std::vector<double> warped = gen::ApplyRandomWarp(query, 0.05, rng);
+  for (size_t i = 0; i < warped.size(); ++i) series[250 + i] = warped[i];
+  const SubsequenceAlignment alignment = SubsequenceDtw(query, series);
+  EXPECT_NEAR(static_cast<double>(alignment.start), 250.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(alignment.end), 309.0, 5.0);
+}
+
+TEST(SubsequenceDtwTest, PathIsMonotoneAndAnchored) {
+  Rng rng(185);
+  const std::vector<double> series = gen::RandomWalk(100, rng);
+  const std::vector<double> query = gen::RandomWalk(25, rng);
+  const SubsequenceAlignment alignment = SubsequenceDtw(query, series);
+  ASSERT_FALSE(alignment.path.empty());
+  EXPECT_EQ(alignment.path.front().i, 0u);
+  EXPECT_EQ(alignment.path.front().j, alignment.start);
+  EXPECT_EQ(alignment.path.back().i, query.size() - 1);
+  EXPECT_EQ(alignment.path.back().j, alignment.end);
+  for (size_t k = 1; k < alignment.path.size(); ++k) {
+    const auto& prev = alignment.path[k - 1];
+    const auto& cur = alignment.path[k];
+    EXPECT_GE(cur.i, prev.i);
+    EXPECT_GE(cur.j, prev.j);
+    EXPECT_LE(cur.i - prev.i, 1u);
+    EXPECT_LE(cur.j - prev.j, 1u);
+  }
+}
+
+TEST(SubsequenceDtwTest, QueryLongerThanSeriesStillWorks) {
+  Rng rng(186);
+  const std::vector<double> query = gen::RandomWalk(50, rng);
+  const std::vector<double> series = gen::RandomWalk(20, rng);
+  const SubsequenceAlignment alignment = SubsequenceDtw(query, series);
+  EXPECT_GE(alignment.distance, 0.0);
+  EXPECT_LT(alignment.end, series.size());
+}
+
+TEST(SubsequenceDtwTest, SingletonQueryPicksClosestPoint) {
+  const std::vector<double> query = {5.0};
+  const std::vector<double> series = {0.0, 4.0, 9.0, 5.5};
+  const SubsequenceAlignment alignment = SubsequenceDtw(query, series);
+  EXPECT_EQ(alignment.start, 3u);
+  EXPECT_EQ(alignment.end, 3u);
+  EXPECT_NEAR(alignment.distance, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace warp

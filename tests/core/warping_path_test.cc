@@ -1,0 +1,109 @@
+// Unit tests for WarpingPath invariants and utilities.
+
+#include "warp/core/warping_path.h"
+
+#include <gtest/gtest.h>
+
+namespace warp {
+namespace {
+
+WarpingPath DiagonalPath(uint32_t n) {
+  WarpingPath path;
+  for (uint32_t k = 0; k < n; ++k) path.Append(k, k);
+  return path;
+}
+
+TEST(WarpingPathTest, DiagonalPathIsValid) {
+  EXPECT_TRUE(DiagonalPath(5).IsValid(5, 5));
+}
+
+TEST(WarpingPathTest, EmptyPathIsInvalid) {
+  WarpingPath path;
+  std::string error;
+  EXPECT_FALSE(path.Validate(3, 3, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST(WarpingPathTest, WrongStartIsInvalid) {
+  WarpingPath path;
+  path.Append(1, 0);
+  path.Append(2, 1);
+  std::string error;
+  EXPECT_FALSE(path.Validate(3, 2, &error));
+  EXPECT_NE(error.find("start"), std::string::npos);
+}
+
+TEST(WarpingPathTest, WrongEndIsInvalid) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(1, 1);
+  EXPECT_FALSE(path.IsValid(3, 3));
+}
+
+TEST(WarpingPathTest, JumpStepIsInvalid) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(2, 2);  // Skips a row and a column.
+  std::string error;
+  EXPECT_FALSE(path.Validate(3, 3, &error));
+  EXPECT_NE(error.find("illegal step"), std::string::npos);
+}
+
+TEST(WarpingPathTest, BackwardsStepIsInvalid) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(1, 1);
+  path.Append(1, 0);  // Moves left.
+  path.Append(2, 1);
+  EXPECT_FALSE(path.IsValid(3, 2));
+}
+
+TEST(WarpingPathTest, StationaryStepIsInvalid) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(0, 0);
+  path.Append(1, 1);
+  EXPECT_FALSE(path.IsValid(2, 2));
+}
+
+TEST(WarpingPathTest, CostAlongDiagonal) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(DiagonalPath(3).CostAlong(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(DiagonalPath(3).CostAlong(x, y, CostKind::kAbsolute), 1.0);
+}
+
+TEST(WarpingPathTest, PerRowColumnRanges) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(0, 1);
+  path.Append(1, 2);
+  path.Append(2, 2);
+  const auto ranges = path.PerRowColumnRanges(3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(ranges[1], (std::pair<uint32_t, uint32_t>{2, 2}));
+  EXPECT_EQ(ranges[2], (std::pair<uint32_t, uint32_t>{2, 2}));
+}
+
+TEST(WarpingPathTest, MaxDiagonalDeviation) {
+  WarpingPath path;
+  path.Append(0, 0);
+  path.Append(0, 1);
+  path.Append(0, 2);
+  path.Append(1, 3);
+  EXPECT_EQ(path.MaxDiagonalDeviation(), 2u);
+  EXPECT_EQ(DiagonalPath(4).MaxDiagonalDeviation(), 0u);
+}
+
+TEST(WarpingPathTest, ReverseReversesOrder) {
+  WarpingPath path;
+  path.Append(2, 2);
+  path.Append(1, 1);
+  path.Append(0, 0);
+  path.Reverse();
+  EXPECT_TRUE(path.IsValid(3, 3));
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,106 @@
+// Unit tests for Weighted DTW.
+
+#include "warp/core/wdtw.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(WdtwWeightsTest, MonotoneNonDecreasingInPhase) {
+  const std::vector<double> weights = MakeWdtwWeights(100, 0.1);
+  for (size_t d = 1; d < weights.size(); ++d) {
+    EXPECT_GE(weights[d], weights[d - 1]);
+  }
+  EXPECT_GT(weights.front(), 0.0);
+  EXPECT_LE(weights.back(), 1.0 + 1e-12);
+}
+
+TEST(WdtwWeightsTest, SteepnessControlsSpread) {
+  const std::vector<double> gentle = MakeWdtwWeights(100, 0.01);
+  const std::vector<double> steep = MakeWdtwWeights(100, 1.0);
+  // A steep g suppresses near-diagonal weights more and saturates faster.
+  EXPECT_LT(steep[10], gentle[10]);
+  EXPECT_GT(steep[90], gentle[90]);
+}
+
+TEST(WdtwTest, SelfDistanceIsZero) {
+  Rng rng(171);
+  const std::vector<double> x = gen::RandomWalk(60, rng);
+  EXPECT_NEAR(WdtwDistance(x, x, 0.1, x.size()), 0.0, 1e-12);
+}
+
+TEST(WdtwTest, SymmetricInArguments) {
+  Rng rng(172);
+  const std::vector<double> x = gen::RandomWalk(50, rng);
+  const std::vector<double> y = gen::RandomWalk(50, rng);
+  EXPECT_NEAR(WdtwDistance(x, y, 0.1, 50), WdtwDistance(y, x, 0.1, 50),
+              1e-9);
+}
+
+TEST(WdtwTest, HalfMaxWeightScalesDiagonalCost) {
+  // Two constant series at different levels: every alignment cell costs
+  // the same base amount; the diagonal path has n cells at phase 0, so
+  // WDTW = n * weight[0] * (a-b)^2.
+  const size_t n = 32;
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n, 1.0);
+  const std::vector<double> weights = MakeWdtwWeights(n, 0.25);
+  const double expected = static_cast<double>(n) * weights[0] * 1.0;
+  EXPECT_NEAR(WdtwDistance(a, b, 0.25, n), expected, 1e-9);
+}
+
+TEST(WdtwTest, HandComputedTwoPointExample) {
+  // x = {0, 1}, y = {1, 0}: cells (0,1) and (1,0) cost zero (matched
+  // values), so every path pays exactly the two phase-0 corners:
+  // WDTW = 2 * weight[0].
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {1.0, 0.0};
+  for (double g : {0.01, 0.25, 1.0}) {
+    const std::vector<double> weights = MakeWdtwWeights(2, g);
+    EXPECT_NEAR(WdtwDistance(x, y, g, 2), 2.0 * weights[0], 1e-12)
+        << "g=" << g;
+  }
+}
+
+TEST(WdtwTest, WeightsBiasTowardLowPhaseResiduals) {
+  // A forced choice between equal value-mismatches at phase 0 vs phase
+  // ~n/2: the weighted cost of a residual grows with its phase, so WDTW
+  // distances of a far-phase mismatch exceed those of a near-phase one.
+  const size_t n = 64;
+  const std::vector<double> weights = MakeWdtwWeights(n, 0.3);
+  // Direct statement about the weight function the DP consumes.
+  EXPECT_GT(weights[n / 2] * 1.0, weights[0] * 1.0);
+  // And end-to-end: a constant-offset pair (every path cell has the same
+  // local cost) is cheapest along the diagonal, where phases are 0 — so
+  // WDTW equals n * weight[0] * offset^2, strictly below the same path
+  // priced at mid-phase weights.
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n, 2.0);
+  const double d = WdtwDistance(a, b, 0.3, n);
+  EXPECT_NEAR(d, static_cast<double>(n) * weights[0] * 4.0, 1e-9);
+  EXPECT_LT(d, static_cast<double>(n) * weights[n / 2] * 4.0);
+}
+
+TEST(WdtwTest, BandRestrictsLikeCdtw) {
+  Rng rng(173);
+  const std::vector<double> x = gen::RandomWalk(64, rng);
+  const std::vector<double> y = gen::RandomWalk(64, rng);
+  // Banded WDTW can only be >= unconstrained WDTW.
+  EXPECT_GE(WdtwDistance(x, y, 0.05, 4),
+            WdtwDistance(x, y, 0.05, 64) - 1e-9);
+}
+
+TEST(WdtwTest, ZeroSteepnessIsHalfWeightedDtw) {
+  // g = 0 makes every weight exactly w_max / 2, so WDTW = DTW / 2.
+  Rng rng(174);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  const std::vector<double> y = gen::RandomWalk(40, rng);
+  EXPECT_NEAR(WdtwDistance(x, y, 0.0, 40), 0.5 * CdtwDistance(x, y, 40),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,148 @@
+// Unit tests for WarpingWindow construction and invariants.
+
+#include "warp/core/window.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(WindowTest, FullWindowCoversEverything) {
+  const WarpingWindow window = WarpingWindow::Full(4, 6);
+  EXPECT_TRUE(window.IsValid());
+  EXPECT_EQ(window.rows(), 4u);
+  EXPECT_EQ(window.cols(), 6u);
+  EXPECT_EQ(window.CellCount(), 24u);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_TRUE(window.Contains(i, j));
+    }
+  }
+}
+
+TEST(WindowTest, SakoeChibaSquareBand) {
+  const WarpingWindow window = WarpingWindow::SakoeChiba(10, 10, 2);
+  EXPECT_TRUE(window.IsValid());
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      const bool in_band =
+          (i > j ? i - j : j - i) <= 2;
+      EXPECT_EQ(window.Contains(i, j), in_band) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(window.MaxDiagonalDeviation(), 2u);
+}
+
+TEST(WindowTest, SakoeChibaZeroBandIsDiagonal) {
+  const WarpingWindow window = WarpingWindow::SakoeChiba(8, 8, 0);
+  EXPECT_TRUE(window.IsValid());
+  EXPECT_EQ(window.CellCount(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(window.range(i).lo, i);
+    EXPECT_EQ(window.range(i).hi, i);
+  }
+}
+
+TEST(WindowTest, SakoeChibaUnequalLengthsStaysValid) {
+  // Slope > 1 diagonals with a tiny band need the reachability patch.
+  for (size_t n : {3u, 5u, 10u}) {
+    for (size_t m : {7u, 29u, 100u}) {
+      for (size_t band : {0u, 1u, 2u}) {
+        const WarpingWindow window = WarpingWindow::SakoeChiba(n, m, band);
+        std::string error;
+        EXPECT_TRUE(window.Validate(&error))
+            << "n=" << n << " m=" << m << " band=" << band << ": " << error;
+      }
+    }
+  }
+}
+
+TEST(WindowTest, SakoeChibaFractionMatchesCells) {
+  const WarpingWindow by_fraction =
+      WarpingWindow::SakoeChibaFraction(100, 100, 0.05);
+  const WarpingWindow by_cells = WarpingWindow::SakoeChiba(100, 100, 5);
+  ASSERT_EQ(by_fraction.rows(), by_cells.rows());
+  for (size_t i = 0; i < by_fraction.rows(); ++i) {
+    EXPECT_EQ(by_fraction.range(i), by_cells.range(i));
+  }
+}
+
+TEST(WindowTest, ItakuraIsValidAndDiamondShaped) {
+  const WarpingWindow window = WarpingWindow::Itakura(51, 51, 2.0);
+  EXPECT_TRUE(window.IsValid());
+  // Pinched at the ends, widest in the middle.
+  const auto mid = window.range(25);
+  EXPECT_LT(window.range(1).hi - window.range(1).lo, mid.hi - mid.lo);
+  EXPECT_LT(window.range(49).hi - window.range(49).lo, mid.hi - mid.lo);
+  // The corners of the matrix are excluded (unlike Sakoe–Chiba).
+  EXPECT_FALSE(window.Contains(0, 25));
+  EXPECT_FALSE(window.Contains(50, 25));
+}
+
+TEST(WindowTest, ItakuraDtwAtLeastUnconstrained) {
+  Rng rng(31);
+  const std::vector<double> x = gen::RandomWalk(60, rng);
+  const std::vector<double> y = gen::RandomWalk(60, rng);
+  const WarpingWindow window = WarpingWindow::Itakura(60, 60, 2.0);
+  EXPECT_GE(WindowedDtwDistance(x, y, window), DtwDistance(x, y) - 1e-12);
+}
+
+TEST(WindowTest, FromLowResPathCoversProjectedPath) {
+  // A simple diagonal low-res path on a 10x10 grid, projected to 20x20.
+  WarpingPath path;
+  for (uint32_t k = 0; k < 10; ++k) path.Append(k, k);
+  for (size_t radius : {0u, 1u, 3u}) {
+    const WarpingWindow window =
+        WarpingWindow::FromLowResPath(path, 20, 20, radius);
+    std::string error;
+    EXPECT_TRUE(window.Validate(&error)) << error;
+    // Every projected 2x2 block of every path cell must be inside.
+    for (uint32_t k = 0; k < 10; ++k) {
+      EXPECT_TRUE(window.Contains(2 * k, 2 * k));
+      EXPECT_TRUE(window.Contains(2 * k + 1, 2 * k + 1));
+      EXPECT_TRUE(window.Contains(2 * k, 2 * k + 1));
+      EXPECT_TRUE(window.Contains(2 * k + 1, 2 * k));
+    }
+  }
+}
+
+TEST(WindowTest, FromLowResPathRadiusExpands) {
+  WarpingPath path;
+  for (uint32_t k = 0; k < 16; ++k) path.Append(k, k);
+  const WarpingWindow tight = WarpingWindow::FromLowResPath(path, 32, 32, 0);
+  const WarpingWindow wide = WarpingWindow::FromLowResPath(path, 32, 32, 4);
+  EXPECT_LT(tight.CellCount(), wide.CellCount());
+  // Radius-4 expansion must contain the radius-0 window.
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_LE(wide.range(i).lo, tight.range(i).lo);
+    EXPECT_GE(wide.range(i).hi, tight.range(i).hi);
+  }
+}
+
+TEST(WindowTest, FromLowResPathOddLengths) {
+  // Odd high-res lengths leave a trailing row/column that halve-by-two
+  // dropped; the window must still be valid and cover both corners.
+  WarpingPath path;
+  for (uint32_t k = 0; k < 10; ++k) path.Append(k, k);
+  const WarpingWindow window =
+      WarpingWindow::FromLowResPath(path, 21, 21, 0);
+  std::string error;
+  EXPECT_TRUE(window.Validate(&error)) << error;
+  EXPECT_TRUE(window.Contains(0, 0));
+  EXPECT_TRUE(window.Contains(20, 20));
+}
+
+TEST(WindowTest, CellCountMatchesRanges) {
+  const WarpingWindow window = WarpingWindow::SakoeChiba(100, 100, 7);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < window.rows(); ++i) {
+    expected += window.range(i).hi - window.range(i).lo + 1;
+  }
+  EXPECT_EQ(window.CellCount(), expected);
+}
+
+}  // namespace
+}  // namespace warp

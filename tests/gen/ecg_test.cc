@@ -1,0 +1,108 @@
+// Unit tests for the synthetic ECG generator and its Case-A properties.
+
+#include "warp/gen/ecg.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/mining/nn_classifier.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace gen {
+namespace {
+
+TEST(EcgTest, BeatHasDominantRWave) {
+  EcgOptions options;
+  Rng rng(241);
+  const std::vector<double> beat = MakeBeat(kNormalBeatLabel, options, rng);
+  ASSERT_EQ(beat.size(), options.beat_length);
+  // The R peak is around 42% of the beat and is the global maximum.
+  const size_t peak = static_cast<size_t>(
+      std::max_element(beat.begin(), beat.end()) - beat.begin());
+  EXPECT_NEAR(static_cast<double>(peak),
+              0.42 * static_cast<double>(options.beat_length),
+              0.06 * static_cast<double>(options.beat_length));
+}
+
+TEST(EcgTest, MorphologiesAreDistinct) {
+  EcgOptions options;
+  Rng rng(242);
+  const std::vector<double> normal =
+      ZNormalized(MakeBeat(kNormalBeatLabel, options, rng));
+  const std::vector<double> pvc =
+      ZNormalized(MakeBeat(kPvcBeatLabel, options, rng));
+  const std::vector<double> normal2 =
+      ZNormalized(MakeBeat(kNormalBeatLabel, options, rng));
+  const size_t band = options.beat_length / 20;
+  EXPECT_LT(CdtwDistance(normal, normal2, band),
+            CdtwDistance(normal, pvc, band));
+}
+
+TEST(EcgTest, BeatsClassifyNearPerfectlyWithSmallWindow) {
+  // The paper's Case-A story on its favorite domain: beats + small w.
+  EcgOptions options;
+  options.seed = 243;
+  const Dataset pool = MakeBeatDataset(20, options);
+  const auto [train, test] = pool.StratifiedSplit(0.5);
+  const AcceleratedNnClassifier classifier(train,
+                                           options.beat_length * 5 / 100);
+  const ClassificationStats stats = classifier.Evaluate(test);
+  EXPECT_GT(stats.accuracy, 0.95);
+}
+
+TEST(EcgTest, RhythmConcatenatesBeatsWithJitter) {
+  EcgOptions options;
+  options.seed = 244;
+  options.rate_jitter = 0.1;
+  std::vector<size_t> starts;
+  std::vector<int> labels;
+  const std::vector<double> rhythm =
+      MakeRhythm(20, options, &starts, &labels);
+  ASSERT_EQ(starts.size(), 20u);
+  ASSERT_EQ(labels.size(), 20u);
+  EXPECT_EQ(starts.front(), 0u);
+  // Beat lengths vary within the jitter bound.
+  size_t min_len = rhythm.size();
+  size_t max_len = 0;
+  for (size_t b = 1; b < starts.size(); ++b) {
+    const size_t len = starts[b] - starts[b - 1];
+    min_len = std::min(min_len, len);
+    max_len = std::max(max_len, len);
+  }
+  EXPECT_GE(min_len,
+            static_cast<size_t>(0.85 * static_cast<double>(
+                                           options.beat_length)));
+  EXPECT_LE(max_len,
+            static_cast<size_t>(1.15 * static_cast<double>(
+                                           options.beat_length)));
+  EXPECT_GT(max_len, min_len);  // Jitter actually happened.
+}
+
+TEST(EcgTest, PvcProbabilityControlsMix) {
+  EcgOptions options;
+  options.seed = 245;
+  options.pvc_probability = 0.3;
+  std::vector<int> labels;
+  MakeRhythm(200, options, nullptr, &labels);
+  const size_t pvcs = static_cast<size_t>(
+      std::count(labels.begin(), labels.end(), kPvcBeatLabel));
+  EXPECT_GT(pvcs, 30u);
+  EXPECT_LT(pvcs, 90u);
+}
+
+TEST(EcgTest, DeterministicPerSeed) {
+  EcgOptions options;
+  options.seed = 246;
+  const Dataset a = MakeBeatDataset(3, options);
+  const Dataset b = MakeBeatDataset(3, options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values(), b[i].values());
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace warp

@@ -1,0 +1,87 @@
+// Unit tests for DTW Barycenter Averaging.
+
+#include "warp/mining/dba.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/gesture.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+
+namespace warp {
+namespace {
+
+TEST(DbaTest, SingleSeriesIsItsOwnBarycenter) {
+  const std::vector<std::vector<double>> series = {{1.0, 2.0, 3.0}};
+  const DbaResult result = DtwBarycenterAverage(series);
+  EXPECT_EQ(result.barycenter, series[0]);
+  EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+}
+
+TEST(DbaTest, IdenticalSeriesYieldThatSeries) {
+  const std::vector<double> x = {0.0, 1.0, 4.0, 1.0};
+  const std::vector<std::vector<double>> series = {x, x, x};
+  const DbaResult result = DtwBarycenterAverage(series);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(result.barycenter[i], x[i], 1e-9);
+  }
+}
+
+TEST(DbaTest, ReducesTotalCostVersusMedoid) {
+  Rng rng(131);
+  const std::vector<double> base = gen::RandomWalk(60, rng);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 5; ++i) {
+    series.push_back(gen::ApplyRandomWarp(base, 0.08, rng));
+  }
+  // Total cost of the best single member (the medoid criterion).
+  double best_member_cost = 1e300;
+  for (const auto& candidate : series) {
+    double cost = 0.0;
+    for (const auto& other : series) cost += DtwDistance(candidate, other);
+    best_member_cost = std::min(best_member_cost, cost);
+  }
+  DbaOptions options;
+  options.iterations = 10;
+  const DbaResult result = DtwBarycenterAverage(series, options);
+  EXPECT_LE(result.total_cost, best_member_cost + 1e-9);
+  EXPECT_GE(result.iterations_run, 1u);
+}
+
+TEST(DbaTest, RespectsIterationBudget) {
+  Rng rng(132);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 4; ++i) series.push_back(gen::RandomWalk(40, rng));
+  DbaOptions options;
+  options.iterations = 2;
+  options.convergence_threshold = 0.0;
+  const DbaResult result = DtwBarycenterAverage(series, options);
+  EXPECT_LE(result.iterations_run, 2u);
+}
+
+TEST(DbaTest, BandedVariantWorks) {
+  Rng rng(133);
+  const std::vector<double> base = gen::RandomWalk(50, rng);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 3; ++i) {
+    series.push_back(gen::ApplyRandomWarp(base, 0.05, rng));
+  }
+  DbaOptions options;
+  options.band = 5;
+  const DbaResult result = DtwBarycenterAverage(series, options);
+  EXPECT_EQ(result.barycenter.size(), 50u);
+  EXPECT_GT(result.total_cost, 0.0);
+}
+
+TEST(DbaTest, BarycenterLengthMatchesInitialMedoid) {
+  Rng rng(134);
+  std::vector<std::vector<double>> series = {gen::RandomWalk(30, rng),
+                                             gen::RandomWalk(30, rng),
+                                             gen::RandomWalk(30, rng)};
+  const DbaResult result = DtwBarycenterAverage(series);
+  EXPECT_EQ(result.barycenter.size(), 30u);
+}
+
+}  // namespace
+}  // namespace warp

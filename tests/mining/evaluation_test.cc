@@ -1,0 +1,109 @@
+// Unit tests for evaluation metrics.
+
+#include "warp/mining/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace warp {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix matrix;
+  for (int i = 0; i < 10; ++i) matrix.Add(i % 3, i % 3);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.MacroF1(), 1.0);
+  for (int label : {0, 1, 2}) {
+    EXPECT_DOUBLE_EQ(matrix.Precision(label), 1.0);
+    EXPECT_DOUBLE_EQ(matrix.Recall(label), 1.0);
+  }
+}
+
+TEST(ConfusionMatrixTest, KnownMixedCase) {
+  // actual 0: predicted {0, 0, 1}; actual 1: predicted {1, 0}.
+  ConfusionMatrix matrix;
+  matrix.Add(0, 0);
+  matrix.Add(0, 0);
+  matrix.Add(0, 1);
+  matrix.Add(1, 1);
+  matrix.Add(1, 0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.Precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(matrix.Precision(1), 1.0 / 2.0);
+  EXPECT_EQ(matrix.count(0, 1), 1u);
+  EXPECT_EQ(matrix.count(1, 0), 1u);
+  EXPECT_EQ(matrix.total(), 5u);
+}
+
+TEST(ConfusionMatrixTest, UnpredictedClassHasZeroPrecision) {
+  ConfusionMatrix matrix;
+  matrix.Add(0, 1);
+  matrix.Add(1, 1);
+  EXPECT_DOUBLE_EQ(matrix.Precision(0), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.F1(0), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringListsAllLabels) {
+  ConfusionMatrix matrix;
+  matrix.Add(0, 0);
+  matrix.Add(1, 2);
+  const std::string rendered = matrix.ToString();
+  EXPECT_NE(rendered.find("precision"), std::string::npos);
+  EXPECT_NE(rendered.find("recall"), std::string::npos);
+  EXPECT_NE(rendered.find("2"), std::string::npos);
+}
+
+TEST(RandIndexTest, IdenticalPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(RandIndex(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(RandIndexTest, LabelPermutationInvariant) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> b = {5, 5, 9, 9, 1, 1};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(RandIndexTest, KnownDisagreement) {
+  // a: {0,0}{1,1}; b: {0,1}{0,1}. Pairs: (0,1) same in a, diff in b;
+  // (2,3) same in a, diff in b; (0,2),(1,3) diff in a, same in b;
+  // (0,3),(1,2) diff in both -> 2 agreements of 6.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 0, 1};
+  EXPECT_NEAR(RandIndex(a, b), 2.0 / 6.0, 1e-12);
+}
+
+TEST(AdjustedRandIndexTest, RandomLabelsNearZero) {
+  // ARI of a partition vs a shuffled-label partition should hover near 0.
+  std::vector<int> a;
+  std::vector<int> b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(i % 4);
+    b.push_back((i * 7 + i / 13) % 4);  // Unrelated deterministic labels.
+  }
+  EXPECT_LT(std::abs(AdjustedRandIndex(a, b)), 0.1);
+  // While plain Rand on many clusters is inflated (the known bias ARI
+  // fixes).
+  EXPECT_GT(RandIndex(a, b), 0.5);
+}
+
+TEST(PurityTest, MajorityVoteSemantics) {
+  // Cluster 0: labels {1,1,2} -> 2 right; cluster 1: {3,3} -> 2 right.
+  const std::vector<int> clusters = {0, 0, 0, 1, 1};
+  const std::vector<int> labels = {1, 1, 2, 3, 3};
+  EXPECT_DOUBLE_EQ(Purity(clusters, labels), 4.0 / 5.0);
+}
+
+TEST(PurityTest, PerfectAndDegenerate) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity(labels, labels), 1.0);
+  // Everything in one cluster: purity = biggest class share.
+  const std::vector<int> one_cluster = {7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(Purity(one_cluster, labels), 0.5);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,134 @@
+// Unit tests for agglomerative clustering and dendrograms, including the
+// paper's Fig. 7 topology-flip scenario.
+
+#include "warp/mining/hierarchical_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/gen/adversarial.h"
+
+namespace warp {
+namespace {
+
+DistanceMatrix ToyMatrix() {
+  // Three points on a line: 0, 1, 10.
+  DistanceMatrix matrix(3);
+  matrix.set(0, 1, 1.0);
+  matrix.set(0, 2, 10.0);
+  matrix.set(1, 2, 9.0);
+  return matrix;
+}
+
+TEST(ClusteringTest, MergesClosestPairFirst) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kSingle);
+  ASSERT_EQ(dendrogram.merges().size(), 2u);
+  const MergeStep& first = dendrogram.merges()[0];
+  EXPECT_EQ(std::min(first.left, first.right), 0u);
+  EXPECT_EQ(std::max(first.left, first.right), 1u);
+  EXPECT_DOUBLE_EQ(first.height, 1.0);
+}
+
+TEST(ClusteringTest, LinkageHeightsDiffer) {
+  const Dendrogram single =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kSingle);
+  const Dendrogram complete =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kComplete);
+  const Dendrogram average =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kAverage);
+  EXPECT_DOUBLE_EQ(single.merges()[1].height, 9.0);
+  EXPECT_DOUBLE_EQ(complete.merges()[1].height, 10.0);
+  EXPECT_DOUBLE_EQ(average.merges()[1].height, 9.5);
+}
+
+TEST(ClusteringTest, CutIntoClusters) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kAverage);
+  const std::vector<int> two = dendrogram.CutIntoClusters(2);
+  EXPECT_EQ(two[0], two[1]);
+  EXPECT_NE(two[0], two[2]);
+  const std::vector<int> one = dendrogram.CutIntoClusters(1);
+  EXPECT_EQ(one[0], one[1]);
+  EXPECT_EQ(one[1], one[2]);
+  const std::vector<int> three = dendrogram.CutIntoClusters(3);
+  EXPECT_NE(three[0], three[1]);
+  EXPECT_NE(three[1], three[2]);
+}
+
+TEST(ClusteringTest, LeavesOfRootCoversAll) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kSingle);
+  std::vector<size_t> leaves = dendrogram.LeavesOf(4);  // Root id = 3+1.
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(leaves, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ClusteringTest, NewickOutputWellFormed) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kSingle);
+  const std::vector<std::string> labels = {"A", "B", "C"};
+  const std::string newick = dendrogram.ToNewick(labels);
+  EXPECT_EQ(newick.back(), ';');
+  EXPECT_NE(newick.find("(A:"), std::string::npos);
+  EXPECT_NE(newick.find("C:"), std::string::npos);
+  // Balanced parentheses.
+  int depth = 0;
+  for (char c : newick) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ClusteringTest, AsciiRenderingMentionsAllLabels) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(ToyMatrix(), Linkage::kComplete);
+  const std::vector<std::string> labels = {"A", "B", "C"};
+  const std::string ascii = dendrogram.RenderAscii(labels);
+  for (const auto& label : labels) {
+    EXPECT_NE(ascii.find(label), std::string::npos) << ascii;
+  }
+}
+
+TEST(ClusteringTest, SingleLeafDendrogram) {
+  DistanceMatrix matrix(1);
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(matrix, Linkage::kSingle);
+  EXPECT_EQ(dendrogram.num_leaves(), 1u);
+  EXPECT_TRUE(dendrogram.merges().empty());
+  EXPECT_EQ(dendrogram.CutIntoClusters(1), (std::vector<int>{0}));
+}
+
+TEST(ClusteringTest, Fig7TopologyFlip) {
+  // Under Full DTW, {A, B} merge first; under FastDTW_20 they must not —
+  // the paper's headline clustering failure.
+  const gen::AdversarialTriple triple = gen::MakeAdversarialTriple();
+  const std::vector<std::vector<double>> series = {triple.a, triple.b,
+                                                   triple.c};
+  const DistanceMatrix exact = ComputePairwiseMatrix(
+      series, [](std::span<const double> a, std::span<const double> b) {
+        return DtwDistance(a, b);
+      });
+  const DistanceMatrix approx = ComputePairwiseMatrix(
+      series, [](std::span<const double> a, std::span<const double> b) {
+        return FastDtwDistance(a, b, 20);
+      });
+
+  const Dendrogram exact_tree = AgglomerativeCluster(exact, Linkage::kSingle);
+  const Dendrogram approx_tree =
+      AgglomerativeCluster(approx, Linkage::kSingle);
+
+  const MergeStep& exact_first = exact_tree.merges()[0];
+  EXPECT_EQ(std::min(exact_first.left, exact_first.right), 0u);  // A
+  EXPECT_EQ(std::max(exact_first.left, exact_first.right), 1u);  // B
+
+  const MergeStep& approx_first = approx_tree.merges()[0];
+  EXPECT_TRUE(approx_first.left == 2 || approx_first.right == 2)
+      << "FastDTW dendrogram should merge C with A or B first";
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,103 @@
+// Unit tests for DTW k-means.
+
+#include "warp/mining/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/gesture.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+
+namespace warp {
+namespace {
+
+// Two well-separated groups: warped copies of two distinct random bases.
+std::vector<std::vector<double>> TwoGroups(size_t per_group, size_t length,
+                                           std::vector<int>* truth) {
+  Rng rng(151);
+  const std::vector<double> base_a = gen::RandomWalk(length, rng);
+  std::vector<double> base_b = gen::RandomWalk(length, rng);
+  for (double& v : base_b) v += 50.0;  // Separate levels decisively.
+  std::vector<std::vector<double>> series;
+  for (size_t i = 0; i < per_group; ++i) {
+    series.push_back(gen::ApplyRandomWarp(base_a, 0.05, rng));
+    truth->push_back(0);
+    series.push_back(gen::ApplyRandomWarp(base_b, 0.05, rng));
+    truth->push_back(1);
+  }
+  return series;
+}
+
+TEST(KMeansTest, RecoversTwoObviousClusters) {
+  std::vector<int> truth;
+  const auto series = TwoGroups(6, 50, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  options.band = 5;
+  options.seed = 3;
+  const KMeansResult result = DtwKMeans(series, options);
+
+  ASSERT_EQ(result.assignment.size(), series.size());
+  // Perfect separation up to label permutation.
+  std::set<int> cluster_of_class0;
+  std::set<int> cluster_of_class1;
+  for (size_t i = 0; i < series.size(); ++i) {
+    (truth[i] == 0 ? cluster_of_class0 : cluster_of_class1)
+        .insert(result.assignment[i]);
+  }
+  EXPECT_EQ(cluster_of_class0.size(), 1u);
+  EXPECT_EQ(cluster_of_class1.size(), 1u);
+  EXPECT_NE(*cluster_of_class0.begin(), *cluster_of_class1.begin());
+}
+
+TEST(KMeansTest, SingleClusterCoversEverything) {
+  std::vector<int> truth;
+  const auto series = TwoGroups(3, 30, &truth);
+  KMeansOptions options;
+  options.k = 1;
+  const KMeansResult result = DtwKMeans(series, options);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(result.centroids.size(), 1u);
+}
+
+TEST(KMeansTest, KEqualsNAssignsZeroInertia) {
+  Rng rng(152);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 4; ++i) {
+    series.push_back(gen::RandomWalk(20, rng));
+    for (double& v : series.back()) v += 100.0 * i;  // Far apart.
+  }
+  KMeansOptions options;
+  options.k = 4;
+  options.max_iterations = 20;
+  const KMeansResult result = DtwKMeans(series, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(KMeansTest, DeterministicPerSeed) {
+  std::vector<int> truth;
+  const auto series = TwoGroups(4, 30, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  options.seed = 9;
+  const KMeansResult a = DtwKMeans(series, options);
+  const KMeansResult b = DtwKMeans(series, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, ConvergedFlagStopsEarly) {
+  std::vector<int> truth;
+  const auto series = TwoGroups(5, 30, &truth);
+  KMeansOptions options;
+  options.k = 2;
+  options.max_iterations = 50;
+  const KMeansResult result = DtwKMeans(series, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations_run, 50u);
+}
+
+}  // namespace
+}  // namespace warp

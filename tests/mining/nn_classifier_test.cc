@@ -1,0 +1,120 @@
+// Unit tests for 1-NN classification: brute force vs accelerated engines.
+
+#include "warp/mining/nn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/gen/gesture.h"
+
+namespace warp {
+namespace {
+
+gen::GestureOptions SmallOptions() {
+  gen::GestureOptions options;
+  options.length = 96;
+  options.num_classes = 3;
+  options.seed = 17;
+  return options;
+}
+
+SeriesMeasure CdtwMeasure(size_t band) {
+  return [band](std::span<const double> a, std::span<const double> b) {
+    return CdtwDistance(a, b, band);
+  };
+}
+
+TEST(Classify1NnTest, FindsExactNearestNeighbor) {
+  Dataset train;
+  train.Add(TimeSeries({0.0, 0.0, 0.0}, 0));
+  train.Add(TimeSeries({5.0, 5.0, 5.0}, 1));
+  const std::vector<double> query = {4.0, 4.0, 4.0};
+  const Prediction p = Classify1Nn(train, query, CdtwMeasure(1));
+  EXPECT_EQ(p.label, 1);
+  EXPECT_EQ(p.nn_index, 1u);
+  EXPECT_DOUBLE_EQ(p.distance, 3.0);
+}
+
+TEST(Evaluate1NnTest, PerfectOnSeparableData) {
+  const Dataset data = gen::MakeGestureDataset(8, SmallOptions());
+  const auto [train, test] = data.StratifiedSplit(0.5);
+  const ClassificationStats stats =
+      Evaluate1Nn(train, test, CdtwMeasure(10));
+  EXPECT_GT(stats.accuracy, 0.9);
+  EXPECT_EQ(stats.total, test.size());
+  EXPECT_DOUBLE_EQ(stats.accuracy + stats.error_rate, 1.0);
+}
+
+TEST(AcceleratedNnTest, AgreesWithBruteForceExactly) {
+  // The load-bearing property: pruning must never change the answer.
+  const Dataset data = gen::MakeGestureDataset(6, SmallOptions());
+  const auto [train, test] = data.StratifiedSplit(0.5);
+  for (size_t band : {0u, 5u, 20u}) {
+    const AcceleratedNnClassifier fast(train, band);
+    for (const TimeSeries& query : test.series()) {
+      const Prediction accelerated = fast.Classify(query.view());
+      const Prediction brute =
+          Classify1Nn(train, query.view(), CdtwMeasure(band));
+      EXPECT_EQ(accelerated.label, brute.label) << "band=" << band;
+      EXPECT_NEAR(accelerated.distance, brute.distance, 1e-9);
+    }
+  }
+}
+
+TEST(AcceleratedNnTest, CascadeActuallyPrunes) {
+  const Dataset data = gen::MakeGestureDataset(10, SmallOptions());
+  const auto [train, test] = data.StratifiedSplit(0.5);
+  const AcceleratedNnClassifier fast(train, 5);
+  ClassificationStats stats;
+  for (const TimeSeries& query : test.series()) {
+    fast.Classify(query.view(), &stats);
+  }
+  const uint64_t pruned = stats.pruned_by_kim + stats.pruned_by_keogh +
+                          stats.abandoned_dtw;
+  EXPECT_GT(pruned, 0u);
+  EXPECT_EQ(stats.candidates,
+            pruned + stats.full_dtw);
+}
+
+TEST(AcceleratedNnTest, EvaluateMatchesBruteForceAccuracy) {
+  const Dataset data = gen::MakeGestureDataset(6, SmallOptions());
+  const auto [train, test] = data.StratifiedSplit(0.5);
+  const AcceleratedNnClassifier fast(train, 8);
+  const ClassificationStats accelerated = fast.Evaluate(test);
+  const ClassificationStats brute = Evaluate1Nn(train, test, CdtwMeasure(8));
+  EXPECT_EQ(accelerated.correct, brute.correct);
+}
+
+TEST(MultiNnTest, ClassifiesMultichannelGestures) {
+  gen::GestureOptions options = SmallOptions();
+  const auto data = gen::MakeMultiGestureDataset(6, 3, options);
+  // Split by interleaving.
+  std::vector<MultiSeries> train;
+  std::vector<MultiSeries> test;
+  for (size_t i = 0; i < data.size(); ++i) {
+    (i % 2 == 0 ? train : test).push_back(data[i]);
+  }
+  const MultiMeasure exact = [](const MultiSeries& a, const MultiSeries& b) {
+    return MultiCdtwDistance(a, b, 10);
+  };
+  const ClassificationStats stats = Evaluate1NnMulti(train, test, exact);
+  EXPECT_GT(stats.accuracy, 0.8);
+}
+
+TEST(MultiNnTest, FastDtwMeasurePlugsIn) {
+  gen::GestureOptions options = SmallOptions();
+  options.num_classes = 2;
+  const auto data = gen::MakeMultiGestureDataset(4, 2, options);
+  std::vector<MultiSeries> train(data.begin(), data.begin() + 4);
+  std::vector<MultiSeries> test(data.begin() + 4, data.end());
+  const MultiMeasure fastdtw = [](const MultiSeries& a,
+                                  const MultiSeries& b) {
+    return MultiFastDtw(a, b, 5).distance;
+  };
+  const ClassificationStats stats = Evaluate1NnMulti(train, test, fastdtw);
+  EXPECT_EQ(stats.total, test.size());
+}
+
+}  // namespace
+}  // namespace warp

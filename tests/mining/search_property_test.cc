@@ -1,0 +1,134 @@
+// Parameterized property sweeps for the accelerated subsequence search
+// and the streaming monitor: pruning must never change results, across a
+// grid of bands, query lengths, data families and seeds.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+#include "warp/mining/similarity_search.h"
+#include "warp/mining/stream_monitor.h"
+
+namespace warp {
+namespace {
+
+enum class DataFamily { kRandomWalk, kSine, kNoisySteps };
+
+std::vector<double> MakeSeries(DataFamily family, size_t n, Rng& rng) {
+  switch (family) {
+    case DataFamily::kSine: {
+      std::vector<double> series(n);
+      for (size_t t = 0; t < n; ++t) {
+        series[t] =
+            std::sin(2.0 * M_PI * static_cast<double>(t) / 37.0) +
+            rng.Gaussian(0.0, 0.05);
+      }
+      return series;
+    }
+    case DataFamily::kNoisySteps: {
+      std::vector<double> series(n);
+      double level = 0.0;
+      for (size_t t = 0; t < n; ++t) {
+        if (rng.Bernoulli(0.02)) level += rng.Gaussian(0.0, 2.0);
+        series[t] = level + rng.Gaussian(0.0, 0.1);
+      }
+      return series;
+    }
+    case DataFamily::kRandomWalk:
+    default:
+      return gen::RandomWalk(n, rng);
+  }
+}
+
+// (band, query length, family, seed)
+using SearchParam = std::tuple<size_t, size_t, DataFamily, uint64_t>;
+
+class SearchPropertyTest : public ::testing::TestWithParam<SearchParam> {};
+
+TEST_P(SearchPropertyTest, CascadedSearchMatchesNaive) {
+  const auto [band, query_len, family, seed] = GetParam();
+  Rng rng(seed);
+  const std::vector<double> haystack = MakeSeries(family, 600, rng);
+  const std::vector<double> query = MakeSeries(family, query_len, rng);
+
+  const SubsequenceMatch fast = FindBestMatch(haystack, query, band);
+  const SubsequenceMatch naive = FindBestMatchNaive(haystack, query, band);
+  EXPECT_NEAR(fast.distance, naive.distance, 1e-6)
+      << "band=" << band << " m=" << query_len;
+}
+
+TEST_P(SearchPropertyTest, StatsAreConsistent) {
+  const auto [band, query_len, family, seed] = GetParam();
+  Rng rng(seed + 1);
+  const std::vector<double> haystack = MakeSeries(family, 500, rng);
+  const std::vector<double> query = MakeSeries(family, query_len, rng);
+  SearchStats stats;
+  FindBestMatch(haystack, query, band, CostKind::kSquared, &stats);
+  EXPECT_EQ(stats.windows, haystack.size() - query_len + 1);
+  EXPECT_EQ(stats.windows, stats.pruned_by_kim + stats.pruned_by_keogh +
+                               stats.abandoned_dtw + stats.full_dtw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SearchPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 2, 6),
+                       ::testing::Values<size_t>(16, 50, 120),
+                       ::testing::Values(DataFamily::kRandomWalk,
+                                         DataFamily::kSine,
+                                         DataFamily::kNoisySteps),
+                       ::testing::Values<uint64_t>(404)));
+
+// ---------------------------------------------------------------------------
+// Streaming monitor vs offline search: every event the monitor fires must
+// correspond to a window the offline scan also scores under threshold,
+// and vice versa.
+
+using MonitorParam = std::tuple<size_t, double, uint64_t>;
+
+class MonitorPropertyTest : public ::testing::TestWithParam<MonitorParam> {};
+
+TEST_P(MonitorPropertyTest, OnlineEventsMatchOfflineScores) {
+  const auto [band, threshold, seed] = GetParam();
+  Rng rng(seed);
+  const size_t m = 48;
+  const std::vector<double> query = gen::RandomWalk(m, rng);
+  std::vector<double> stream = gen::RandomWalk(2000, rng);
+  // Plant a couple of warped occurrences so events exist.
+  for (size_t at : {500u, 1500u}) {
+    const std::vector<double> warped = gen::ApplyRandomWarp(query, 0.03, rng);
+    for (size_t i = 0; i < m; ++i) stream[at + i] = warped[i];
+  }
+
+  StreamMonitor monitor(query, band, threshold);
+  std::vector<uint64_t> online_hits;
+  for (double v : stream) {
+    const auto event = monitor.Push(v);
+    if (event.has_value()) online_hits.push_back(event->end_time);
+  }
+
+  // Offline: score every window directly.
+  const std::vector<double> q = ZNormalized(query);
+  std::vector<uint64_t> offline_hits;
+  for (size_t pos = 0; pos + m <= stream.size(); ++pos) {
+    std::vector<double> window(stream.begin() + pos,
+                               stream.begin() + pos + m);
+    ZNormalizeInPlace(window);
+    if (CdtwDistance(q, window, band) <= threshold) {
+      offline_hits.push_back(pos + m - 1);
+    }
+  }
+  EXPECT_EQ(online_hits, offline_hits)
+      << "band=" << band << " threshold=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MonitorPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 4, 10),
+                       ::testing::Values(0.5, 2.0, 10.0),
+                       ::testing::Values<uint64_t>(505, 606)));
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,109 @@
+// Unit tests for bottom-up piecewise-linear segmentation.
+
+#include "warp/mining/segmentation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+std::vector<double> PiecewiseLinear() {
+  // Three exact linear pieces: up, flat, down.
+  std::vector<double> series;
+  for (int t = 0; t < 20; ++t) series.push_back(0.5 * t);
+  for (int t = 0; t < 20; ++t) series.push_back(9.5);
+  for (int t = 0; t < 20; ++t) series.push_back(9.5 - 1.0 * t);
+  return series;
+}
+
+TEST(SegmentationTest, RecoversExactPiecewiseStructure) {
+  const std::vector<double> series = PiecewiseLinear();
+  SegmentationOptions options;
+  options.max_segments = 3;
+  const std::vector<Segment> segments =
+      BottomUpSegmentation(series, options);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_NEAR(TotalSegmentationError(segments), 0.0, 1e-6);
+  EXPECT_NEAR(segments[0].slope, 0.5, 1e-6);
+  EXPECT_NEAR(segments[1].slope, 0.0, 1e-6);
+  EXPECT_NEAR(segments[2].slope, -1.0, 1e-6);
+}
+
+TEST(SegmentationTest, SegmentsTileTheSeries) {
+  Rng rng(201);
+  const std::vector<double> series = gen::RandomWalk(101, rng);
+  SegmentationOptions options;
+  options.max_segments = 7;
+  const std::vector<Segment> segments =
+      BottomUpSegmentation(series, options);
+  EXPECT_EQ(segments.front().begin, 0u);
+  EXPECT_EQ(segments.back().end, series.size() - 1);
+  for (size_t s = 1; s < segments.size(); ++s) {
+    EXPECT_EQ(segments[s].begin, segments[s - 1].end + 1);
+  }
+}
+
+TEST(SegmentationTest, FewerSegmentsMeansMoreError) {
+  Rng rng(202);
+  const std::vector<double> series = gen::RandomWalk(200, rng);
+  double previous = -1.0;
+  for (size_t k : {40u, 20u, 10u, 5u, 1u}) {
+    SegmentationOptions options;
+    options.max_segments = k;
+    const double error =
+        TotalSegmentationError(BottomUpSegmentation(series, options));
+    EXPECT_GE(error, previous - 1e-9) << "k=" << k;
+    previous = error;
+  }
+}
+
+TEST(SegmentationTest, ErrorBudgetStopsMerging) {
+  const std::vector<double> series = PiecewiseLinear();
+  SegmentationOptions options;
+  options.max_segments = 1;
+  options.max_segment_error = 1.0;  // Merging the exact pieces costs more.
+  const std::vector<Segment> segments =
+      BottomUpSegmentation(series, options);
+  EXPECT_GE(segments.size(), 3u);
+  for (const Segment& segment : segments) {
+    EXPECT_LE(segment.error, 1.0 + 1e-9);
+  }
+}
+
+TEST(SegmentationTest, ReconstructionMatchesLength) {
+  Rng rng(203);
+  const std::vector<double> series = gen::RandomWalk(150, rng);
+  SegmentationOptions options;
+  options.max_segments = 10;
+  const std::vector<Segment> segments =
+      BottomUpSegmentation(series, options);
+  const std::vector<double> reconstruction =
+      ReconstructFromSegments(segments);
+  ASSERT_EQ(reconstruction.size(), series.size());
+  // Reconstruction residual equals the reported total error.
+  double residual = 0.0;
+  for (size_t t = 0; t < series.size(); ++t) {
+    residual += (series[t] - reconstruction[t]) * (series[t] - reconstruction[t]);
+  }
+  EXPECT_NEAR(residual, TotalSegmentationError(segments), 1e-6);
+}
+
+TEST(SegmentationTest, SingleSegmentIsGlobalLeastSquares) {
+  std::vector<double> series;
+  for (int t = 0; t < 50; ++t) series.push_back(3.0 + 2.0 * t);
+  SegmentationOptions options;
+  options.max_segments = 1;
+  const std::vector<Segment> segments =
+      BottomUpSegmentation(series, options);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].slope, 2.0, 1e-9);
+  EXPECT_NEAR(segments[0].intercept, 3.0, 1e-9);
+  EXPECT_NEAR(segments[0].error, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace warp

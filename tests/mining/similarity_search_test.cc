@@ -1,0 +1,84 @@
+// Unit tests for UCR-suite-style subsequence search.
+
+#include "warp/mining/similarity_search.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+TEST(SimilaritySearchTest, FindsPlantedExactMatch) {
+  Rng rng(111);
+  std::vector<double> haystack = gen::RandomWalk(2000, rng);
+  const size_t planted_at = 700;
+  const size_t m = 64;
+  const std::vector<double> query(haystack.begin() + planted_at,
+                                  haystack.begin() + planted_at + m);
+  SearchStats stats;
+  const SubsequenceMatch match = FindBestMatch(haystack, query, 5,
+                                               CostKind::kSquared, &stats);
+  EXPECT_EQ(match.position, planted_at);
+  EXPECT_NEAR(match.distance, 0.0, 1e-9);
+  EXPECT_EQ(stats.windows, haystack.size() - m + 1);
+}
+
+TEST(SimilaritySearchTest, FindsWarpedPlantedMatch) {
+  Rng rng(112);
+  std::vector<double> haystack = gen::RandomWalk(1500, rng);
+  const size_t m = 100;
+  const size_t planted_at = 900;
+  // Plant a time-warped, scaled copy of a pattern.
+  std::vector<double> pattern = gen::RandomWalk(m, rng);
+  const std::vector<double> warped = gen::ApplyRandomWarp(pattern, 0.04, rng);
+  for (size_t i = 0; i < m; ++i) {
+    haystack[planted_at + i] = 3.0 * warped[i] + 2.0;  // Scale + offset.
+  }
+  const SubsequenceMatch match = FindBestMatch(haystack, pattern, 8);
+  // Z-normalization must neutralize scale/offset; DTW the warp.
+  EXPECT_NEAR(static_cast<double>(match.position),
+              static_cast<double>(planted_at), 4.0);
+}
+
+TEST(SimilaritySearchTest, AgreesWithNaiveReference) {
+  Rng rng(113);
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<double> haystack = gen::RandomWalk(400, rng);
+    const std::vector<double> query = gen::RandomWalk(50, rng);
+    for (size_t band : {0u, 3u, 10u}) {
+      const SubsequenceMatch fast = FindBestMatch(haystack, query, band);
+      const SubsequenceMatch naive =
+          FindBestMatchNaive(haystack, query, band);
+      EXPECT_NEAR(fast.distance, naive.distance, 1e-6)
+          << "band=" << band << " round=" << round;
+    }
+  }
+}
+
+TEST(SimilaritySearchTest, PruningActuallyHappens) {
+  Rng rng(114);
+  const std::vector<double> haystack = gen::RandomWalk(3000, rng);
+  const std::vector<double> query = gen::RandomWalk(80, rng);
+  SearchStats stats;
+  FindBestMatch(haystack, query, 8, CostKind::kSquared, &stats);
+  const uint64_t skipped_dtw =
+      stats.pruned_by_kim + stats.pruned_by_keogh + stats.abandoned_dtw;
+  // The cascade should remove the overwhelming majority of full DTWs.
+  EXPECT_GT(skipped_dtw, stats.windows / 2);
+  EXPECT_EQ(stats.windows,
+            skipped_dtw + stats.full_dtw);
+}
+
+TEST(SimilaritySearchTest, QueryEqualToHaystackLength) {
+  Rng rng(115);
+  const std::vector<double> series = gen::RandomWalk(64, rng);
+  const SubsequenceMatch match = FindBestMatch(series, series, 4);
+  EXPECT_EQ(match.position, 0u);
+  EXPECT_NEAR(match.distance, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace warp

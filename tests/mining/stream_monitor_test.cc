@@ -1,0 +1,107 @@
+// Unit tests for the streaming query monitor.
+
+#include "warp/mining/stream_monitor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/gen/warping.h"
+
+namespace warp {
+namespace {
+
+std::vector<double> SinePattern(size_t m) {
+  std::vector<double> pattern(m);
+  for (size_t t = 0; t < m; ++t) {
+    pattern[t] = std::sin(2.0 * M_PI * static_cast<double>(t) /
+                          static_cast<double>(m));
+  }
+  return pattern;
+}
+
+TEST(StreamMonitorTest, NoEventsBeforeWindowFills) {
+  StreamMonitor monitor(SinePattern(32), 3, 1.0);
+  for (int t = 0; t < 31; ++t) {
+    EXPECT_FALSE(monitor.Push(0.0).has_value());
+  }
+  EXPECT_EQ(monitor.stats().windows_checked, 0u);
+}
+
+TEST(StreamMonitorTest, FiresOnPlantedPattern) {
+  const size_t m = 50;
+  const std::vector<double> pattern = SinePattern(m);
+  StreamMonitor monitor(pattern, 3, 0.5);
+
+  Rng rng(191);
+  bool fired_in_window = false;
+  uint64_t fired_at = 0;
+  // 300 samples of noise, then the pattern (scaled and offset — the
+  // monitor z-normalizes), then more noise.
+  for (int t = 0; t < 300; ++t) {
+    const auto event = monitor.Push(rng.Gaussian(0.0, 0.05) + 10.0);
+    EXPECT_FALSE(event.has_value()) << "spurious event at " << t;
+  }
+  for (size_t k = 0; k < m; ++k) {
+    const auto event = monitor.Push(3.0 * pattern[k] + 42.0);
+    if (event.has_value()) {
+      fired_in_window = true;
+      fired_at = event->end_time;
+      EXPECT_LE(event->distance, 0.5);
+    }
+  }
+  EXPECT_TRUE(fired_in_window);
+  EXPECT_EQ(fired_at, 300 + m - 1);
+}
+
+TEST(StreamMonitorTest, WarpedOccurrenceStillFires) {
+  const size_t m = 64;
+  const std::vector<double> pattern = SinePattern(m);
+  Rng rng(192);
+  const std::vector<double> warped =
+      gen::ApplyRandomWarp(pattern, 0.05, rng);
+
+  StreamMonitor monitor(pattern, static_cast<size_t>(m * 0.08), 2.0);
+  for (int t = 0; t < 100; ++t) monitor.Push(rng.Gaussian(5.0, 0.02));
+  bool fired = false;
+  for (double v : warped) {
+    if (monitor.Push(v).has_value()) fired = true;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(StreamMonitorTest, CascadePrunesAlmostEverything) {
+  const size_t m = 40;
+  StreamMonitor monitor(SinePattern(m), 2, 0.1);
+  Rng rng(193);
+  for (int t = 0; t < 5000; ++t) monitor.Push(rng.Gaussian());
+  const auto& stats = monitor.stats();
+  EXPECT_EQ(stats.samples, 5000u);
+  EXPECT_EQ(stats.windows_checked, 5000u - m + 1);
+  const uint64_t pruned = stats.pruned_by_kim + stats.pruned_by_keogh +
+                          stats.abandoned_dtw;
+  EXPECT_EQ(pruned + stats.full_dtw, stats.windows_checked);
+  // On pure noise with a tight threshold, full DTWs should be rare.
+  EXPECT_LT(stats.full_dtw, stats.windows_checked / 10);
+}
+
+TEST(StreamMonitorTest, EventDistanceMatchesOfflineCdtw) {
+  const size_t m = 32;
+  const std::vector<double> pattern = SinePattern(m);
+  StreamMonitor monitor(pattern, 2, 5.0);
+  // Feed exactly the pattern: the very first full window is a match.
+  std::optional<StreamMonitor::Event> last;
+  for (double v : pattern) {
+    const auto event = monitor.Push(v);
+    if (event.has_value()) last = event;
+  }
+  ASSERT_TRUE(last.has_value());
+  const std::vector<double> q = ZNormalized(pattern);
+  EXPECT_NEAR(last->distance, CdtwDistance(q, q, 2), 1e-9);
+  EXPECT_NEAR(last->distance, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,91 @@
+// Unit tests for Dataset operations.
+
+#include "warp/ts/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+Dataset MakeToyDataset() {
+  Dataset dataset;
+  for (int i = 0; i < 6; ++i) {
+    dataset.Add(TimeSeries({static_cast<double>(i), 1.0, 2.0}, i % 2));
+  }
+  return dataset;
+}
+
+TEST(DatasetTest, LabelsAndCounts) {
+  const Dataset dataset = MakeToyDataset();
+  EXPECT_EQ(dataset.Labels(), (std::vector<int>{0, 1}));
+  const auto counts = dataset.ClassCounts();
+  EXPECT_EQ(counts.at(0), 3u);
+  EXPECT_EQ(counts.at(1), 3u);
+}
+
+TEST(DatasetTest, UniformLength) {
+  Dataset dataset = MakeToyDataset();
+  EXPECT_EQ(dataset.UniformLength(), 3u);
+  dataset.Add(TimeSeries({1.0}, 0));
+  EXPECT_EQ(dataset.UniformLength(), 0u);
+}
+
+TEST(DatasetTest, ZNormalizeAll) {
+  Dataset dataset = MakeToyDataset();
+  dataset.ZNormalizeAll();
+  for (const auto& series : dataset.series()) {
+    const MeanStd ms = ComputeMeanStd(series.view());
+    EXPECT_NEAR(ms.mean, 0.0, 1e-9);
+  }
+}
+
+TEST(DatasetTest, ShuffleIsAPermutation) {
+  Dataset dataset = MakeToyDataset();
+  Rng rng(81);
+  dataset.Shuffle(rng);
+  EXPECT_EQ(dataset.size(), 6u);
+  std::vector<double> firsts;
+  for (const auto& series : dataset.series()) firsts.push_back(series[0]);
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(firsts, (std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(DatasetTest, ShuffleIsDeterministicPerSeed) {
+  Dataset a = MakeToyDataset();
+  Dataset b = MakeToyDataset();
+  Rng rng_a(82);
+  Rng rng_b(82);
+  a.Shuffle(rng_a);
+  b.Shuffle(rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values(), b[i].values());
+  }
+}
+
+TEST(DatasetTest, StratifiedSplitPreservesClassBalance) {
+  Dataset dataset;
+  for (int i = 0; i < 10; ++i) dataset.Add(TimeSeries({1.0}, 0));
+  for (int i = 0; i < 20; ++i) dataset.Add(TimeSeries({2.0}, 1));
+  const auto [train, test] = dataset.StratifiedSplit(0.5);
+  EXPECT_EQ(train.ClassCounts().at(0), 5u);
+  EXPECT_EQ(train.ClassCounts().at(1), 10u);
+  EXPECT_EQ(test.ClassCounts().at(0), 5u);
+  EXPECT_EQ(test.ClassCounts().at(1), 10u);
+}
+
+TEST(DatasetTest, StratifiedSplitKeepsAtLeastOnePerClass) {
+  Dataset dataset;
+  dataset.Add(TimeSeries({1.0}, 0));
+  dataset.Add(TimeSeries({2.0}, 0));
+  dataset.Add(TimeSeries({3.0}, 1));
+  dataset.Add(TimeSeries({4.0}, 1));
+  const auto [train, test] = dataset.StratifiedSplit(0.1);
+  EXPECT_EQ(train.ClassCounts().at(0), 1u);
+  EXPECT_EQ(train.ClassCounts().at(1), 1u);
+  EXPECT_EQ(train.size() + test.size(), dataset.size());
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,106 @@
+// Unit and property tests for SAX.
+
+#include "warp/ts/sax.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace {
+
+TEST(SaxBreakpointsTest, AscendingAndSymmetric) {
+  for (size_t a = kMinSaxAlphabet; a <= kMaxSaxAlphabet; ++a) {
+    const auto breakpoints = SaxBreakpoints(a);
+    ASSERT_EQ(breakpoints.size(), a - 1);
+    for (size_t k = 1; k < breakpoints.size(); ++k) {
+      EXPECT_LT(breakpoints[k - 1], breakpoints[k]);
+    }
+    // Gaussian quantiles are symmetric around zero.
+    for (size_t k = 0; k < breakpoints.size(); ++k) {
+      EXPECT_NEAR(breakpoints[k],
+                  -breakpoints[breakpoints.size() - 1 - k], 1e-9);
+    }
+  }
+}
+
+TEST(SaxWordTest, MonotoneRampCoversAlphabet) {
+  std::vector<double> ramp;
+  for (int t = 0; t < 64; ++t) ramp.push_back(static_cast<double>(t));
+  const std::vector<uint8_t> word = SaxWord(ramp, 8, 4);
+  ASSERT_EQ(word.size(), 8u);
+  // Non-decreasing symbols, starting low and ending high.
+  for (size_t s = 1; s < word.size(); ++s) EXPECT_GE(word[s], word[s - 1]);
+  EXPECT_EQ(word.front(), 0);
+  EXPECT_EQ(word.back(), 3);
+}
+
+TEST(SaxWordTest, ScaleAndOffsetInvariant) {
+  Rng rng(221);
+  const std::vector<double> x = gen::RandomWalk(128, rng);
+  std::vector<double> scaled = x;
+  for (double& v : scaled) v = 5.0 * v - 100.0;
+  EXPECT_EQ(SaxWord(x, 8, 6), SaxWord(scaled, 8, 6));
+}
+
+TEST(SaxWordTest, StringRendering) {
+  const std::vector<uint8_t> word = {0, 1, 2, 3};
+  EXPECT_EQ(SaxWordToString(word), "abcd");
+}
+
+TEST(SaxMinDistTest, ZeroForIdenticalAndAdjacentWords) {
+  const std::vector<uint8_t> a = {0, 1, 2, 3};
+  const std::vector<uint8_t> b = {1, 2, 3, 3};  // All adjacent or equal.
+  EXPECT_DOUBLE_EQ(SaxMinDistSquared(a, a, 64, 4), 0.0);
+  EXPECT_DOUBLE_EQ(SaxMinDistSquared(a, b, 64, 4), 0.0);
+}
+
+TEST(SaxMinDistTest, SymmetricInWords) {
+  const std::vector<uint8_t> a = {0, 3, 1, 2};
+  const std::vector<uint8_t> b = {3, 0, 2, 0};
+  EXPECT_DOUBLE_EQ(SaxMinDistSquared(a, b, 32, 4),
+                   SaxMinDistSquared(b, a, 32, 4));
+}
+
+TEST(SaxMinDistTest, LowerBoundsZNormalizedEuclidean) {
+  // The load-bearing SAX property, over many random pairs, word lengths,
+  // and alphabets.
+  Rng rng(222);
+  for (int round = 0; round < 60; ++round) {
+    const size_t n = 32 + rng.UniformInt(100);
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    const std::vector<double> y = gen::RandomWalk(n, rng);
+    const double ed =
+        EuclideanDistance(ZNormalized(x), ZNormalized(y));
+    for (size_t w : {4u, 8u, 16u}) {
+      for (size_t a : {3u, 5u, 8u}) {
+        const double mindist = SaxMinDistSquared(SaxWord(x, w, a),
+                                                 SaxWord(y, w, a), n, a);
+        EXPECT_LE(mindist, ed + 1e-9)
+            << "n=" << n << " w=" << w << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(SaxMinDistTest, TighterWithBiggerAlphabet) {
+  // Averaged over pairs, a finer alphabet cannot loosen the bound by
+  // much; check the aggregate trend.
+  Rng rng(223);
+  double coarse_total = 0.0;
+  double fine_total = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<double> x = gen::RandomWalk(64, rng);
+    const std::vector<double> y = gen::RandomWalk(64, rng);
+    coarse_total +=
+        SaxMinDistSquared(SaxWord(x, 8, 3), SaxWord(y, 8, 3), 64, 3);
+    fine_total +=
+        SaxMinDistSquared(SaxWord(x, 8, 10), SaxWord(y, 8, 10), 64, 10);
+  }
+  EXPECT_GE(fine_total, coarse_total);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,100 @@
+// Unit tests for preprocessing transforms.
+
+#include "warp/ts/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(MovingAverageTest, RadiusZeroIsIdentity) {
+  const std::vector<double> x = {1.0, 5.0, 2.0};
+  EXPECT_EQ(MovingAverage(x, 0), x);
+}
+
+TEST(MovingAverageTest, KnownWindowValues) {
+  const std::vector<double> x = {0.0, 3.0, 6.0, 9.0};
+  const std::vector<double> smoothed = MovingAverage(x, 1);
+  // Edges truncate: [mean(0,3), mean(0,3,6), mean(3,6,9), mean(6,9)].
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.5);
+  EXPECT_DOUBLE_EQ(smoothed[1], 3.0);
+  EXPECT_DOUBLE_EQ(smoothed[2], 6.0);
+  EXPECT_DOUBLE_EQ(smoothed[3], 7.5);
+}
+
+TEST(MovingAverageTest, SlidingSumMatchesNaive) {
+  Rng rng(261);
+  const std::vector<double> x = gen::RandomWalk(200, rng);
+  for (size_t radius : {1u, 5u, 50u, 500u}) {
+    const std::vector<double> fast = MovingAverage(x, radius);
+    for (size_t i = 0; i < x.size(); i += 17) {
+      const size_t lo = i > radius ? i - radius : 0;
+      const size_t hi = std::min(x.size(), i + radius + 1);
+      double sum = 0.0;
+      for (size_t k = lo; k < hi; ++k) sum += x[k];
+      EXPECT_NEAR(fast[i], sum / static_cast<double>(hi - lo), 1e-9)
+          << "radius=" << radius << " i=" << i;
+    }
+  }
+}
+
+TEST(DifferenceTest, LengthAndValues) {
+  const std::vector<double> x = {1.0, 4.0, 2.0};
+  EXPECT_EQ(Difference(x), (std::vector<double>{3.0, -2.0}));
+}
+
+TEST(DifferenceTest, ConstantSeriesDifferencesToZero) {
+  const std::vector<double> x(10, 5.0);
+  for (double v : Difference(x)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DetrendTest, RemovesExactLine) {
+  std::vector<double> x;
+  for (int i = 0; i < 50; ++i) x.push_back(2.0 + 0.5 * i);
+  for (double v : DetrendLinear(x)) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(DetrendTest, ResidualIsOrthogonalToTrend) {
+  Rng rng(262);
+  const std::vector<double> x = gen::RandomWalk(100, rng);
+  const std::vector<double> residual = DetrendLinear(x);
+  double sum = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < residual.size(); ++i) {
+    sum += residual[i];
+    weighted += residual[i] * static_cast<double>(i);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+  EXPECT_NEAR(weighted, 0.0, 1e-4);
+}
+
+TEST(ExponentialSmoothingTest, AlphaOneIsIdentity) {
+  Rng rng(263);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  EXPECT_EQ(ExponentialSmoothing(x, 1.0), x);
+}
+
+TEST(ExponentialSmoothingTest, SmoothsTowardHistory) {
+  const std::vector<double> x = {0.0, 10.0};
+  const std::vector<double> smoothed = ExponentialSmoothing(x, 0.25);
+  EXPECT_DOUBLE_EQ(smoothed[0], 0.0);
+  EXPECT_DOUBLE_EQ(smoothed[1], 2.5);
+}
+
+TEST(MinMaxScaleTest, MapsToUnitInterval) {
+  const std::vector<double> x = {-2.0, 0.0, 6.0};
+  const std::vector<double> scaled = MinMaxScale(x);
+  EXPECT_DOUBLE_EQ(scaled[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 0.25);
+  EXPECT_DOUBLE_EQ(scaled[2], 1.0);
+}
+
+TEST(MinMaxScaleTest, ConstantSeriesMapsToHalf) {
+  const std::vector<double> x(5, 3.0);
+  for (double v : MinMaxScale(x)) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+}  // namespace
+}  // namespace warp

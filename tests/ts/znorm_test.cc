@@ -1,0 +1,79 @@
+// Unit tests for z-normalization and running mean/stddev.
+
+#include "warp/ts/znorm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+TEST(ZNormTest, MeanStdOfKnownSeries) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const MeanStd ms = ComputeMeanStd(x);
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.stddev, 2.0);
+}
+
+TEST(ZNormTest, NormalizedSeriesHasZeroMeanUnitStd) {
+  Rng rng(71);
+  const std::vector<double> z = ZNormalized(gen::RandomWalk(200, rng));
+  const MeanStd ms = ComputeMeanStd(z);
+  EXPECT_NEAR(ms.mean, 0.0, 1e-9);
+  EXPECT_NEAR(ms.stddev, 1.0, 1e-9);
+}
+
+TEST(ZNormTest, ConstantSeriesNormalizesToZeros) {
+  std::vector<double> x(10, 42.0);
+  ZNormalizeInPlace(x);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ZNormTest, InPlaceMatchesCopying) {
+  Rng rng(72);
+  std::vector<double> x = gen::RandomWalk(50, rng);
+  const std::vector<double> copied = ZNormalized(x);
+  ZNormalizeInPlace(x);
+  EXPECT_EQ(x, copied);
+}
+
+TEST(ZNormTest, IdempotentUpToFloatingPoint) {
+  Rng rng(73);
+  std::vector<double> x = ZNormalized(gen::RandomWalk(80, rng));
+  const std::vector<double> twice = ZNormalized(x);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(twice[i], x[i], 1e-9);
+}
+
+TEST(RunningMeanStdTest, MatchesBatchOverSlidingWindows) {
+  Rng rng(74);
+  const std::vector<double> x = gen::RandomWalk(120, rng);
+  const size_t m = 16;
+  RunningMeanStd running(m);
+  for (size_t i = 0; i < m; ++i) running.Push(x[i]);
+  for (size_t pos = 0; pos + m <= x.size(); ++pos) {
+    if (pos > 0) {
+      running.Pop(x[pos - 1]);
+      running.Push(x[pos + m - 1]);
+    }
+    const MeanStd batch =
+        ComputeMeanStd(std::span<const double>(x).subspan(pos, m));
+    EXPECT_NEAR(running.mean(), batch.mean, 1e-9) << "pos=" << pos;
+    EXPECT_NEAR(running.stddev(), batch.stddev, 1e-9) << "pos=" << pos;
+  }
+}
+
+TEST(RunningMeanStdTest, ResetClearsState) {
+  RunningMeanStd running(4);
+  running.Push(10.0);
+  running.Push(20.0);
+  running.Reset();
+  EXPECT_EQ(running.size(), 0u);
+  running.Push(1.0);
+  EXPECT_DOUBLE_EQ(running.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,107 @@
+// Unit tests for the bundled UCR archive metadata snapshot.
+
+#include "warp/ucr/ucr_metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace warp {
+namespace ucr {
+namespace {
+
+TEST(UcrMetadataTest, HasAll128Datasets) {
+  EXPECT_EQ(AllDatasets().size(), 128u);
+}
+
+TEST(UcrMetadataTest, SortedByNameAndLookupWorks) {
+  const auto datasets = AllDatasets();
+  for (size_t i = 1; i < datasets.size(); ++i) {
+    EXPECT_LT(datasets[i - 1].name, datasets[i].name);
+  }
+  const DatasetInfo* uwave = FindDataset("UWaveGestureLibraryAll");
+  ASSERT_NE(uwave, nullptr);
+  EXPECT_EQ(uwave->length, 945);
+  EXPECT_EQ(uwave->train_size, 896);
+  EXPECT_EQ(FindDataset("NoSuchDataset"), nullptr);
+}
+
+TEST(UcrMetadataTest, PaperSection31Values) {
+  // Section 3.1 quotes UWaveGestureLibraryAll: ED error 0.052, best w = 4
+  // with error 0.034.
+  const DatasetInfo* uwave = FindDataset("UWaveGestureLibraryAll");
+  ASSERT_NE(uwave, nullptr);
+  EXPECT_NEAR(uwave->ed_error, 0.052, 1e-9);
+  EXPECT_NEAR(uwave->cdtw_error, 0.034, 1e-9);
+  EXPECT_EQ(uwave->best_window_percent, 4);
+}
+
+TEST(UcrMetadataTest, AllEntriesPlausible) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    EXPECT_GT(info.train_size, 0) << info.name;
+    EXPECT_GT(info.test_size, 0) << info.name;
+    EXPECT_GT(info.length, 0) << info.name;
+    EXPECT_GE(info.num_classes, 2) << info.name;
+    EXPECT_GE(info.best_window_percent, 0) << info.name;
+    EXPECT_LE(info.best_window_percent, 100) << info.name;
+    EXPECT_GE(info.ed_error, 0.0) << info.name;
+    EXPECT_LE(info.ed_error, 1.0) << info.name;
+    EXPECT_GE(info.cdtw_error, 0.0) << info.name;
+    EXPECT_LE(info.cdtw_error, 1.0) << info.name;
+  }
+}
+
+TEST(UcrMetadataTest, Fig2DistributionalClaims) {
+  // The claims the paper draws from Fig. 2: most series are shorter than
+  // 1,000 points, and the best window is rarely above 10%.
+  const auto lengths = SeriesLengths();
+  const auto windows = BestWindowPercents();
+  ASSERT_EQ(lengths.size(), 128u);
+  ASSERT_EQ(windows.size(), 128u);
+
+  size_t short_series = 0;
+  for (double length : lengths) {
+    if (length < 1000.0) ++short_series;
+  }
+  EXPECT_GT(short_series, 64u);  // A majority.
+
+  size_t small_window = 0;
+  for (double w : windows) {
+    if (w <= 10.0) ++small_window;
+  }
+  EXPECT_GT(small_window, 96u);  // "Rarely above 10%."
+}
+
+TEST(UcrMetadataTest, CaseCensusMatchesThePaperNarrative) {
+  const auto census = CaseCensus();
+  EXPECT_EQ(census[0] + census[1] + census[2] + census[3], 128u);
+  // The overwhelming majority of datasets are Case A...
+  EXPECT_GT(census[static_cast<size_t>(WarpingCase::kA)], 96u);
+  // ...and Case D ("no obvious applications") is nearly empty.
+  EXPECT_LE(census[static_cast<size_t>(WarpingCase::kD)], 3u);
+}
+
+TEST(UcrMetadataTest, CaseOfUsesThePapersBoundaries) {
+  DatasetInfo info{};
+  info.length = 500;
+  info.best_window_percent = 5;
+  EXPECT_EQ(CaseOf(info), WarpingCase::kA);
+  info.length = 2000;
+  EXPECT_EQ(CaseOf(info), WarpingCase::kB);
+  info.best_window_percent = 40;
+  EXPECT_EQ(CaseOf(info), WarpingCase::kD);
+  info.length = 500;
+  EXPECT_EQ(CaseOf(info), WarpingCase::kC);
+  EXPECT_STREQ(CaseName(WarpingCase::kA), "A (short N, narrow W)");
+}
+
+TEST(UcrMetadataTest, LongestSeriesMatchesPaperClaim) {
+  // Section 3.4: "The longest of these is 2,844."
+  int longest = 0;
+  for (const DatasetInfo& info : AllDatasets()) {
+    longest = std::max(longest, info.length);
+  }
+  EXPECT_EQ(longest, 2844);
+}
+
+}  // namespace
+}  // namespace ucr
+}  // namespace warp

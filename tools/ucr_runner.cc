@@ -1,0 +1,147 @@
+// ucr_runner — reproduce UCR-archive-style result rows on real data.
+//
+// Given a directory laid out like the UCR archive
+// (<dir>/<Name>/<Name>_TRAIN.tsv and <Name>_TEST.tsv), runs for each
+// requested dataset:
+//   * 1-NN Euclidean error,
+//   * best-window LOOCV search on the training set,
+//   * 1-NN cDTW error at that window (accelerated exact engine),
+//   * optionally 1-NN FastDTW error and runtime for contrast,
+// and prints a row comparable to the archive's summary table (and to the
+// bundled snapshot in warp/ucr). This is the bridge from the synthetic
+// reproduction to the real archive for users who have it.
+//
+// Usage: ucr_runner <archive_dir> <DatasetName> [more names...]
+//        [--max-window=20] [--fastdtw] [--radius=10]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "warp/common/stopwatch.h"
+#include "warp/common/table_printer.h"
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/mining/nn_classifier.h"
+#include "warp/mining/window_search.h"
+#include "warp/ts/io.h"
+#include "warp/ucr/ucr_metadata.h"
+
+namespace warp {
+namespace tools {
+namespace {
+
+struct Options {
+  std::string archive_dir;
+  std::vector<std::string> datasets;
+  size_t max_window_percent = 20;
+  bool run_fastdtw = false;
+  size_t radius = 10;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  if (argc < 3) return false;
+  options->archive_dir = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--max-window=", 0) == 0) {
+      options->max_window_percent =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 13, nullptr, 10));
+    } else if (arg == "--fastdtw") {
+      options->run_fastdtw = true;
+    } else if (arg.rfind("--radius=", 0) == 0) {
+      options->radius =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      options->datasets.push_back(arg);
+    }
+  }
+  return !options->datasets.empty();
+}
+
+int Run(const Options& options) {
+  TablePrinter table({"dataset", "N", "train", "test", "ED err",
+                      "best w%", "cDTW err", "cDTW s", "FastDTW err",
+                      "FastDTW s", "snapshot w%/err"});
+  for (const std::string& name : options.datasets) {
+    const std::string base = options.archive_dir + "/" + name + "/" + name;
+    Dataset train;
+    Dataset test;
+    std::string error;
+    if (!LoadUcrFile(base + "_TRAIN.tsv", &train, &error) ||
+        !LoadUcrFile(base + "_TEST.tsv", &test, &error)) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+      continue;
+    }
+    const size_t length = train.UniformLength();
+    if (length == 0 || test.UniformLength() != length) {
+      std::fprintf(stderr, "%s: skipped (variable-length series)\n",
+                   name.c_str());
+      continue;
+    }
+
+    // Euclidean baseline.
+    const ClassificationStats ed = Evaluate1Nn(
+        train, test,
+        [](std::span<const double> a, std::span<const double> b) {
+          return EuclideanDistance(a, b);
+        });
+
+    // Best window by LOOCV (the archive's procedure), step 1% of length.
+    const WindowSearchResult search = FindBestWindowLoocv(
+        train, options.max_window_percent * length / 100,
+        std::max<size_t>(1, length / 100));
+
+    const AcceleratedNnClassifier classifier(train, search.best_band);
+    const ClassificationStats cdtw = classifier.Evaluate(test);
+
+    std::string fastdtw_err = "-";
+    std::string fastdtw_time = "-";
+    if (options.run_fastdtw) {
+      const size_t radius = options.radius;
+      const ClassificationStats fast = Evaluate1Nn(
+          train, test,
+          [radius](std::span<const double> a, std::span<const double> b) {
+            return FastDtwDistance(a, b, radius);
+          });
+      fastdtw_err = TablePrinter::FormatDouble(fast.error_rate, 3);
+      fastdtw_time = TablePrinter::FormatDouble(fast.seconds, 1);
+    }
+
+    std::string snapshot = "-";
+    if (const ucr::DatasetInfo* info = ucr::FindDataset(name)) {
+      snapshot = std::to_string(info->best_window_percent) + "/" +
+                 TablePrinter::FormatDouble(info->cdtw_error, 3);
+    }
+
+    table.AddRow({name, std::to_string(length),
+                  std::to_string(train.size()), std::to_string(test.size()),
+                  TablePrinter::FormatDouble(ed.error_rate, 3),
+                  TablePrinter::FormatDouble(
+                      search.best_window_percent(length), 0),
+                  TablePrinter::FormatDouble(cdtw.error_rate, 3),
+                  TablePrinter::FormatDouble(cdtw.seconds, 1), fastdtw_err,
+                  fastdtw_time, snapshot});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace warp
+
+int main(int argc, char** argv) {
+  warp::tools::Options options;
+  if (!warp::tools::ParseArgs(argc, argv, &options)) {
+    std::fprintf(stderr,
+                 "usage: ucr_runner <archive_dir> <Dataset> [...] "
+                 "[--max-window=20] [--fastdtw] [--radius=10]\n");
+    return 1;
+  }
+  return warp::tools::Run(options);
+}

@@ -1,0 +1,371 @@
+// warp_cli — command-line access to the warp library.
+//
+//   warp_cli dist <a> <b> [--measure=...] [...]   distance between two series
+//   warp_cli search <haystack> <query> [...]      best-match subsequence search
+//   warp_cli classify <train> <test> [...]        1-NN classification
+//   warp_cli cluster <data> [...]                 hierarchical clustering
+//   warp_cli info <data>                          dataset summary
+//
+// Series files: one value per line (or one whitespace/comma-separated
+// line). Dataset files: UCR format, one exemplar per line, class label
+// first. Run `warp_cli help` for full flag documentation.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "warp/common/statistics.h"
+#include "warp/common/stopwatch.h"
+#include "warp/common/table_printer.h"
+#include "warp/core/adtw.h"
+#include "warp/core/ddtw.h"
+#include "warp/core/distance_matrix.h"
+#include "warp/core/dtw.h"
+#include "warp/core/elastic.h"
+#include "warp/core/fastdtw.h"
+#include "warp/core/fastdtw_reference.h"
+#include "warp/core/wdtw.h"
+#include "warp/mining/hierarchical_clustering.h"
+#include "warp/mining/nn_classifier.h"
+#include "warp/mining/similarity_search.h"
+#include "warp/mining/window_search.h"
+#include "warp/ts/io.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace cli {
+namespace {
+
+constexpr char kHelp[] = R"(warp_cli — exact and approximate DTW from the command line
+
+COMMANDS
+  dist <a> <b>        Distance between two single-series files.
+    --measure=M       ed | cdtw (default) | dtw | fastdtw | fastdtw-ref |
+                      ddtw | wdtw | adtw | lcss | erp | msm
+    --omega=F         ADTW non-diagonal step penalty (default 0.1)
+    --epsilon=F       LCSS match tolerance (default 0.1)
+    --gap=F           ERP gap reference value (default 0)
+    --c=F             MSM split/merge cost (default 1)
+    --window=F        Sakoe-Chiba window as a fraction (default 0.05)
+    --radius=N        FastDTW radius (default 10)
+    --g=F             WDTW steepness (default 0.05)
+    --cost=C          squared (default) | absolute
+    --znorm           z-normalize both series first
+    --path            also print the warping path (exact measures)
+
+  search <haystack> <query>
+    --window=F        cDTW window fraction (default 0.05)
+
+  classify <train.tsv> <test.tsv>
+    --window=F        window fraction; or
+    --auto-window=N   LOOCV search up to N%% of the length
+    --max-band=N      cap the band in cells
+
+  cluster <data.tsv>
+    --measure=M       as for dist (default cdtw)
+    --window=F        window fraction (default 0.1)
+    --linkage=L       single | complete | average (default)
+    --k=N             also print a flat k-cut (default 0 = skip)
+
+  info <data.tsv>     Dataset summary (sizes, classes, length stats).
+)";
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::string Flag(const std::string& name,
+                   const std::string& fallback) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+  double FlagDouble(const std::string& name, double fallback) const {
+    const std::string v = Flag(name, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+  long FlagInt(const std::string& name, long fallback) const {
+    const std::string v = Flag(name, "");
+    return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& name) const {
+    for (const auto& [key, value] : flags) {
+      if (key == name) return true;
+    }
+    return false;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.flags.emplace_back(arg, "true");
+      } else {
+        args.flags.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "warp_cli: %s\n", message.c_str());
+  std::exit(1);
+}
+
+TimeSeries LoadSeriesOrDie(const std::string& path) {
+  TimeSeries series;
+  std::string error;
+  if (!LoadSeriesFile(path, &series, &error)) Fail(error);
+  return series;
+}
+
+Dataset LoadDatasetOrDie(const std::string& path) {
+  Dataset dataset;
+  std::string error;
+  if (!LoadUcrFile(path, &dataset, &error)) Fail(error);
+  return dataset;
+}
+
+CostKind ParseCost(const Args& args) {
+  const std::string cost = args.Flag("cost", "squared");
+  if (cost == "squared") return CostKind::kSquared;
+  if (cost == "absolute") return CostKind::kAbsolute;
+  Fail("unknown --cost: " + cost);
+}
+
+int CmdDist(const Args& args) {
+  if (args.positional.size() != 2) Fail("dist needs two series files");
+  TimeSeries a = LoadSeriesOrDie(args.positional[0]);
+  TimeSeries b = LoadSeriesOrDie(args.positional[1]);
+  if (args.Has("znorm")) {
+    ZNormalizeInPlace(a.mutable_values());
+    ZNormalizeInPlace(b.mutable_values());
+  }
+  const CostKind cost = ParseCost(args);
+  const std::string measure = args.Flag("measure", "cdtw");
+  const double window = args.FlagDouble("window", 0.05);
+  const size_t radius = static_cast<size_t>(args.FlagInt("radius", 10));
+  const size_t band = static_cast<size_t>(
+      window * static_cast<double>(std::max(a.size(), b.size())) + 0.5);
+
+  Stopwatch watch;
+  double distance = 0.0;
+  DtwResult result;
+  bool have_path = false;
+  if (measure == "ed") {
+    distance = EuclideanDistance(a.view(), b.view(), cost);
+  } else if (measure == "cdtw") {
+    if (args.Has("path")) {
+      result = Cdtw(a.view(), b.view(), band, cost);
+      distance = result.distance;
+      have_path = true;
+    } else {
+      distance = CdtwDistance(a.view(), b.view(), band, cost);
+    }
+  } else if (measure == "dtw") {
+    if (args.Has("path")) {
+      result = Dtw(a.view(), b.view(), cost);
+      distance = result.distance;
+      have_path = true;
+    } else {
+      distance = DtwDistance(a.view(), b.view(), cost);
+    }
+  } else if (measure == "fastdtw") {
+    result = FastDtw(a.view(), b.view(), radius, cost);
+    distance = result.distance;
+    have_path = args.Has("path");
+  } else if (measure == "fastdtw-ref") {
+    result = ReferenceFastDtw(a.view(), b.view(), radius, cost);
+    distance = result.distance;
+    have_path = args.Has("path");
+  } else if (measure == "ddtw") {
+    distance = DdtwDistance(a.view(), b.view(), band, cost);
+  } else if (measure == "wdtw") {
+    distance = WdtwDistance(a.view(), b.view(),
+                            args.FlagDouble("g", 0.05), band, cost);
+  } else if (measure == "adtw") {
+    distance = AdtwDistance(a.view(), b.view(),
+                            args.FlagDouble("omega", 0.1), cost);
+  } else if (measure == "lcss") {
+    distance = LcssDistance(a.view(), b.view(),
+                            args.FlagDouble("epsilon", 0.1), band);
+  } else if (measure == "erp") {
+    distance = ErpDistance(a.view(), b.view(), args.FlagDouble("gap", 0.0));
+  } else if (measure == "msm") {
+    distance = MsmDistance(a.view(), b.view(), args.FlagDouble("c", 1.0));
+  } else {
+    Fail("unknown --measure: " + measure);
+  }
+  const double millis = watch.ElapsedMillis();
+
+  std::printf("%.10g\n", distance);
+  std::fprintf(stderr, "# measure=%s n=%zu m=%zu band=%zu time=%.3fms\n",
+               measure.c_str(), a.size(), b.size(), band, millis);
+  if (have_path) {
+    for (const PathPoint& p : result.path.points()) {
+      std::printf("%u\t%u\n", p.i, p.j);
+    }
+  }
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  if (args.positional.size() != 2) Fail("search needs haystack and query");
+  const TimeSeries haystack = LoadSeriesOrDie(args.positional[0]);
+  const TimeSeries query = LoadSeriesOrDie(args.positional[1]);
+  const double window = args.FlagDouble("window", 0.05);
+  const size_t band = static_cast<size_t>(
+      window * static_cast<double>(query.size()) + 0.5);
+  SearchStats stats;
+  const SubsequenceMatch match = FindBestMatch(
+      haystack.view(), query.view(), band, CostKind::kSquared, &stats);
+  std::printf("position\t%zu\ndistance\t%.10g\n", match.position,
+              match.distance);
+  std::fprintf(stderr,
+               "# %llu windows, %.2f s; pruned: kim=%llu keogh=%llu "
+               "abandoned=%llu full=%llu\n",
+               static_cast<unsigned long long>(stats.windows), stats.seconds,
+               static_cast<unsigned long long>(stats.pruned_by_kim),
+               static_cast<unsigned long long>(stats.pruned_by_keogh),
+               static_cast<unsigned long long>(stats.abandoned_dtw),
+               static_cast<unsigned long long>(stats.full_dtw));
+  return 0;
+}
+
+int CmdClassify(const Args& args) {
+  if (args.positional.size() != 2) Fail("classify needs train and test");
+  const Dataset train = LoadDatasetOrDie(args.positional[0]);
+  const Dataset test = LoadDatasetOrDie(args.positional[1]);
+  const size_t length = train.UniformLength();
+  if (length == 0) Fail("training series must share one length");
+
+  size_t band;
+  if (args.Has("auto-window")) {
+    const long max_percent = args.FlagInt("auto-window", 10);
+    const WindowSearchResult search = FindBestWindowLoocv(
+        train, static_cast<size_t>(max_percent) * length / 100,
+        std::max<size_t>(1, length / 100));
+    band = search.best_band;
+    std::fprintf(stderr, "# auto-window: best band %zu (w=%.1f%%), LOOCV "
+                 "accuracy %.3f\n",
+                 band, search.best_window_percent(length),
+                 search.best_accuracy);
+  } else {
+    band = static_cast<size_t>(args.FlagDouble("window", 0.05) *
+                               static_cast<double>(length) + 0.5);
+  }
+  if (args.Has("max-band")) {
+    band = std::min(band, static_cast<size_t>(args.FlagInt("max-band", 0)));
+  }
+
+  const AcceleratedNnClassifier classifier(train, band);
+  const ClassificationStats stats = classifier.Evaluate(test);
+  std::printf("accuracy\t%.6f\nerror\t%.6f\ntime_s\t%.3f\nband\t%zu\n",
+              stats.accuracy, stats.error_rate, stats.seconds, band);
+  return 0;
+}
+
+int CmdCluster(const Args& args) {
+  if (args.positional.size() != 1) Fail("cluster needs a dataset file");
+  const Dataset dataset = LoadDatasetOrDie(args.positional[0]);
+  const double window = args.FlagDouble("window", 0.1);
+  const std::string measure = args.Flag("measure", "cdtw");
+  const size_t radius = static_cast<size_t>(args.FlagInt("radius", 10));
+
+  std::vector<std::vector<double>> series;
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    series.push_back(dataset[i].values());
+    labels.push_back(std::to_string(i) + ":" +
+                     std::to_string(dataset[i].label()));
+  }
+  SeriesMeasure fn;
+  if (measure == "ed") {
+    fn = [](std::span<const double> a, std::span<const double> b) {
+      return EuclideanDistance(a, b);
+    };
+  } else if (measure == "cdtw") {
+    fn = [window](std::span<const double> a, std::span<const double> b) {
+      return CdtwDistanceFraction(a, b, window);
+    };
+  } else if (measure == "dtw") {
+    fn = [](std::span<const double> a, std::span<const double> b) {
+      return DtwDistance(a, b);
+    };
+  } else if (measure == "fastdtw") {
+    fn = [radius](std::span<const double> a, std::span<const double> b) {
+      return FastDtwDistance(a, b, radius);
+    };
+  } else {
+    Fail("unknown --measure: " + measure);
+  }
+
+  const DistanceMatrix matrix = ComputePairwiseMatrix(series, fn);
+  const std::string linkage_name = args.Flag("linkage", "average");
+  Linkage linkage = Linkage::kAverage;
+  if (linkage_name == "single") linkage = Linkage::kSingle;
+  else if (linkage_name == "complete") linkage = Linkage::kComplete;
+  else if (linkage_name != "average") Fail("unknown --linkage");
+
+  const Dendrogram dendrogram = AgglomerativeCluster(matrix, linkage);
+  std::printf("%s\n", dendrogram.ToNewick(labels).c_str());
+  const long k = args.FlagInt("k", 0);
+  if (k > 0) {
+    const std::vector<int> cut =
+        dendrogram.CutIntoClusters(static_cast<size_t>(k));
+    for (size_t i = 0; i < cut.size(); ++i) {
+      std::printf("%zu\t%d\n", i, cut[i]);
+    }
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.size() != 1) Fail("info needs a dataset file");
+  const Dataset dataset = LoadDatasetOrDie(args.positional[0]);
+  std::printf("series\t%zu\n", dataset.size());
+  std::vector<double> lengths;
+  for (const auto& s : dataset.series()) {
+    lengths.push_back(static_cast<double>(s.size()));
+  }
+  const SampleStats stats = ComputeStats(lengths);
+  std::printf("length_min\t%.0f\nlength_median\t%.0f\nlength_max\t%.0f\n",
+              stats.min, stats.median, stats.max);
+  std::printf("uniform_length\t%zu\n", dataset.UniformLength());
+  for (const auto& [label, count] : dataset.ClassCounts()) {
+    std::printf("class\t%d\t%zu\n", label, count);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
+      std::strcmp(argv[1], "--help") == 0) {
+    std::fputs(kHelp, stdout);
+    return argc < 2 ? 1 : 0;
+  }
+  const Args args = Parse(argc, argv);
+  const std::string command = argv[1];
+  if (command == "dist") return CmdDist(args);
+  if (command == "search") return CmdSearch(args);
+  if (command == "classify") return CmdClassify(args);
+  if (command == "cluster") return CmdCluster(args);
+  if (command == "info") return CmdInfo(args);
+  Fail("unknown command: " + command + " (try `warp_cli help`)");
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace warp
+
+int main(int argc, char** argv) { return warp::cli::Main(argc, argv); }
