@@ -21,9 +21,14 @@
 //   --length=N         exemplar length (default 945)
 //   --step=N           sweep step for both w and r (default 4)
 //   --max=N            sweep upper bound (default 20)
+//   --threads=N        if > 1, also report an N-thread all-pairs section
+//                      (0 = auto). The sweeps above always run on one
+//                      core, matching the paper's single-core timings.
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
@@ -47,6 +52,7 @@ int Main(int argc, char** argv) {
   const size_t length = static_cast<size_t>(flags.GetInt("length", 945));
   const int step = static_cast<int>(flags.GetInt("step", 4));
   const int max_setting = static_cast<int>(flags.GetInt("max", 20));
+  const size_t threads = ThreadsFlag(flags);
 
   PrintBanner("E1 / Fig. 1",
               "All-pairs time, gesture-like data (N=945): FastDTW_r vs "
@@ -114,6 +120,46 @@ int Main(int argc, char** argv) {
   std::printf("\n(b) cDTW_w (vanilla iterative implementation, no lower "
               "bounds / early abandoning)\n");
   cdtw_table.Print();
+
+  // (c) Multi-core all-pairs throughput: the same comparisons fanned out
+  // over a thread pool. The checksum equality line verifies the parallel
+  // sweep computed bitwise-identical distances.
+  if (threads > 1) {
+    std::printf("\n(c) parallel all-pairs throughput (--threads=%zu)\n",
+                threads);
+    TablePrinter par_table({"measure", "1-thread us/cmp",
+                            "N-thread us/cmp", "speedup", "checksums"});
+    const auto report = [&](const char* name, const auto& factory) {
+      const PairwiseTiming serial =
+          TimeAllPairsParallel(dataset, exemplars, 1, factory);
+      const PairwiseTiming parallel =
+          TimeAllPairsParallel(dataset, exemplars, threads, factory);
+      par_table.AddRow(
+          {name, TablePrinter::FormatDouble(serial.micros_per_pair(), 1),
+           TablePrinter::FormatDouble(parallel.micros_per_pair(), 1),
+           TablePrinter::FormatDouble(
+               parallel.seconds > 0.0 ? serial.seconds / parallel.seconds
+                                      : 0.0,
+               2),
+           serial.checksum == parallel.checksum ? "bitwise-equal"
+                                                : "MISMATCH"});
+    };
+    const std::string cdtw_name = "cDTW_" + std::to_string(max_setting);
+    report(cdtw_name.c_str(), [max_setting]() {
+             auto buffer = std::make_shared<DtwBuffer>();
+             return [max_setting, buffer](std::span<const double> a,
+                                          std::span<const double> b) {
+               return CdtwDistanceFraction(a, b, max_setting / 100.0,
+                                           CostKind::kSquared, buffer.get());
+             };
+    });
+    report("FastDTW_10 (optimized)", []() {
+      return [](std::span<const double> a, std::span<const double> b) {
+        return FastDtwDistance(a, b, 10);
+      };
+    });
+    par_table.Print();
+  }
 
   // Index of the sweep entry closest to a requested setting, and the
   // setting that entry actually used (step may not divide it).

@@ -15,6 +15,8 @@
 #include <set>
 #include <string>
 
+#include "warp/common/parallel.h"
+
 namespace warp {
 namespace bench {
 
@@ -72,6 +74,14 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::set<std::string> consumed_;
 };
+
+// Shared --threads flag. Default 1 keeps every harness paper-faithful
+// (single core); --threads=0 means auto (WARP_THREADS env, else
+// hardware_concurrency); --threads=N uses N pool workers.
+inline size_t ThreadsFlag(Flags& flags) {
+  const int64_t value = flags.GetInt("threads", 1);
+  return value <= 0 ? DefaultThreadCount() : static_cast<size_t>(value);
+}
 
 // Standard experiment banner so every harness's output is self-describing.
 inline void PrintBanner(const char* experiment_id, const char* description) {

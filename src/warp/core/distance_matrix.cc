@@ -1,8 +1,10 @@
 #include "warp/core/distance_matrix.h"
 
+#include <cmath>
 #include <utility>
 
 #include "warp/common/assert.h"
+#include "warp/common/parallel.h"
 #include "warp/common/table_printer.h"
 
 namespace warp {
@@ -54,16 +56,52 @@ std::string DistanceMatrix::ToString(std::span<const std::string> labels,
   return table.ToString();
 }
 
+std::pair<size_t, size_t> CondensedPairFromIndex(size_t index, size_t n) {
+  WARP_DCHECK(n >= 2 && index < n * (n - 1) / 2);
+  const double b = 2.0 * static_cast<double>(n) - 1.0;
+  const double discriminant = b * b - 8.0 * static_cast<double>(index);
+  size_t i = static_cast<size_t>((b - std::sqrt(discriminant)) / 2.0);
+  if (i >= n - 1) i = n - 2;
+  while (i > 0 && CondensedRowStart(i, n) > index) --i;
+  while (CondensedRowStart(i + 1, n) <= index) ++i;
+  return {i, i + 1 + (index - CondensedRowStart(i, n))};
+}
+
 DistanceMatrix ComputePairwiseMatrix(
     const std::vector<std::vector<double>>& series,
-    const SeriesMeasure& measure) {
+    const SeriesMeasure& measure, size_t threads) {
   WARP_CHECK(!series.empty());
-  DistanceMatrix matrix(series.size());
-  for (size_t i = 0; i < series.size(); ++i) {
-    for (size_t j = i + 1; j < series.size(); ++j) {
-      matrix.set(i, j, measure(series[i], series[j]));
+  const size_t n = series.size();
+  DistanceMatrix matrix(n);
+  if (n < 2) return matrix;
+
+  threads = ResolveThreadCount(threads);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        matrix.set(i, j, measure(series[i], series[j]));
+      }
     }
+    return matrix;
   }
+
+  // Chunk the condensed pair range: every chunk owns a disjoint slice of
+  // matrix slots, so the parallel fill is race-free and bitwise equal to
+  // the serial fill.
+  constexpr size_t kPairGrain = 16;
+  const size_t total_pairs = n * (n - 1) / 2;
+  ThreadPool pool(threads);
+  ParallelFor(&pool, 0, total_pairs, kPairGrain,
+              [&](size_t chunk_begin, size_t chunk_end, size_t /*worker*/) {
+                auto [i, j] = CondensedPairFromIndex(chunk_begin, n);
+                for (size_t p = chunk_begin; p < chunk_end; ++p) {
+                  matrix.set(i, j, measure(series[i], series[j]));
+                  if (++j == n) {
+                    ++i;
+                    j = i + 1;
+                  }
+                }
+              });
   return matrix;
 }
 

@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace warp {
@@ -39,10 +40,31 @@ class DistanceMatrix {
   std::vector<double> values_;
 };
 
+// Condensed upper-triangle geometry shared by the parallel all-pairs
+// loops here and in bench/harness/pairwise.h: pairs (i, j), i < j, of an
+// n x n matrix are numbered row-major 0 .. n(n-1)/2 - 1.
+
+// First condensed index of row i.
+inline size_t CondensedRowStart(size_t i, size_t n) {
+  return i * (2 * n - i - 1) / 2;
+}
+
+// Inverse mapping: condensed index -> (i, j). O(1) via the row quadratic,
+// with an integer fix-up so float rounding can never misplace a pair.
+std::pair<size_t, size_t> CondensedPairFromIndex(size_t index, size_t n);
+
 // Fills the matrix by evaluating `measure` on each unordered pair.
+//
+// With threads > 1 the condensed pair range is partitioned into fixed
+// chunks filled by a ThreadPool; each pair writes only its own matrix
+// slot, so the result is bitwise-identical to the serial fill at any
+// thread count. `measure` is invoked concurrently and must be safe to
+// call from multiple threads (the library's distance kernels are, as
+// long as no shared mutable DtwBuffer is captured). threads == 0 means
+// DefaultThreadCount().
 DistanceMatrix ComputePairwiseMatrix(
     const std::vector<std::vector<double>>& series,
-    const SeriesMeasure& measure);
+    const SeriesMeasure& measure, size_t threads = 1);
 
 }  // namespace warp
 

@@ -1,8 +1,10 @@
 #include "warp/mining/kmeans.h"
 
 #include <limits>
+#include <optional>
 
 #include "warp/common/assert.h"
+#include "warp/common/parallel.h"
 #include "warp/common/random.h"
 #include "warp/core/dtw.h"
 #include "warp/mining/dba.h"
@@ -65,29 +67,46 @@ KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
   result.centroids = SeedCentroids(series, options, rng);
   result.assignment.assign(series.size(), -1);
 
-  DtwBuffer buffer;
+  const size_t n = series.size();
+  const size_t threads = ResolveThreadCount(options.threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && n > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+  PerThread<DtwBuffer> buffers(pool_ptr);
+  constexpr size_t kAssignGrain = 4;
+
+  std::vector<int> best_cluster(n);
+  std::vector<double> best_distance(n);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Assignment step.
+    // Assignment step: each series' nearest centroid lands in its own
+    // slot; the inertia sum below runs in series order on this thread, so
+    // the result is bitwise-identical at any thread count.
+    ParallelFor(pool_ptr, 0, n, kAssignGrain,
+                [&](size_t chunk_begin, size_t chunk_end, size_t worker) {
+                  DtwBuffer& buffer = buffers[worker];
+                  for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                    best_cluster[i] = 0;
+                    best_distance[i] = kInf;
+                    for (size_t c = 0; c < result.centroids.size(); ++c) {
+                      const double d = CdtwDistance(
+                          result.centroids[c], series[i],
+                          EffectiveBand(options, result.centroids[c].size()),
+                          options.cost, &buffer);
+                      if (d < best_distance[i]) {
+                        best_distance[i] = d;
+                        best_cluster[i] = static_cast<int>(c);
+                      }
+                    }
+                  }
+                });
     bool changed = false;
     result.inertia = 0.0;
-    for (size_t i = 0; i < series.size(); ++i) {
-      int best_cluster = 0;
-      double best_distance = kInf;
-      for (size_t c = 0; c < result.centroids.size(); ++c) {
-        const double d = CdtwDistance(
-            result.centroids[c], series[i],
-            EffectiveBand(options, result.centroids[c].size()),
-            options.cost, &buffer);
-        if (d < best_distance) {
-          best_distance = d;
-          best_cluster = static_cast<int>(c);
-        }
-      }
-      if (result.assignment[i] != best_cluster) {
-        result.assignment[i] = best_cluster;
+    for (size_t i = 0; i < n; ++i) {
+      if (result.assignment[i] != best_cluster[i]) {
+        result.assignment[i] = best_cluster[i];
         changed = true;
       }
-      result.inertia += best_distance;
+      result.inertia += best_distance[i];
     }
     ++result.iterations_run;
     if (!changed) {
@@ -96,25 +115,32 @@ KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
     }
 
     // Update step: DBA over each cluster's members; an emptied cluster is
-    // re-seeded with a random series.
-    for (size_t c = 0; c < result.centroids.size(); ++c) {
-      std::vector<std::vector<double>> members;
-      for (size_t i = 0; i < series.size(); ++i) {
-        if (result.assignment[i] == static_cast<int>(c)) {
-          members.push_back(series[i]);
-        }
-      }
-      if (members.empty()) {
-        result.centroids[c] = series[rng.UniformInt(series.size())];
-        continue;
-      }
-      DbaOptions dba_options;
-      dba_options.iterations = options.dba_iterations;
-      dba_options.band = options.band;
-      dba_options.cost = options.cost;
-      result.centroids[c] =
-          DtwBarycenterAverage(members, dba_options).barycenter;
+    // re-seeded with a random series. All RNG draws happen here, in
+    // cluster order, before the (parallel) DBA averaging, keeping the
+    // draw sequence independent of scheduling.
+    std::vector<std::vector<std::vector<double>>> members(
+        result.centroids.size());
+    for (size_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(result.assignment[i])].push_back(series[i]);
     }
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      if (members[c].empty()) {
+        result.centroids[c] = series[rng.UniformInt(n)];
+      }
+    }
+    ParallelFor(pool_ptr, 0, result.centroids.size(), /*grain=*/1,
+                [&](size_t chunk_begin, size_t chunk_end, size_t /*worker*/) {
+                  for (size_t c = chunk_begin; c < chunk_end; ++c) {
+                    if (members[c].empty()) continue;
+                    DbaOptions dba_options;
+                    dba_options.iterations = options.dba_iterations;
+                    dba_options.band = options.band;
+                    dba_options.cost = options.cost;
+                    result.centroids[c] =
+                        DtwBarycenterAverage(members[c], dba_options)
+                            .barycenter;
+                  }
+                });
   }
   return result;
 }

@@ -25,6 +25,13 @@ struct KMeansOptions {
   CostKind cost = CostKind::kSquared;
   uint64_t seed = 1;
   size_t dba_iterations = 3;
+  // Worker threads for the assignment step and per-cluster DBA updates.
+  // 1 = serial (default), 0 = DefaultThreadCount(). Results are bitwise
+  // identical at any thread count: per-series assignments/distances land
+  // in their own slots, the inertia reduction runs in series order on the
+  // calling thread, and empty-cluster re-seeding draws from the RNG in
+  // cluster order before any parallel work.
+  size_t threads = 1;
 };
 
 struct KMeansResult {

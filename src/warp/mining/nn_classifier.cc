@@ -1,11 +1,15 @@
 #include "warp/mining/nn_classifier.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <map>
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/common/parallel.h"
 #include "warp/common/stopwatch.h"
 #include "warp/core/dtw.h"
 #include "warp/core/lower_bounds.h"
@@ -16,11 +20,41 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// One query per chunk: each query is a full scan of the training set, so
+// chunk overhead is negligible and load balance is maximal.
+constexpr size_t kEvalGrain = 1;
+
 void Finalize(ClassificationStats* stats) {
   stats->accuracy = stats->total > 0 ? static_cast<double>(stats->correct) /
                                            static_cast<double>(stats->total)
                                      : 0.0;
   stats->error_rate = 1.0 - stats->accuracy;
+}
+
+// Shared evaluation loop: classifies query i via is_correct(i) for all i
+// in [0, n), serially when threads <= 1, otherwise chunked over a pool.
+// Per-query correctness lands in its own slot, so the counts are
+// identical at any thread count.
+template <typename IsCorrectFn>
+ClassificationStats EvaluateQueries(size_t n, size_t threads,
+                                    const IsCorrectFn& is_correct) {
+  ClassificationStats stats;
+  threads = ResolveThreadCount(threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && n > 1) pool.emplace(threads);
+  std::vector<uint8_t> correct(n, 0);
+  Stopwatch watch;
+  ParallelFor(pool ? &*pool : nullptr, 0, n, kEvalGrain,
+              [&](size_t chunk_begin, size_t chunk_end, size_t /*worker*/) {
+                for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                  correct[i] = is_correct(i) ? 1 : 0;
+                }
+              });
+  stats.seconds = watch.ElapsedSeconds();
+  stats.total = n;
+  for (const uint8_t c : correct) stats.correct += c;
+  Finalize(&stats);
+  return stats;
 }
 
 }  // namespace
@@ -42,18 +76,13 @@ Prediction Classify1Nn(const Dataset& train, std::span<const double> query,
 }
 
 ClassificationStats Evaluate1Nn(const Dataset& train, const Dataset& test,
-                                const SeriesMeasure& measure) {
+                                const SeriesMeasure& measure,
+                                size_t threads) {
   WARP_CHECK(!train.empty() && !test.empty());
-  ClassificationStats stats;
-  Stopwatch watch;
-  for (const TimeSeries& query : test.series()) {
-    const Prediction prediction = Classify1Nn(train, query.view(), measure);
-    ++stats.total;
-    if (prediction.label == query.label()) ++stats.correct;
-  }
-  stats.seconds = watch.ElapsedSeconds();
-  Finalize(&stats);
-  return stats;
+  return EvaluateQueries(test.size(), threads, [&](size_t i) {
+    return Classify1Nn(train, test[i].view(), measure).label ==
+           test[i].label();
+  });
 }
 
 namespace {
@@ -126,19 +155,13 @@ Prediction ClassifyKnn(const Dataset& train, std::span<const double> query,
 }
 
 ClassificationStats EvaluateKnn(const Dataset& train, const Dataset& test,
-                                size_t k, const SeriesMeasure& measure) {
+                                size_t k, const SeriesMeasure& measure,
+                                size_t threads) {
   WARP_CHECK(!train.empty() && !test.empty());
-  ClassificationStats stats;
-  Stopwatch watch;
-  for (const TimeSeries& query : test.series()) {
-    const Prediction prediction =
-        ClassifyKnn(train, query.view(), k, measure);
-    ++stats.total;
-    if (prediction.label == query.label()) ++stats.correct;
-  }
-  stats.seconds = watch.ElapsedSeconds();
-  Finalize(&stats);
-  return stats;
+  return EvaluateQueries(test.size(), threads, [&](size_t i) {
+    return ClassifyKnn(train, test[i].view(), k, measure).label ==
+           test[i].label();
+  });
 }
 
 Prediction Classify1NnMulti(const std::vector<MultiSeries>& train,
@@ -160,18 +183,13 @@ Prediction Classify1NnMulti(const std::vector<MultiSeries>& train,
 
 ClassificationStats Evaluate1NnMulti(const std::vector<MultiSeries>& train,
                                      const std::vector<MultiSeries>& test,
-                                     const MultiMeasure& measure) {
+                                     const MultiMeasure& measure,
+                                     size_t threads) {
   WARP_CHECK(!train.empty() && !test.empty());
-  ClassificationStats stats;
-  Stopwatch watch;
-  for (const MultiSeries& query : test) {
-    const Prediction prediction = Classify1NnMulti(train, query, measure);
-    ++stats.total;
-    if (prediction.label == query.label()) ++stats.correct;
-  }
-  stats.seconds = watch.ElapsedSeconds();
-  Finalize(&stats);
-  return stats;
+  return EvaluateQueries(test.size(), threads, [&](size_t i) {
+    return Classify1NnMulti(train, test[i], measure).label ==
+           test[i].label();
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -191,13 +209,19 @@ AcceleratedNnClassifier::AcceleratedNnClassifier(const Dataset& train,
 
 Prediction AcceleratedNnClassifier::Classify(
     std::span<const double> query, ClassificationStats* stats) const {
+  DtwBuffer buffer;
+  return ClassifyWithBuffer(query, stats, &buffer);
+}
+
+Prediction AcceleratedNnClassifier::ClassifyWithBuffer(
+    std::span<const double> query, ClassificationStats* stats,
+    DtwBuffer* buffer) const {
   WARP_CHECK_MSG(query.size() == length_,
                  "query length must match the training set");
   const Envelope query_envelope = ComputeEnvelope(query, band_);
 
   Prediction best;
   best.distance = kInf;
-  DtwBuffer buffer;
   for (size_t i = 0; i < train_.size(); ++i) {
     if (stats != nullptr) ++stats->candidates;
     const std::span<const double> candidate = train_[i].view();
@@ -218,7 +242,7 @@ Prediction AcceleratedNnClassifier::Classify(
     }
     // Rung 3: exact cDTW with early abandoning.
     const double d = CdtwDistanceAbandoning(query, candidate, band_,
-                                            best.distance, cost_, &buffer);
+                                            best.distance, cost_, buffer);
     if (stats != nullptr) {
       if (d == kInf) {
         ++stats->abandoned_dtw;
@@ -273,20 +297,45 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
   return VoteFromKBest(train_, kbest);
 }
 
-ClassificationStats AcceleratedNnClassifier::Evaluate(
-    const Dataset& test) const {
+ClassificationStats AcceleratedNnClassifier::Evaluate(const Dataset& test,
+                                                      size_t threads) const {
   WARP_CHECK(!test.empty());
-  ClassificationStats stats;
+  const size_t n = test.size();
+  threads = ResolveThreadCount(threads);
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && n > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
+  // Each chunk accumulates its own cascade counters; the merge below runs
+  // in chunk order, so the totals match the serial scan exactly. Each
+  // worker slot reuses one DtwBuffer across all its queries.
+  std::vector<ClassificationStats> partials(ChunkCount(0, n, kEvalGrain));
+  PerThread<DtwBuffer> buffers(pool_ptr);
   Stopwatch watch;
-  for (const TimeSeries& query : test.series()) {
-    const Prediction prediction = Classify(query.view(), &stats);
-    ++stats.total;
-    if (prediction.label == query.label()) ++stats.correct;
-  }
+  ParallelFor(pool_ptr, 0, n, kEvalGrain,
+              [&](size_t chunk_begin, size_t chunk_end, size_t worker) {
+                ClassificationStats local;
+                for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                  const Prediction prediction = ClassifyWithBuffer(
+                      test[i].view(), &local, &buffers[worker]);
+                  ++local.total;
+                  if (prediction.label == test[i].label()) ++local.correct;
+                }
+                partials[chunk_begin / kEvalGrain] = local;
+              });
+
+  ClassificationStats stats;
   stats.seconds = watch.ElapsedSeconds();
-  stats.accuracy = static_cast<double>(stats.correct) /
-                   static_cast<double>(stats.total);
-  stats.error_rate = 1.0 - stats.accuracy;
+  for (const ClassificationStats& partial : partials) {
+    stats.total += partial.total;
+    stats.correct += partial.correct;
+    stats.candidates += partial.candidates;
+    stats.pruned_by_kim += partial.pruned_by_kim;
+    stats.pruned_by_keogh += partial.pruned_by_keogh;
+    stats.abandoned_dtw += partial.abandoned_dtw;
+    stats.full_dtw += partial.full_dtw;
+  }
+  Finalize(&stats);
   return stats;
 }
 

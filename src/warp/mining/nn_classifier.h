@@ -27,6 +27,8 @@
 
 namespace warp {
 
+struct DtwBuffer;
+
 struct Prediction {
   int label = TimeSeries::kUnlabeled;
   size_t nn_index = 0;
@@ -53,8 +55,16 @@ struct ClassificationStats {
 Prediction Classify1Nn(const Dataset& train, std::span<const double> query,
                        const SeriesMeasure& measure);
 
+// All Evaluate* functions accept a thread count: 1 (default) runs the
+// historical serial loop on the calling thread; N > 1 fans the test
+// queries out over a ThreadPool in fixed-size chunks, with per-chunk
+// results merged in chunk order so every field of the returned stats
+// (except wall-clock seconds) is bitwise-identical at any thread count.
+// 0 = DefaultThreadCount(). When threads > 1 the measure is invoked
+// concurrently and must be thread-safe.
 ClassificationStats Evaluate1Nn(const Dataset& train, const Dataset& test,
-                                const SeriesMeasure& measure);
+                                const SeriesMeasure& measure,
+                                size_t threads = 1);
 
 // k-NN with majority vote; ties go to the class of the nearest neighbor
 // among the tied classes. k = 1 reduces exactly to Classify1Nn. The
@@ -64,7 +74,8 @@ Prediction ClassifyKnn(const Dataset& train, std::span<const double> query,
                        size_t k, const SeriesMeasure& measure);
 
 ClassificationStats EvaluateKnn(const Dataset& train, const Dataset& test,
-                                size_t k, const SeriesMeasure& measure);
+                                size_t k, const SeriesMeasure& measure,
+                                size_t threads = 1);
 
 // Multichannel variant (Appendix B).
 using MultiMeasure =
@@ -76,7 +87,8 @@ Prediction Classify1NnMulti(const std::vector<MultiSeries>& train,
 
 ClassificationStats Evaluate1NnMulti(const std::vector<MultiSeries>& train,
                                      const std::vector<MultiSeries>& test,
-                                     const MultiMeasure& measure);
+                                     const MultiMeasure& measure,
+                                     size_t threads = 1);
 
 // ---------------------------------------------------------------------------
 // Accelerated exact cDTW_w engine.
@@ -96,11 +108,18 @@ class AcceleratedNnClassifier {
   Prediction ClassifyKnn(std::span<const double> query, size_t k,
                          ClassificationStats* stats = nullptr) const;
 
-  ClassificationStats Evaluate(const Dataset& test) const;
+  // threads as for Evaluate1Nn: parallelism is over test queries, each
+  // worker reuses a private DtwBuffer, and the cascade counters are
+  // summed in chunk order — bitwise-identical stats at any thread count.
+  ClassificationStats Evaluate(const Dataset& test, size_t threads = 1) const;
 
   size_t band() const { return band_; }
 
  private:
+  Prediction ClassifyWithBuffer(std::span<const double> query,
+                                ClassificationStats* stats,
+                                DtwBuffer* buffer) const;
+
   Dataset train_;
   size_t band_;
   CostKind cost_;

@@ -61,12 +61,17 @@ COMMANDS
     --window=F        window fraction; or
     --auto-window=N   LOOCV search up to N%% of the length
     --max-band=N      cap the band in cells
+    --threads=N       worker threads over test queries (default 1 =
+                      serial; 0 = all cores / WARP_THREADS). Results are
+                      identical at any thread count.
 
   cluster <data.tsv>
     --measure=M       as for dist (default cdtw)
     --window=F        window fraction (default 0.1)
     --linkage=L       single | complete | average (default)
     --k=N             also print a flat k-cut (default 0 = skip)
+    --threads=N       worker threads for the distance-matrix build
+                      (default 1; 0 = all cores / WARP_THREADS)
 
   info <data.tsv>     Dataset summary (sizes, classes, length stats).
 )";
@@ -134,6 +139,13 @@ Dataset LoadDatasetOrDie(const std::string& path) {
   std::string error;
   if (!LoadUcrFile(path, &dataset, &error)) Fail(error);
   return dataset;
+}
+
+// --threads: 1 = serial (default), 0 = auto, N = N workers. Negative
+// values are treated as auto.
+size_t ParseThreads(const Args& args) {
+  const long value = args.FlagInt("threads", 1);
+  return value < 0 ? 0 : static_cast<size_t>(value);
 }
 
 CostKind ParseCost(const Args& args) {
@@ -269,7 +281,8 @@ int CmdClassify(const Args& args) {
   }
 
   const AcceleratedNnClassifier classifier(train, band);
-  const ClassificationStats stats = classifier.Evaluate(test);
+  const ClassificationStats stats =
+      classifier.Evaluate(test, ParseThreads(args));
   std::printf("accuracy\t%.6f\nerror\t%.6f\ntime_s\t%.3f\nband\t%zu\n",
               stats.accuracy, stats.error_rate, stats.seconds, band);
   return 0;
@@ -310,7 +323,8 @@ int CmdCluster(const Args& args) {
     Fail("unknown --measure: " + measure);
   }
 
-  const DistanceMatrix matrix = ComputePairwiseMatrix(series, fn);
+  const DistanceMatrix matrix =
+      ComputePairwiseMatrix(series, fn, ParseThreads(args));
   const std::string linkage_name = args.Flag("linkage", "average");
   Linkage linkage = Linkage::kAverage;
   if (linkage_name == "single") linkage = Linkage::kSingle;
