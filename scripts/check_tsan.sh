@@ -1,31 +1,17 @@
 #!/usr/bin/env bash
-# Builds the tree under ThreadSanitizer (WARP_SANITIZE=thread) and runs
-# the core + mining test binaries — above all the parallel-layer unit and
-# determinism tests — with a 4-worker default pool, so every parallelized
-# hot path is raced-checked at an oversubscribed thread count.
+# ThreadSanitizer check — thin wrapper over the unified sanitizer matrix
+# driver (scripts/check_sanitizers.sh), kept for muscle memory and CI
+# configs that call it directly.
 #
-# Usage:  scripts/check_tsan.sh [build_dir]     (default: build-tsan)
+# Builds the tree under TSan (Debug, so the WARP_DCHECK oracle hooks are
+# live) and runs the full test suite — above all the parallel-layer unit
+# and determinism tests — with a 4-worker default pool, so every
+# parallelized hot path is raced-checked at an oversubscribed thread
+# count. The driver fails loudly if the compiler lacks TSan support and
+# forwards any WARP_THREADS override from the environment.
+#
+# Usage:  scripts/check_tsan.sh [ctest-args...]
 set -u
 
-BUILD_DIR="${1:-build-tsan}"
-[ $# -ge 1 ] && shift  # Remaining args are forwarded to ctest.
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-cd "$ROOT"
-
-cmake -B "$BUILD_DIR" -S . -DWARP_SANITIZE=thread \
-      -DWARP_BUILD_BENCHMARKS=OFF -DWARP_BUILD_EXAMPLES=OFF || exit 1
-cmake --build "$BUILD_DIR" -j || exit 1
-
-# WARP_THREADS=4 makes every threads=0 ("auto") code path take 4 workers
-# even on a single-core CI host; the determinism tests additionally pin
-# 1, 2, and 8 threads explicitly.
-WARP_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(common_parallel|mining_parallel_determinism|core_|mining_)' "$@"
-status=$?
-
-if [ $status -eq 0 ]; then
-  echo "TSan check passed."
-else
-  echo "TSan check FAILED (exit $status)." >&2
-fi
-exit $status
+exec "$ROOT/scripts/check_sanitizers.sh" thread -- "$@"

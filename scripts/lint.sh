@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Repository lint driver: convention checks (always), clang-format and
+# clang-tidy (when the tools are installed).
+#
+# Conventions enforced unconditionally (pure grep, no tool deps):
+#   * no raw assert()            — invariants go through WARP_CHECK/WARP_DCHECK
+#   * no std::rand/srand/mt19937/random_device — all randomness flows
+#     through warp::Rng with explicit seeds (see CONTRIBUTING.md)
+#   * no #pragma once            — headers use project include guards
+#   * include guards match path  — e.g. src/warp/core/dtw.h uses WARP_CORE_DTW_H_
+#
+# Tool-backed checks:
+#   * clang-format --dry-run -Werror over all tracked C++ sources
+#   * clang-tidy (config in .clang-tidy) over src/warp, warnings as errors
+#
+# Missing tools are reported loudly and skipped, because the analysis
+# container ships only g++; set LINT_STRICT=1 (CI does) to turn a missing
+# tool into a failure instead.
+#
+# Usage: scripts/lint.sh [--fix]   (--fix lets clang-format rewrite files)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+FIX=0
+[ "${1:-}" = "--fix" ] && FIX=1
+STRICT="${LINT_STRICT:-0}"
+failures=0
+
+fail() {
+  echo "LINT FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+skip_tool() {
+  local tool="$1"
+  if [ "$STRICT" = "1" ]; then
+    fail "required tool '$tool' is not installed (LINT_STRICT=1)"
+  else
+    echo "LINT SKIP: '$tool' not installed — install it or run in CI for full coverage" >&2
+  fi
+}
+
+cpp_sources() {
+  git ls-files '*.cc' '*.h'
+}
+
+# --- Convention: no raw assert() -------------------------------------------
+# [^_[:alnum:]] before "assert(" excludes static_assert and the WARP_*
+# macro definitions' internal_assert namespace.
+raw_asserts="$(cpp_sources | xargs grep -nE '(^|[^_[:alnum:]])assert\(' \
+    | grep -v 'static_assert' || true)"
+if [ -n "$raw_asserts" ]; then
+  echo "$raw_asserts" >&2
+  fail "raw assert() found — use WARP_CHECK/WARP_DCHECK (warp/common/assert.h)"
+fi
+
+# --- Convention: seeded randomness only ------------------------------------
+banned_random="$(cpp_sources | grep '^src/' | xargs grep -nE \
+    'std::rand\b|[^_[:alnum:]]srand\(|[^_[:alnum:]]rand\(\)|std::random_device|std::mt19937' \
+    | grep -vE ':[0-9]+: *(//|\*)' || true)"
+if [ -n "$banned_random" ]; then
+  echo "$banned_random" >&2
+  fail "platform RNG found in src/ — all randomness must flow through warp::Rng"
+fi
+
+# --- Convention: include guards, no #pragma once ---------------------------
+pragma_once="$(cpp_sources | xargs grep -ln '#pragma once' || true)"
+if [ -n "$pragma_once" ]; then
+  echo "$pragma_once" >&2
+  fail "#pragma once found — use WARP_..._H_ include guards"
+fi
+
+while IFS= read -r header; do
+  case "$header" in
+    src/warp/*) rel="${header#src/warp/}" ;;
+    *)          rel="$header" ;;
+  esac
+  guard="WARP_$(echo "$rel" | tr '[:lower:]/.' '[:upper:]__')_"
+  if ! grep -q "#ifndef $guard" "$header" || \
+     ! grep -q "#define $guard" "$header"; then
+    fail "$header: missing or misnamed include guard (expected $guard)"
+  fi
+done < <(git ls-files '*.h')
+
+# --- clang-format ----------------------------------------------------------
+if command -v clang-format > /dev/null 2>&1; then
+  if [ "$FIX" = "1" ]; then
+    cpp_sources | xargs clang-format -i
+    echo "clang-format: rewrote files in place (--fix)"
+  elif ! cpp_sources | xargs clang-format --dry-run -Werror 2>&1 | tail -40; then
+    fail "clang-format found formatting violations (run scripts/lint.sh --fix)"
+  fi
+else
+  skip_tool clang-format
+fi
+
+# --- clang-tidy over src/warp ----------------------------------------------
+if command -v clang-tidy > /dev/null 2>&1; then
+  TIDY_BUILD_DIR="${TIDY_BUILD_DIR:-build-tidy}"
+  if [ ! -f "$TIDY_BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$TIDY_BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+          -DWARP_BUILD_BENCHMARKS=OFF -DWARP_BUILD_EXAMPLES=OFF \
+          > /dev/null || fail "could not configure $TIDY_BUILD_DIR for clang-tidy"
+  fi
+  if [ -f "$TIDY_BUILD_DIR/compile_commands.json" ]; then
+    if ! git ls-files 'src/warp/*.cc' | \
+        xargs clang-tidy -p "$TIDY_BUILD_DIR" -warnings-as-errors='*' -quiet; then
+      fail "clang-tidy reported findings on src/warp"
+    fi
+  fi
+else
+  skip_tool clang-tidy
+fi
+
+if [ $failures -eq 0 ]; then
+  echo "lint: all checks passed"
+  exit 0
+fi
+echo "lint: $failures check(s) failed" >&2
+exit 1

@@ -1,0 +1,105 @@
+#include "warp/check/bound_oracle.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "warp/common/assert.h"
+#include "warp/core/dtw.h"
+#include "warp/core/envelope.h"
+#include "warp/core/lower_bounds.h"
+
+namespace warp {
+namespace check {
+
+namespace {
+
+// One "a <= b" comparison with absolute + relative slack; fills `error`
+// with the named inequality on violation.
+bool LeqOrExplain(double a, double b, const char* a_name, const char* b_name,
+                  double tolerance, std::string* error) {
+  const double slack = tolerance * (1.0 + std::fabs(a) + std::fabs(b));
+  if (a <= b + slack) return true;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s = %.17g exceeds %s = %.17g (violates %s <= %s)", a_name,
+                a, b_name, b, a_name, b_name);
+  *error = buffer;
+  return false;
+}
+
+}  // namespace
+
+BoundCascade ComputeBoundCascade(std::span<const double> x,
+                                 std::span<const double> y, size_t band,
+                                 CostKind cost) {
+  WARP_CHECK_MSG(x.size() == y.size(),
+                 "the lower-bound cascade assumes equal lengths");
+  WARP_CHECK(!x.empty());
+  BoundCascade cascade;
+  cascade.band = band;
+  cascade.cost = cost;
+  const Envelope env_x = ComputeEnvelope(x, band);
+  const Envelope env_y = ComputeEnvelope(y, band);
+  cascade.lb_kim = LbKimFl(x, y, cost);
+  cascade.lb_keogh = LbKeogh(env_x, y, cost);
+  cascade.lb_keogh_symmetric = LbKeoghSymmetric(env_x, x, env_y, y, cost);
+  cascade.lb_improved = LbImproved(env_x, x, y, band, cost);
+  cascade.cdtw = CdtwDistance(x, y, band, cost);
+  cascade.dtw = DtwDistance(x, y, cost);
+  cascade.euclidean = EuclideanDistance(x, y, cost);
+  return cascade;
+}
+
+bool CheckBoundCascade(const BoundCascade& cascade, double tolerance,
+                       std::string* error) {
+  WARP_CHECK(error != nullptr);
+  return LeqOrExplain(cascade.lb_kim, cascade.cdtw, "LB_Kim", "cDTW_w",
+                      tolerance, error) &&
+         LeqOrExplain(cascade.lb_keogh, cascade.lb_keogh_symmetric,
+                      "LB_Keogh", "LB_KeoghSymmetric", tolerance, error) &&
+         LeqOrExplain(cascade.lb_keogh_symmetric, cascade.cdtw,
+                      "LB_KeoghSymmetric", "cDTW_w", tolerance, error) &&
+         LeqOrExplain(cascade.lb_keogh, cascade.lb_improved, "LB_Keogh",
+                      "LB_Improved", tolerance, error) &&
+         LeqOrExplain(cascade.lb_improved, cascade.cdtw, "LB_Improved",
+                      "cDTW_w", tolerance, error) &&
+         LeqOrExplain(cascade.dtw, cascade.cdtw, "DTW", "cDTW_w", tolerance,
+                      error) &&
+         LeqOrExplain(cascade.cdtw, cascade.euclidean, "cDTW_w", "Euclidean",
+                      tolerance, error);
+}
+
+bool CheckLowerBoundOrdering(std::span<const double> x,
+                             std::span<const double> y, size_t band,
+                             CostKind cost, double tolerance,
+                             std::string* error) {
+  return CheckBoundCascade(ComputeBoundCascade(x, y, band, cost), tolerance,
+                           error);
+}
+
+bool CheckCdtwBandMonotone(std::span<const double> x,
+                           std::span<const double> y,
+                           std::span<const size_t> bands, CostKind cost,
+                           double tolerance, std::string* error) {
+  WARP_CHECK(error != nullptr);
+  WARP_CHECK(!bands.empty());
+  DtwBuffer buffer;
+  double previous = CdtwDistance(x, y, bands[0], cost, &buffer);
+  for (size_t k = 1; k < bands.size(); ++k) {
+    WARP_CHECK_MSG(bands[k - 1] <= bands[k], "bands must be ascending");
+    const double current = CdtwDistance(x, y, bands[k], cost, &buffer);
+    char wide_name[48];
+    char narrow_name[48];
+    std::snprintf(wide_name, sizeof(wide_name), "cDTW_%zu", bands[k]);
+    std::snprintf(narrow_name, sizeof(narrow_name), "cDTW_%zu", bands[k - 1]);
+    if (!LeqOrExplain(current, previous, wide_name, narrow_name, tolerance,
+                      error)) {
+      return false;
+    }
+    previous = current;
+  }
+  return true;
+}
+
+}  // namespace check
+}  // namespace warp

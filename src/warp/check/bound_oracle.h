@@ -1,0 +1,76 @@
+// Invariant oracles for the lower-bound cascade.
+//
+// Lemire's two-pass bound and the rest of the cascade earn their speed
+// from one algebraic fact: every bound B satisfies B(q, c) <= cDTW_w(q, c)
+// for the band and cost kind the eventual DTW call uses. A bound that ever
+// overshoots silently breaks 1-NN pruning — the classifier discards the
+// true nearest neighbor and the "exact" results of the paper reproduction
+// stop being exact. These oracles evaluate the whole cascade on a pair and
+// machine-check the orderings that are actually theorems:
+//
+//   LB_Kim      <= cDTW_w                    (endpoints are always aligned)
+//   LB_Keogh    <= LB_KeoghSymmetric <= cDTW_w
+//   LB_Keogh    <= LB_Improved       <= cDTW_w
+//   DTW         <= cDTW_w            <= Euclidean   (equal lengths)
+//
+// Note LB_Kim and LB_Keogh are *not* mutually ordered (band >= 1 can hide
+// the endpoint excursions LB_Kim sees), so the oracle deliberately checks
+// each bound against cDTW_w rather than chaining them.
+
+#ifndef WARP_CHECK_BOUND_ORACLE_H_
+#define WARP_CHECK_BOUND_ORACLE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "warp/core/cost.h"
+
+namespace warp {
+namespace check {
+
+// Every quantity of the cascade evaluated on one equal-length pair.
+// Split from the check so that tests can tamper with individual fields and
+// assert the oracle rejects the forgery (and so callers can log the lot).
+struct BoundCascade {
+  double lb_kim = 0.0;
+  double lb_keogh = 0.0;
+  double lb_keogh_symmetric = 0.0;
+  double lb_improved = 0.0;
+  double cdtw = 0.0;
+  double dtw = 0.0;
+  double euclidean = 0.0;
+  size_t band = 0;
+  CostKind cost = CostKind::kSquared;
+};
+
+// Evaluates all cascade members on (x, y) at `band`. Lengths must match
+// (the 1-NN classification setting every bound assumes).
+BoundCascade ComputeBoundCascade(std::span<const double> x,
+                                 std::span<const double> y, size_t band,
+                                 CostKind cost = CostKind::kSquared);
+
+// Verifies the orderings documented above, with `tolerance` absolute +
+// relative slack per comparison. On failure `error` names the violated
+// inequality and both values.
+bool CheckBoundCascade(const BoundCascade& cascade, double tolerance,
+                       std::string* error);
+
+// Convenience: ComputeBoundCascade + CheckBoundCascade.
+bool CheckLowerBoundOrdering(std::span<const double> x,
+                             std::span<const double> y, size_t band,
+                             CostKind cost, double tolerance,
+                             std::string* error);
+
+// cDTW_w is monotone non-increasing in w (a wider band minimizes over a
+// superset of paths). Verifies the chain over `bands`, which must be
+// sorted ascending.
+bool CheckCdtwBandMonotone(std::span<const double> x,
+                           std::span<const double> y,
+                           std::span<const size_t> bands, CostKind cost,
+                           double tolerance, std::string* error);
+
+}  // namespace check
+}  // namespace warp
+
+#endif  // WARP_CHECK_BOUND_ORACLE_H_

@@ -1,0 +1,57 @@
+#include "warp/check/path_oracle.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace check {
+
+bool CheckPath(const WarpingPath& path, size_t n, size_t m,
+               std::string* error) {
+  WARP_CHECK(error != nullptr);
+  return path.Validate(n, m, error);
+}
+
+bool CheckPathInWindow(const WarpingPath& path, const WarpingWindow& window,
+                       std::string* error) {
+  WARP_CHECK(error != nullptr);
+  if (!window.Validate(error)) return false;
+  if (!path.Validate(window.rows(), window.cols(), error)) return false;
+  for (size_t k = 0; k < path.size(); ++k) {
+    const PathPoint& p = path[k];
+    if (!window.Contains(p.i, p.j)) {
+      char buffer[96];
+      std::snprintf(buffer, sizeof(buffer),
+                    "path cell %zu = (%u, %u) escapes the window [%u, %u]",
+                    k, p.i, p.j, window.range(p.i).lo, window.range(p.i).hi);
+      *error = buffer;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckPathCost(const WarpingPath& path, std::span<const double> x,
+                   std::span<const double> y, CostKind cost,
+                   double reported_distance, double tolerance,
+                   std::string* error) {
+  WARP_CHECK(error != nullptr);
+  if (!path.Validate(x.size(), y.size(), error)) return false;
+  const double along = path.CostAlong(x, y, cost);
+  const double slack =
+      tolerance * (1.0 + std::fabs(along) + std::fabs(reported_distance));
+  if (std::fabs(along - reported_distance) > slack) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer),
+                  "path cost %.17g disagrees with reported distance %.17g",
+                  along, reported_distance);
+    *error = buffer;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace check
+}  // namespace warp

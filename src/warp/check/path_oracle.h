@@ -1,0 +1,52 @@
+// Invariant oracles for warping paths.
+//
+// The paper's whole argument rests on exactness, and exactness rests on
+// every recovered alignment being a *legal* warping path: boundary
+// (starts at (0,0), ends at (n-1,m-1)), monotonicity and continuity
+// (steps from {down, right, diagonal}), membership in the constraining
+// window, and cost consistency (the path's summed local cost equals the
+// reported distance). These oracles machine-check each property and
+// explain the first violation; the property-fuzz harness in tests/check/
+// drives them over randomized inputs, and the core kernels re-run the
+// cheap ones through WARP_DCHECK hooks in debug builds.
+//
+// Like the rest of the library, oracles do not throw: they return false
+// and describe the violation through `error` (which must be non-null).
+
+#ifndef WARP_CHECK_PATH_ORACLE_H_
+#define WARP_CHECK_PATH_ORACLE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "warp/core/cost.h"
+#include "warp/core/warping_path.h"
+#include "warp/core/window.h"
+
+namespace warp {
+namespace check {
+
+// Boundary + monotonicity + continuity for series of lengths (n, m).
+bool CheckPath(const WarpingPath& path, size_t n, size_t m,
+               std::string* error);
+
+// CheckPath for the window's shape, plus membership: every path cell must
+// lie inside `window`. This is the invariant that makes windowed DTW
+// results trustworthy — a path that escapes the window was never explored
+// by the DP and its cost is meaningless.
+bool CheckPathInWindow(const WarpingPath& path, const WarpingWindow& window,
+                       std::string* error);
+
+// The path's accumulated local cost must equal the distance the kernel
+// reported, within `tolerance` (absolute + relative). Catches traceback
+// bugs where the path and the DP value silently disagree.
+bool CheckPathCost(const WarpingPath& path, std::span<const double> x,
+                   std::span<const double> y, CostKind cost,
+                   double reported_distance, double tolerance,
+                   std::string* error);
+
+}  // namespace check
+}  // namespace warp
+
+#endif  // WARP_CHECK_PATH_ORACLE_H_

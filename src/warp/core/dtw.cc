@@ -292,6 +292,16 @@ DtwResult PathEngine(size_t n, size_t m, const WarpingWindow& window,
     result.path.Append(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
   }
   result.path.Reverse();
+#ifndef NDEBUG
+  // Debug-build invariant oracle hooks: the recovered alignment must be a
+  // legal warping path, stay inside the window it was searched in, and
+  // cost exactly what the DP reported.
+  std::string path_error;
+  WARP_CHECK_MSG(result.path.Validate(n, m, &path_error), path_error.c_str());
+  for (const PathPoint& p : result.path.points()) {
+    WARP_DCHECK(window.Contains(p.i, p.j));
+  }
+#endif
   return result;
 }
 

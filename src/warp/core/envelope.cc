@@ -46,6 +46,13 @@ Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
     env.upper[i] = values[max_deque[max_head]];
     env.lower[i] = values[min_deque[min_head]];
   }
+#ifndef NDEBUG
+  // Debug-build oracle hook: the tube must contain the series itself —
+  // LB_Keogh silently stops lower-bounding if it does not.
+  for (size_t i = 0; i < n; ++i) {
+    WARP_DCHECK(env.lower[i] <= values[i] && values[i] <= env.upper[i]);
+  }
+#endif
   return env;
 }
 

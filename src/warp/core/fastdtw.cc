@@ -64,7 +64,12 @@ DtwResult MultiFastDtwRecursive(const MultiSeries& x, const MultiSeries& y,
 DtwResult FastDtw(std::span<const double> x, std::span<const double> y,
                   size_t radius, CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
-  return FastDtwRecursive(x, y, radius, cost);
+  DtwResult result = FastDtwRecursive(x, y, radius, cost);
+  // Debug-build oracle hook: whatever the recursion produced must still be
+  // a legal full-resolution warping path (admissibility — never beating
+  // exact DTW — is checked by check::CheckFastDtwAdmissible in tests).
+  WARP_DCHECK(result.path.IsValid(x.size(), y.size()));
+  return result;
 }
 
 double FastDtwDistance(std::span<const double> x, std::span<const double> y,

@@ -10,6 +10,10 @@ double LbKimFl(std::span<const double> x, std::span<const double> y,
                CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
   return WithCost(cost, [&](auto c) {
+    // On a 1x1 matrix the first and last aligned cells coincide; counting
+    // the cell twice would overshoot cDTW and break pruning soundness
+    // (caught by check::CheckBoundCascade on length-1 inputs).
+    if (x.size() == 1 && y.size() == 1) return c(x.front(), y.front());
     return c(x.front(), y.front()) + c(x.back(), y.back());
   });
 }
@@ -19,10 +23,13 @@ double LbKeogh(const Envelope& query_envelope,
                double abandon_above) {
   WARP_CHECK_MSG(query_envelope.upper.size() == candidate.size(),
                  "envelope and candidate lengths must match");
+  WARP_CHECK_MSG(query_envelope.lower.size() == query_envelope.upper.size(),
+                 "envelope upper/lower lengths must match");
   return WithCost(cost, [&](auto c) {
     double sum = 0.0;
     for (size_t i = 0; i < candidate.size(); ++i) {
       const double v = candidate[i];
+      WARP_DCHECK(query_envelope.lower[i] <= query_envelope.upper[i]);
       if (v > query_envelope.upper[i]) {
         sum += c(v, query_envelope.upper[i]);
       } else if (v < query_envelope.lower[i]) {
@@ -57,6 +64,9 @@ double LbImproved(const Envelope& query_envelope,
   }
   const Envelope projection_envelope = ComputeEnvelope(projection, band);
   const double second = LbKeogh(projection_envelope, query, cost);
+  // Both passes are sums of non-negative excursions, which is exactly why
+  // LB_Improved >= LB_Keogh while remaining a valid lower bound.
+  WARP_DCHECK(first >= 0.0 && second >= 0.0);
   return first + second;
 }
 

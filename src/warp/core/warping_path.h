@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "warp/common/assert.h"
 #include "warp/core/cost.h"
 
 namespace warp {
@@ -34,7 +35,10 @@ class WarpingPath {
 
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
-  const PathPoint& operator[](size_t k) const { return points_[k]; }
+  const PathPoint& operator[](size_t k) const {
+    WARP_DCHECK(k < points_.size());
+    return points_[k];
+  }
   const std::vector<PathPoint>& points() const { return points_; }
 
   void Append(uint32_t i, uint32_t j) { points_.push_back({i, j}); }

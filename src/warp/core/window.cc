@@ -156,6 +156,8 @@ void WarpingWindow::Canonicalize() {
       ranges_[i - 1].hi = ranges_[i].lo - 1;
     }
   }
+  // Canonicalize's whole contract is that the result satisfies IsValid.
+  WARP_DCHECK(IsValid());
 }
 
 bool WarpingWindow::IsValid() const {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "warp/common/assert.h"
 #include "warp/core/warping_path.h"
 
 namespace warp {
@@ -64,7 +65,10 @@ class WarpingWindow {
   size_t rows() const { return ranges_.size(); }
   size_t cols() const { return cols_; }
 
-  const ColRange& range(size_t i) const { return ranges_[i]; }
+  const ColRange& range(size_t i) const {
+    WARP_DCHECK(i < ranges_.size());
+    return ranges_[i];
+  }
 
   bool Contains(size_t i, size_t j) const {
     return i < ranges_.size() && j >= ranges_[i].lo && j <= ranges_[i].hi;

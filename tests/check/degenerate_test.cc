@@ -1,0 +1,150 @@
+// Degenerate inputs pushed through the oracle layer.
+//
+// The corners that historically break DP kernels: length-1 series,
+// constant series, the w=0 band (pure Euclidean), the w=n band (pure full
+// DTW), and malformed paths (empty, truncated, out-of-matrix,
+// out-of-window) that the validators must reject rather than accept or
+// crash on.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/check/bound_oracle.h"
+#include "warp/check/exactness_oracle.h"
+#include "warp/check/path_oracle.h"
+#include "warp/common/random.h"
+#include "warp/core/dtw.h"
+#include "warp/gen/random_walk.h"
+
+namespace warp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(CheckDegenerate, LengthOneSeries) {
+  const std::vector<double> x = {2.0};
+  const std::vector<double> y = {-1.5};
+  std::string error;
+  // DTW of two points is just their local cost, and every oracle must
+  // hold on the 1x1 matrix.
+  EXPECT_DOUBLE_EQ(DtwDistance(x, y), 3.5 * 3.5);
+  EXPECT_TRUE(check::CheckLowerBoundOrdering(x, y, 0, CostKind::kSquared,
+                                             kTol, &error))
+      << error;
+  EXPECT_TRUE(check::CheckFastDtwAdmissible(x, y, 1, CostKind::kSquared,
+                                            kTol, &error))
+      << error;
+  EXPECT_TRUE(
+      check::CheckSelfDistanceZero(x, 0, CostKind::kSquared, kTol, &error))
+      << error;
+
+  const DtwResult result = Dtw(x, y);
+  ASSERT_EQ(result.path.size(), 1u);
+  EXPECT_TRUE(check::CheckPath(result.path, 1, 1, &error)) << error;
+  EXPECT_TRUE(check::CheckPathCost(result.path, x, y, CostKind::kSquared,
+                                   result.distance, kTol, &error))
+      << error;
+}
+
+TEST(CheckDegenerate, ConstantSeries) {
+  const std::vector<double> x(32, 1.25);
+  const std::vector<double> y(32, 1.25);
+  const std::vector<double> z(32, -0.5);
+  std::string error;
+  EXPECT_DOUBLE_EQ(CdtwDistance(x, y, 4), 0.0);
+  EXPECT_TRUE(check::CheckLowerBoundOrdering(x, z, 4, CostKind::kAbsolute,
+                                             kTol, &error))
+      << error;
+  EXPECT_TRUE(
+      check::CheckSymmetry(x, z, 4, CostKind::kAbsolute, kTol, &error))
+      << error;
+  EXPECT_TRUE(
+      check::CheckSelfDistanceZero(x, 4, CostKind::kSquared, kTol, &error))
+      << error;
+  // Constant-vs-constant distance is n * cost(a, b) at any band: every
+  // extra warping step only adds identical positive cells.
+  const std::vector<size_t> bands = {0, 1, 8, 32};
+  EXPECT_TRUE(check::CheckCdtwBandMonotone(x, z, bands, CostKind::kSquared,
+                                           kTol, &error))
+      << error;
+}
+
+TEST(CheckDegenerate, ZeroBandEqualsEuclidean) {
+  Rng rng(7);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  const std::vector<double> y = gen::RandomWalk(40, rng);
+  EXPECT_NEAR(CdtwDistance(x, y, 0), EuclideanDistance(x, y), 1e-9);
+  std::string error;
+  EXPECT_TRUE(check::CheckLowerBoundOrdering(x, y, 0, CostKind::kSquared,
+                                             kTol, &error))
+      << error;
+  // At band 0 the cascade collapses: cDTW_0 == Euclidean, and LB_Keogh's
+  // envelope is the series itself.
+  const check::BoundCascade cascade =
+      check::ComputeBoundCascade(x, y, 0, CostKind::kSquared);
+  EXPECT_NEAR(cascade.cdtw, cascade.euclidean, 1e-9);
+  EXPECT_NEAR(cascade.lb_keogh, cascade.euclidean, 1e-9);
+}
+
+TEST(CheckDegenerate, FullBandEqualsUnconstrainedDtw) {
+  Rng rng(8);
+  const std::vector<double> x = gen::RandomWalk(40, rng);
+  const std::vector<double> y = gen::RandomWalk(40, rng);
+  EXPECT_NEAR(CdtwDistance(x, y, 40), DtwDistance(x, y), 1e-9);
+  std::string error;
+  EXPECT_TRUE(check::CheckLowerBoundOrdering(x, y, 40, CostKind::kSquared,
+                                             kTol, &error))
+      << error;
+  const check::BoundCascade cascade =
+      check::ComputeBoundCascade(x, y, 40, CostKind::kSquared);
+  EXPECT_NEAR(cascade.cdtw, cascade.dtw, 1e-9);
+}
+
+TEST(CheckDegenerate, ValidatorRejectsMalformedPaths) {
+  std::string error;
+  // Empty path — the "empty window" of path space.
+  EXPECT_FALSE(check::CheckPath(WarpingPath(), 4, 4, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+
+  // Zero-length series reject every path.
+  WarpingPath trivial(std::vector<PathPoint>{{0, 0}});
+  EXPECT_FALSE(check::CheckPath(trivial, 0, 4, &error));
+  EXPECT_FALSE(check::CheckPath(trivial, 4, 0, &error));
+
+  // A single-point path only covers the 1x1 matrix.
+  EXPECT_TRUE(check::CheckPath(trivial, 1, 1, &error)) << error;
+  EXPECT_FALSE(check::CheckPath(trivial, 2, 2, &error));
+
+  // A path that leaves the matrix.
+  WarpingPath escaping(std::vector<PathPoint>{{0, 0}, {1, 1}, {1, 2}});
+  EXPECT_FALSE(check::CheckPath(escaping, 2, 2, &error));
+
+  // Stationary (repeated) points are neither monotone nor continuous.
+  WarpingPath stuck(std::vector<PathPoint>{{0, 0}, {0, 0}, {1, 1}});
+  EXPECT_FALSE(check::CheckPath(stuck, 2, 2, &error));
+  EXPECT_NE(error.find("illegal step"), std::string::npos) << error;
+}
+
+TEST(CheckDegenerate, WindowMembershipOnDegenerateWindows) {
+  std::string error;
+  // The 1x1 window accepts exactly the single-point path.
+  const WarpingWindow unit = WarpingWindow::Full(1, 1);
+  WarpingPath trivial(std::vector<PathPoint>{{0, 0}});
+  EXPECT_TRUE(check::CheckPathInWindow(trivial, unit, &error)) << error;
+
+  // A band-0 window rejects any off-diagonal cell (degenerate "empty"
+  // off-diagonal coverage), including paths that are otherwise valid.
+  const WarpingWindow diagonal = WarpingWindow::SakoeChiba(3, 3, 0);
+  WarpingPath off(std::vector<PathPoint>{{0, 0}, {1, 0}, {1, 1}, {2, 2}});
+  EXPECT_FALSE(check::CheckPathInWindow(off, diagonal, &error));
+  EXPECT_NE(error.find("escapes"), std::string::npos) << error;
+
+  // The same path is accepted once the window is wide enough to hold it.
+  const WarpingWindow wide = WarpingWindow::SakoeChiba(3, 3, 3);
+  EXPECT_TRUE(check::CheckPathInWindow(off, wide, &error)) << error;
+}
+
+}  // namespace
+}  // namespace warp
