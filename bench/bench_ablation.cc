@@ -10,11 +10,12 @@
 //      generalized scaled-diagonal ranges?
 //
 // Flags: --length (315), --train (64), --test (32), --band-percent (10),
-//        --reps (200).
+//        --reps (200), --json=<path>.
 
 #include <cstdio>
 #include <functional>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
@@ -25,6 +26,8 @@
 #include "warp/core/lower_bounds.h"
 #include "warp/gen/gesture.h"
 #include "warp/gen/random_walk.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -112,6 +115,17 @@ int Main(int argc, char** argv) {
   const size_t band_percent =
       static_cast<size_t>(flags.GetInt("band-percent", 10));
   const int reps = static_cast<int>(flags.GetInt("reps", 200));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "Ablations",
+      "Cascade rungs, bound tightness, buffer reuse, band fast path");
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("train", static_cast<int64_t>(train_size));
+  report.AddConfig("test", static_cast<int64_t>(test_size));
+  report.AddConfig("band_percent", static_cast<int64_t>(band_percent));
+  report.AddConfig("reps", reps);
 
   PrintBanner("Ablations",
               "What each engineering choice buys: cascade rungs, bound "
@@ -164,7 +178,10 @@ int Main(int argc, char** argv) {
   TablePrinter cascade_table({"configuration", "seconds", "speedup"});
   double baseline = -1.0;
   for (const CascadeConfig& config : configs) {
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
     const double seconds = RunCascade(train, test, band, config, expected);
+    report.AddCase(std::string("cascade: ") + config.name,
+                   SummarizeSamples({seconds}), obs::CountersSince(before));
     if (baseline < 0) baseline = seconds;
     cascade_table.AddRow({config.name,
                           TablePrinter::FormatDouble(seconds, 3),
@@ -185,18 +202,24 @@ int Main(int argc, char** argv) {
   double keogh_total = 0.0;
   double improved_total = 0.0;
   double dtw_total = 0.0;
+  obs::MetricsSnapshot before = obs::SnapshotCounters();
   Stopwatch keogh_watch;
   for (size_t t = 0; t < lb_trials; ++t) {
     const Envelope env = ComputeEnvelope(pairs_q[t], band);
     keogh_total += LbKeogh(env, pairs_c[t]);
   }
   const double keogh_seconds = keogh_watch.ElapsedSeconds();
+  report.AddCase("lb_keogh", SummarizeSamples({keogh_seconds}),
+                 obs::CountersSince(before));
+  before = obs::SnapshotCounters();
   Stopwatch improved_watch;
   for (size_t t = 0; t < lb_trials; ++t) {
     const Envelope env = ComputeEnvelope(pairs_q[t], band);
     improved_total += LbImproved(env, pairs_q[t], pairs_c[t], band);
   }
   const double improved_seconds = improved_watch.ElapsedSeconds();
+  report.AddCase("lb_improved", SummarizeSamples({improved_seconds}),
+                 obs::CountersSince(before));
   DtwBuffer buffer;
   for (size_t t = 0; t < lb_trials; ++t) {
     dtw_total += CdtwDistance(pairs_q[t], pairs_c[t], band,
@@ -215,14 +238,20 @@ int Main(int argc, char** argv) {
   const std::vector<double> x = gen::RandomWalk(945, rng);
   const std::vector<double> y = gen::RandomWalk(945, rng);
   double checksum = 0.0;
+  before = obs::SnapshotCounters();
   Stopwatch no_reuse;
   for (int r = 0; r < reps; ++r) checksum += CdtwDistance(x, y, 38);
   const double no_reuse_seconds = no_reuse.ElapsedSeconds();
+  report.AddCase("buffer_fresh", SummarizeSamples({no_reuse_seconds}),
+                 obs::CountersSince(before));
+  before = obs::SnapshotCounters();
   Stopwatch reuse;
   for (int r = 0; r < reps; ++r) {
     checksum += CdtwDistance(x, y, 38, CostKind::kSquared, &buffer);
   }
   const double reuse_seconds = reuse.ElapsedSeconds();
+  report.AddCase("buffer_reused", SummarizeSamples({reuse_seconds}),
+                 obs::CountersSince(before));
   DoNotOptimize(checksum);
   std::printf("\nC. DtwBuffer reuse at N=945, w=4%% (%d calls): fresh "
               "allocations %.1f ms vs reused %.1f ms (%.0f%% saved)\n",
@@ -231,22 +260,29 @@ int Main(int argc, char** argv) {
 
   // --- D: square fast path ----------------------------------------------------
   const std::vector<double> y_off = gen::RandomWalk(944, rng);
+  before = obs::SnapshotCounters();
   Stopwatch square;
   for (int r = 0; r < reps; ++r) {
     checksum += CdtwDistance(x, y, 94, CostKind::kSquared, &buffer);
   }
   const double square_seconds = square.ElapsedSeconds();
+  report.AddCase("band_square", SummarizeSamples({square_seconds}),
+                 obs::CountersSince(before));
+  before = obs::SnapshotCounters();
   Stopwatch general;
   for (int r = 0; r < reps; ++r) {
     checksum += CdtwDistance(x, y_off, 94, CostKind::kSquared, &buffer);
   }
   const double general_seconds = general.ElapsedSeconds();
+  report.AddCase("band_general", SummarizeSamples({general_seconds}),
+                 obs::CountersSince(before));
   DoNotOptimize(checksum);
   std::printf("D. band ranges at N=945, w=10%% (%d calls): square integer "
               "fast path %.1f ms vs generalized scaled-diagonal %.1f ms "
               "(%+.0f%%)\n",
               reps, square_seconds * 1e3, general_seconds * 1e3,
               100.0 * (general_seconds - square_seconds) / square_seconds);
+  report.Finish(json_path);
   return 0;
 }
 

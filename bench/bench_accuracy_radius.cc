@@ -8,15 +8,19 @@
 // FastDTW_r relative to exact Full DTW, by radius, on two data families —
 // plus the adversarial family, where the error does not decay.
 //
-// Flags: --pairs (30), --length (300).
+// Flags: --pairs (30), --length (300), --json=<path>.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
 #include "warp/common/statistics.h"
+#include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 #include "warp/core/approx_error.h"
 #include "warp/core/dtw.h"
 #include "warp/core/fastdtw.h"
@@ -32,6 +36,14 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int pairs = static_cast<int>(flags.GetInt("pairs", 30));
   const size_t length = static_cast<size_t>(flags.GetInt("length", 300));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "Fig. 1(a) annotations",
+      "FastDTW approximation error vs radius on three data families");
+  report.AddConfig("pairs", pairs);
+  report.AddConfig("length", static_cast<int64_t>(length));
 
   PrintBanner("Fig. 1(a) annotations",
               "FastDTW approximation error vs radius (percent error "
@@ -63,6 +75,8 @@ int Main(int argc, char** argv) {
   const double adversarial_exact = DtwDistance(triple.a, triple.b);
 
   for (size_t radius : {0u, 1u, 2u, 5u, 10u, 20u, 40u}) {
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
+    Stopwatch watch;
     auto sweep = [&](const auto& pool) {
       std::vector<double> errors;
       for (const auto& [x, y] : pool) {
@@ -76,6 +90,9 @@ int Main(int argc, char** argv) {
     const std::vector<double> gesture_errors = sweep(gesture_pairs);
     const double adversarial_error = ApproxErrorPercent(
         FastDtwDistance(triple.a, triple.b, radius), adversarial_exact);
+    report.AddCase("radius_" + std::to_string(radius),
+                   SummarizeSamples({watch.ElapsedSeconds()}),
+                   obs::CountersSince(before));
     table.AddRow({TablePrinter::FormatDouble(radius, 0),
                   TablePrinter::FormatDouble(Mean(walk_errors), 2),
                   TablePrinter::FormatDouble(
@@ -93,6 +110,7 @@ int Main(int argc, char** argv) {
       "accepts) — while the adversarial pair's error stays catastrophic "
       "at every practical radius, because the coarse resolution committed "
       "to warping the wrong way (Appendix A).\n");
+  report.Finish(json_path);
   return 0;
 }
 

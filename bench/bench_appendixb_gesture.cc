@@ -9,18 +9,22 @@
 // (c) exact cDTW at a 10% window.
 //
 // Flags: --channels (6), --length (120), --classes (8), --train (6),
-//        --test (4), --radius (30).
+//        --test (4), --radius (30), --json=<path>.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
+#include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
 #include "warp/core/dtw.h"
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/gesture.h"
 #include "warp/mining/nn_classifier.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -35,6 +39,17 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("train", 6));
   const size_t per_class_test = static_cast<size_t>(flags.GetInt("test", 4));
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 30));
+  const std::string json_path = JsonFlag(flags);
+
+  obs::BenchReport report(
+      "E9 / Appendix B",
+      "Multichannel gesture 1-NN: FastDTW_30 vs exact DTW");
+  report.AddConfig("channels", static_cast<int64_t>(channels));
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("classes", classes);
+  report.AddConfig("train", static_cast<int64_t>(per_class_train));
+  report.AddConfig("test", static_cast<int64_t>(per_class_test));
+  report.AddConfig("radius", static_cast<int64_t>(radius));
 
   PrintBanner("E9 / Appendix B",
               "Multichannel gesture 1-NN classification: FastDTW_30 vs "
@@ -46,6 +61,10 @@ int Main(int argc, char** argv) {
   options.warp_fraction = flags.GetDouble("warp", 0.08);
   options.noise_stddev = flags.GetDouble("noise", 0.15);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 555));
+  flags.Finalize();
+  report.AddConfig("warp", options.warp_fraction);
+  report.AddConfig("noise", options.noise_stddev);
+  report.AddConfig("seed", static_cast<uint64_t>(options.seed));
   // One pool per class (class templates are derived from the seed, so
   // train and test must come from the same draw), split class-major:
   // the first per_class_train exemplars of each class train, the rest test.
@@ -81,14 +100,22 @@ int Main(int argc, char** argv) {
     return MultiCdtwDistance(a, b, band, CostKind::kSquared, &buffer);
   };
 
-  const ClassificationStats fast_stats =
-      Evaluate1NnMulti(train, test, fastdtw);
+  // Each evaluation is one pass over the test set; record the pass as a
+  // case whose counters cover every distance call it made.
+  const auto evaluate = [&](const std::string& name,
+                            const MultiMeasure& measure) {
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
+    const ClassificationStats stats = Evaluate1NnMulti(train, test, measure);
+    report.AddCase(name, SummarizeSamples({stats.seconds}),
+                   obs::CountersSince(before));
+    return stats;
+  };
+  const ClassificationStats fast_stats = evaluate("fastdtw_ref_r30", fastdtw);
   const ClassificationStats fast_opt_stats =
-      Evaluate1NnMulti(train, test, fastdtw_optimized);
-  const ClassificationStats full_stats =
-      Evaluate1NnMulti(train, test, exact_full);
+      evaluate("fastdtw_opt_r30", fastdtw_optimized);
+  const ClassificationStats full_stats = evaluate("full_dtw", exact_full);
   const ClassificationStats banded_stats =
-      Evaluate1NnMulti(train, test, exact_banded);
+      evaluate("cdtw_10", exact_banded);
 
   TablePrinter table(
       {"measure", "accuracy (%)", "total time (s)", "vs FastDTW"});
@@ -115,6 +142,8 @@ int Main(int argc, char** argv) {
       banded_stats.accuracy >= fast_stats.accuracy - 1e-9
           ? "reproduced"
           : "NOT reproduced");
+  std::printf("\nWork counters:\n%s", report.CounterTable().c_str());
+  report.Finish(json_path);
   return 0;
 }
 

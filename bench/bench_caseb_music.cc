@@ -11,9 +11,10 @@
 // with fewer repetitions; it is orders of magnitude slower at this N).
 //
 // Flags: --length (24000), --reps (10), --ref-reps (1), --warmup (1),
-//        --skip-reference (false).
+//        --skip-reference (false), --ref-r40 (false), --json=<path>.
 
 #include <cstdio>
+#include <string>
 
 #include "harness/bench_flags.h"
 #include "warp/common/stopwatch.h"
@@ -22,6 +23,7 @@
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/chroma.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -34,6 +36,17 @@ int Main(int argc, char** argv) {
   const int ref_reps = static_cast<int>(flags.GetInt("ref-reps", 1));
   const int warmup = static_cast<int>(flags.GetInt("warmup", 1));
   const bool skip_reference = flags.GetBool("skip-reference", false);
+  const bool ref_r40 = flags.GetBool("ref-r40", false);
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E3 / Section 3.2",
+      "Music alignment (Case B): cDTW_0.83% vs FastDTW_10/40");
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("reps", reps);
+  report.AddConfig("ref_reps", ref_reps);
+  report.AddConfig("skip_reference", skip_reference);
 
   PrintBanner("E3 / Section 3.2",
               "Music alignment (Case B): N=24,000 chroma pair, "
@@ -47,15 +60,18 @@ int Main(int argc, char** argv) {
 
   double checksum = 0.0;
   DtwBuffer buffer;
-  const TimingSummary cdtw = MeasureRepeated(
+  const TimingSummary cdtw = report.MeasureCase(
+      "cdtw_0.83",
       [&] {
         checksum += CdtwDistanceFraction(studio, live, 0.0083,
                                          CostKind::kSquared, &buffer);
       },
       reps, warmup);
-  const TimingSummary fast10 = MeasureRepeated(
+  const TimingSummary fast10 = report.MeasureCase(
+      "fastdtw_opt_r10",
       [&] { checksum += FastDtwDistance(studio, live, 10); }, reps, warmup);
-  const TimingSummary fast40 = MeasureRepeated(
+  const TimingSummary fast40 = report.MeasureCase(
+      "fastdtw_opt_r40",
       [&] { checksum += FastDtwDistance(studio, live, 40); }, reps, warmup);
 
   TablePrinter table({"algorithm", "mean (ms)", "std (ms)", "min (ms)",
@@ -73,14 +89,16 @@ int Main(int argc, char** argv) {
 
   TimingSummary ref10;
   if (!skip_reference) {
-    ref10 = MeasureRepeated(
+    ref10 = report.MeasureCase(
+        "fastdtw_ref_r10",
         [&] { checksum += ReferenceFastDtw(studio, live, 10).distance; },
         ref_reps, 0);
     add_row("FastDTW_10 (reference)", ref10, "238.2");
-    if (flags.GetBool("ref-r40", false)) {
+    if (ref_r40) {
       // Opt-in: the reference package's radius-40 expansion does ~160M
       // hash-set inserts at this N and takes minutes.
-      const TimingSummary ref40 = MeasureRepeated(
+      const TimingSummary ref40 = report.MeasureCase(
+          "fastdtw_ref_r40",
           [&] { checksum += ReferenceFastDtw(studio, live, 40).distance; },
           ref_reps, 0);
       add_row("FastDTW_40 (reference)", ref40, "350.9");
@@ -88,6 +106,7 @@ int Main(int argc, char** argv) {
   }
   DoNotOptimize(checksum);
   table.Print();
+  std::printf("\nWork counters:\n%s", report.CounterTable().c_str());
 
   if (!skip_reference) {
     std::printf(
@@ -108,6 +127,7 @@ int Main(int argc, char** argv) {
   std::printf("alignment sanity: cDTW_0.83%%=%.1f vs Euclidean=%.1f "
               "(warping absorbed: %s)\n",
               at_window, euclidean, at_window < euclidean ? "yes" : "NO");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -24,6 +24,7 @@
 //   --threads=N        if > 1, also report an N-thread all-pairs section
 //                      (0 = auto). The sweeps above always run on one
 //                      core, matching the paper's single-core timings.
+//   --json=PATH        write the warp-bench-v1 report to PATH.
 
 #include <algorithm>
 #include <cstdio>
@@ -33,11 +34,14 @@
 
 #include "harness/bench_flags.h"
 #include "harness/pairwise.h"
+#include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
 #include "warp/core/dtw.h"
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/gesture.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -53,6 +57,30 @@ int Main(int argc, char** argv) {
   const int step = static_cast<int>(flags.GetInt("step", 4));
   const int max_setting = static_cast<int>(flags.GetInt("max", 20));
   const size_t threads = ThreadsFlag(flags);
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E1 / Fig. 1",
+      "All-pairs time (Case A): FastDTW_r vs cDTW_w, r and w in 0..20");
+  report.AddConfig("exemplars", static_cast<int64_t>(exemplars));
+  report.AddConfig("ref_exemplars", static_cast<int64_t>(ref_exemplars));
+  report.AddConfig("total", static_cast<int64_t>(total));
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("step", step);
+  report.AddConfig("max", max_setting);
+  report.AddConfig("threads", static_cast<int64_t>(threads));
+
+  // Records one all-pairs sweep point: per-comparison timing plus the
+  // work-counter deltas accumulated across the sampled pairs.
+  const auto record_pairwise = [&report](const std::string& name,
+                                         const PairwiseTiming& timing,
+                                         const obs::MetricsSnapshot& before) {
+    report.AddCase(name,
+                   PerOpSummary(timing.seconds,
+                                static_cast<int64_t>(timing.pairs_timed)),
+                   obs::CountersSince(before));
+  };
 
   PrintBanner("E1 / Fig. 1",
               "All-pairs time, gesture-like data (N=945): FastDTW_r vs "
@@ -76,16 +104,21 @@ int Main(int argc, char** argv) {
   std::vector<double> ref_extrapolated;
   std::vector<double> opt_extrapolated;
   for (int r = 0; r <= max_setting; r += step) {
+    const std::string suffix = "_r" + std::to_string(r);
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
     const PairwiseTiming reference = TimeAllPairs(
         dataset, ref_exemplars,
         [r](std::span<const double> a, std::span<const double> b) {
           return ReferenceFastDtw(a, b, static_cast<size_t>(r)).distance;
         });
+    record_pairwise("fastdtw_ref" + suffix, reference, before);
+    before = obs::SnapshotCounters();
     const PairwiseTiming optimized = TimeAllPairs(
         dataset, exemplars,
         [r](std::span<const double> a, std::span<const double> b) {
           return FastDtwDistance(a, b, static_cast<size_t>(r));
         });
+    record_pairwise("fastdtw_opt" + suffix, optimized, before);
     ref_extrapolated.push_back(reference.ExtrapolatedSeconds(full_pairs));
     opt_extrapolated.push_back(optimized.ExtrapolatedSeconds(full_pairs));
     fast_table.AddRow(
@@ -105,12 +138,14 @@ int Main(int argc, char** argv) {
   std::vector<double> cdtw_extrapolated;
   for (int w = 0; w <= max_setting; w += step) {
     DtwBuffer buffer;
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
     const PairwiseTiming timing = TimeAllPairs(
         dataset, exemplars,
         [w, &buffer](std::span<const double> a, std::span<const double> b) {
           return CdtwDistanceFraction(a, b, w / 100.0, CostKind::kSquared,
                                       &buffer);
         });
+    record_pairwise("cdtw_w" + std::to_string(w), timing, before);
     cdtw_extrapolated.push_back(timing.ExtrapolatedSeconds(full_pairs));
     cdtw_table.AddRow(
         {TablePrinter::FormatDouble(w, 0),
@@ -189,6 +224,7 @@ int Main(int argc, char** argv) {
       cdtw_20 <= opt_10 ? "wins even against the optimized port"
                         : "is within a small factor of an aggressively "
                           "optimized FastDTW (still approximate!)");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -7,13 +7,17 @@
 // DTW use in the literature is Case A, where cDTW beats FastDTW outright.
 // Regenerated from the bundled archive metadata snapshot.
 //
-// Flags: --bins-w (11), --bins-len (15).
+// Flags: --bins-w (11), --bins-len (15), --json=<path>.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "harness/bench_flags.h"
 #include "warp/common/statistics.h"
+#include "warp/common/stopwatch.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 #include "warp/ucr/ucr_metadata.h"
 
 namespace warp {
@@ -24,11 +28,21 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int bins_w = static_cast<int>(flags.GetInt("bins-w", 11));
   const int bins_len = static_cast<int>(flags.GetInt("bins-len", 15));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E2 / Fig. 2",
+      "UCR-2018 archive: optimal-window and length distributions");
+  report.AddConfig("bins_w", bins_w);
+  report.AddConfig("bins_len", bins_len);
 
   PrintBanner("E2 / Fig. 2",
               "UCR-2018 archive: distribution of optimal warping window w "
               "and of series length (128 datasets)");
 
+  const obs::MetricsSnapshot analysis_start = obs::SnapshotCounters();
+  Stopwatch analysis_watch;
   const std::vector<double> windows = ucr::BestWindowPercents();
   const std::vector<double> lengths = ucr::SeriesLengths();
 
@@ -76,6 +90,10 @@ int Main(int argc, char** argv) {
       len_stats.mean, len_stats.max, len_lt1000,
       100.0 * static_cast<double>(len_lt1000) / 128.0,
       (w_le10 > 96 && len_lt1000 > 64) ? "reproduced" : "NOT reproduced");
+  report.AddCase("archive_analysis",
+                 SummarizeSamples({analysis_watch.ElapsedSeconds()}),
+                 obs::CountersSince(analysis_start));
+  report.Finish(json_path);
   return 0;
 }
 

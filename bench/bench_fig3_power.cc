@@ -8,7 +8,7 @@
 // the two days, estimates W from the optimal alignment, and shows the
 // narrow-window/wide-window contrast.
 //
-// Flags: --length (450), --shift (153).
+// Flags: --length (450), --shift (153), --json=<path>.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,8 +16,11 @@
 #include <string>
 
 #include "harness/bench_flags.h"
+#include "warp/common/stopwatch.h"
 #include "warp/core/dtw.h"
 #include "warp/gen/power_demand.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -50,6 +53,14 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t length = static_cast<size_t>(flags.GetInt("length", 450));
   const size_t shift = static_cast<size_t>(flags.GetInt("shift", 153));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E4 / Fig. 3",
+      "Power-demand motivating example: W estimate from the alignment");
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("shift", static_cast<int64_t>(shift));
 
   PrintBanner("E4 / Fig. 3",
               "Electrical power demand, midnight-1AM (8 s sampling, "
@@ -65,7 +76,11 @@ int Main(int argc, char** argv) {
 
   // Estimate W the way the paper does: from the alignment's maximum
   // diagonal deviation.
+  obs::MetricsSnapshot before = obs::SnapshotCounters();
+  Stopwatch watch;
   const DtwResult alignment = Dtw(day1.view(), day2.view());
+  report.AddCase("full_dtw", SummarizeSamples({watch.ElapsedSeconds()}),
+                 obs::CountersSince(before));
   const double w_estimate = 100.0 *
                             static_cast<double>(
                                 alignment.path.MaxDiagonalDeviation()) /
@@ -75,15 +90,20 @@ int Main(int argc, char** argv) {
               alignment.path.MaxDiagonalDeviation(), w_estimate);
 
   std::printf("distance vs window width:\n");
+  before = obs::SnapshotCounters();
+  watch.Restart();
   for (double w : {0.0, 0.05, 0.10, 0.20, 0.34, 0.40, 1.0}) {
     const double d = CdtwDistanceFraction(day1.view(), day2.view(), w);
     std::printf("  cDTW_%-4.0f%%  %10.2f\n", w * 100.0, d);
   }
+  report.AddCase("cdtw_sweep", SummarizeSamples({watch.ElapsedSeconds()}),
+                 obs::CountersSince(before));
   const double narrow = CdtwDistanceFraction(day1.view(), day2.view(), 0.05);
   const double wide = CdtwDistanceFraction(day1.view(), day2.view(), 0.40);
   std::printf("\nShape check: the conserved pattern aligns only with a wide "
               "window (cDTW_40%% = %.2f << cDTW_5%% = %.2f): %s\n",
               wide, narrow, wide < narrow ? "reproduced" : "NOT reproduced");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -9,19 +9,23 @@
 // headline comparator, our optimized port as the stress test).
 //
 // Flags: --exemplars (default 40), --ref-exemplars (10), --total (1000),
-//        --length (450), --step (8), --max (40).
+//        --length (450), --step (8), --max (40), --json=<path>.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/pairwise.h"
+#include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
 #include "warp/core/dtw.h"
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/random_walk.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -36,6 +40,27 @@ int Main(int argc, char** argv) {
   const size_t length = static_cast<size_t>(flags.GetInt("length", 450));
   const int step = static_cast<int>(flags.GetInt("step", 8));
   const int max_setting = static_cast<int>(flags.GetInt("max", 40));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E5 / Fig. 4",
+      "All-pairs time (Case C): FastDTW_r vs cDTW_w, r and w in 0..40");
+  report.AddConfig("exemplars", static_cast<int64_t>(exemplars));
+  report.AddConfig("ref_exemplars", static_cast<int64_t>(ref_exemplars));
+  report.AddConfig("total", static_cast<int64_t>(total));
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("step", step);
+  report.AddConfig("max", max_setting);
+
+  const auto record_pairwise = [&report](const std::string& name,
+                                         const PairwiseTiming& timing,
+                                         const obs::MetricsSnapshot& before) {
+    report.AddCase(name,
+                   PerOpSummary(timing.seconds,
+                                static_cast<int64_t>(timing.pairs_timed)),
+                   obs::CountersSince(before));
+  };
 
   PrintBanner("E5 / Fig. 4",
               "All-pairs time, random walks (N=450): FastDTW_r vs cDTW_w, "
@@ -54,16 +79,21 @@ int Main(int argc, char** argv) {
   std::vector<double> ref_extrapolated;
   std::vector<double> opt_extrapolated;
   for (int r = 0; r <= max_setting; r += step) {
+    const std::string suffix = "_r" + std::to_string(r);
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
     const PairwiseTiming reference = TimeAllPairs(
         dataset, ref_exemplars,
         [r](std::span<const double> a, std::span<const double> b) {
           return ReferenceFastDtw(a, b, static_cast<size_t>(r)).distance;
         });
+    record_pairwise("fastdtw_ref" + suffix, reference, before);
+    before = obs::SnapshotCounters();
     const PairwiseTiming optimized = TimeAllPairs(
         dataset, exemplars,
         [r](std::span<const double> a, std::span<const double> b) {
           return FastDtwDistance(a, b, static_cast<size_t>(r));
         });
+    record_pairwise("fastdtw_opt" + suffix, optimized, before);
     ref_extrapolated.push_back(reference.ExtrapolatedSeconds(full_pairs));
     opt_extrapolated.push_back(optimized.ExtrapolatedSeconds(full_pairs));
     fast_table.AddRow(
@@ -81,12 +111,14 @@ int Main(int argc, char** argv) {
   std::vector<double> cdtw_extrapolated;
   for (int w = 0; w <= max_setting; w += step) {
     DtwBuffer buffer;
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
     const PairwiseTiming timing = TimeAllPairs(
         dataset, exemplars,
         [w, &buffer](std::span<const double> a, std::span<const double> b) {
           return CdtwDistanceFraction(a, b, w / 100.0, CostKind::kSquared,
                                       &buffer);
         });
+    record_pairwise("cdtw_w" + std::to_string(w), timing, before);
     cdtw_extrapolated.push_back(timing.ExtrapolatedSeconds(full_pairs));
     cdtw_table.AddRow(
         {TablePrinter::FormatDouble(w, 0),
@@ -111,6 +143,7 @@ int Main(int argc, char** argv) {
           ? "cDTW wins even against the optimized port"
           : "the optimized FastDTW_0 edge exists only because it computes "
             "a far coarser (approximate!) answer");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -9,7 +9,7 @@
 // sweep for both FastDTW implementations and reports each crossover.
 //
 // Flags: --reps (20), --ref-reps (1), --radius (40), --max-seconds (64),
-//        --skip-reference (false).
+//        --skip-reference (false), --json=<path>.
 
 #include <cstdio>
 #include <string>
@@ -22,6 +22,7 @@
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/fall.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -34,6 +35,17 @@ int Main(int argc, char** argv) {
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 40));
   const double max_seconds = flags.GetDouble("max-seconds", 64.0);
   const bool skip_reference = flags.GetBool("skip-reference", false);
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E6 / Figs. 5-6",
+      "Fall alignment (Case D): cDTW_100 vs FastDTW_40 as L grows");
+  report.AddConfig("reps", reps);
+  report.AddConfig("ref_reps", ref_reps);
+  report.AddConfig("radius", static_cast<int64_t>(radius));
+  report.AddConfig("max_seconds", max_seconds);
+  report.AddConfig("skip_reference", skip_reference);
 
   PrintBanner("E6 / Figs. 5-6",
               "Fall alignment (Case D): cDTW_100 (unconstrained) vs "
@@ -46,19 +58,23 @@ int Main(int argc, char** argv) {
   Rng rng(4242);
   for (double seconds = 1.0; seconds <= max_seconds; seconds *= 2.0) {
     const auto [early, late] = gen::MakeFallPair(seconds, 100.0, rng);
+    const std::string suffix = " L=" + TablePrinter::FormatDouble(seconds, 0);
     double checksum = 0.0;
     DtwBuffer buffer;
-    const TimingSummary exact = MeasureRepeated(
+    const TimingSummary exact = report.MeasureCase(
+        "cdtw_100" + suffix,
         [&] {
           checksum += CdtwDistance(early, late, early.size(),
                                    CostKind::kSquared, &buffer);
         },
         reps);
-    const TimingSummary fast = MeasureRepeated(
+    const TimingSummary fast = report.MeasureCase(
+        "fastdtw_opt" + suffix,
         [&] { checksum += FastDtwDistance(early, late, radius); }, reps);
     TimingSummary reference;
     if (!skip_reference) {
-      reference = MeasureRepeated(
+      reference = report.MeasureCase(
+          "fastdtw_ref" + suffix,
           [&] {
             checksum += ReferenceFastDtw(early, late, radius).distance;
           },
@@ -110,6 +126,7 @@ int Main(int argc, char** argv) {
       "The claim being reproduced: a crossover exists only in this "
       "contrived Case D, and even past it FastDTW_40 returns an "
       "*approximation* of the cDTW_100 answer.\n");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -11,11 +11,13 @@
 // accelerated subsequence-search throughput, then extrapolates each to
 // 10^12. It also runs the pruning-cascade ablation (naive vs cascaded).
 //
-// Flags: --reps (2000), --haystack (200000), --query (128).
+// Flags: --reps (2000), --haystack (200000), --query (128),
+//        --json=<path>.
 
 #include <algorithm>
 #include <cstdio>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
@@ -25,6 +27,8 @@
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/random_walk.h"
 #include "warp/mining/similarity_search.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 
 namespace warp {
 namespace bench {
@@ -39,6 +43,15 @@ int Main(int argc, char** argv) {
   const size_t haystack_len =
       static_cast<size_t>(flags.GetInt("haystack", 200000));
   const size_t query_len = static_cast<size_t>(flags.GetInt("query", 128));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E8 / Section 3.4 footnote 2",
+      "Trillion-point projection: FastDTW_10 at N=128 vs cDTW_5 search");
+  report.AddConfig("reps", reps);
+  report.AddConfig("haystack", static_cast<int64_t>(haystack_len));
+  report.AddConfig("query", static_cast<int64_t>(query_len));
 
   PrintBanner("E8 / Section 3.4 footnote 2",
               "Trillion-point projection: per-comparison FastDTW_10 at "
@@ -52,9 +65,11 @@ int Main(int argc, char** argv) {
   // measurement (0.1845 ms averaged over a million comparisons). Both
   // implementations are timed; the paper's own number falls between them.
   double checksum = 0.0;
-  const TimingSummary fast = MeasureRepeated(
+  const TimingSummary fast = report.MeasureCase(
+      "fastdtw_opt_n128",
       [&] { checksum += FastDtwDistance(x, y, 10); }, reps, 50);
-  const TimingSummary reference = MeasureRepeated(
+  const TimingSummary reference = report.MeasureCase(
+      "fastdtw_ref_n128",
       [&] { checksum += ReferenceFastDtw(x, y, 10).distance; },
       std::max(1, reps / 10), 5);
   const double fast_years = 1e12 * fast.mean / kSecondsPerYear;
@@ -73,9 +88,14 @@ int Main(int argc, char** argv) {
   const size_t band = query_len * 5 / 100;
 
   SearchStats cascade_stats;
+  obs::MetricsSnapshot before = obs::SnapshotCounters();
   const SubsequenceMatch match =
       FindBestMatch(haystack, query, band, CostKind::kSquared,
                     &cascade_stats);
+  report.AddCase("cdtw5_search_cascade",
+                 PerOpSummary(cascade_stats.seconds,
+                              static_cast<int64_t>(cascade_stats.windows)),
+                 obs::CountersSince(before));
   const double positions_per_second =
       static_cast<double>(cascade_stats.windows) / cascade_stats.seconds;
   const double trillion_days =
@@ -101,9 +121,14 @@ int Main(int argc, char** argv) {
   // finish quickly; compare per-position cost.
   const size_t naive_len = std::min<size_t>(haystack_len, 20000);
   SearchStats naive_stats;
+  before = obs::SnapshotCounters();
   FindBestMatchNaive(
       std::span<const double>(haystack).subspan(0, naive_len), query, band,
       CostKind::kSquared, &naive_stats);
+  report.AddCase("cdtw5_search_naive",
+                 PerOpSummary(naive_stats.seconds,
+                              static_cast<int64_t>(naive_stats.windows)),
+                 obs::CountersSince(before));
   const double naive_positions_per_second =
       static_cast<double>(naive_stats.windows) / naive_stats.seconds;
   std::printf(
@@ -118,6 +143,8 @@ int Main(int argc, char** argv) {
       fast_years * kSecondsPerYear / (trillion_days * kSecondsPerDay),
       reference_years * kSecondsPerYear / (trillion_days * kSecondsPerDay));
   DoNotOptimize(checksum);
+  std::printf("\nWork counters:\n%s", report.CounterTable().c_str());
+  report.Finish(json_path);
   return 0;
 }
 

@@ -6,8 +6,17 @@
 // O(N*w) with a tiny constant; FastDTW costs O(N*r) with a much larger
 // constant (recursion, window bookkeeping, path recovery) — which is the
 // paper's whole story.
+//
+// Accepts --json=<path> like every other bench binary; it is translated
+// into google-benchmark's --benchmark_out/--benchmark_out_format pair, so
+// collect_bench.py can treat all harnesses uniformly (this one emits the
+// google-benchmark schema, not warp-bench-v1).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "warp/core/dtw.h"
 #include "warp/core/envelope.h"
@@ -162,4 +171,26 @@ BENCHMARK(BM_HeadToHead_FastDtw10)->Arg(128)->Arg(450)->Arg(945)->Arg(4000);
 }  // namespace
 }  // namespace warp
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): rewrite --json=<path>
+// into the native output flags, pass everything else through.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.push_back(std::string("--benchmark_out=") + (arg + 7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,7 +9,7 @@
 // warp — i.e., data where elasticity should matter.
 //
 // Flags: --length (128), --train (6), --test (10), --classes (6),
-//        --warp (0.1), --noise (0.45).
+//        --warp (0.1), --noise (0.45), --json=<path>.
 
 #include <cstdio>
 #include <functional>
@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/bench_flags.h"
+#include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
 #include "warp/core/adtw.h"
 #include "warp/core/ddtw.h"
@@ -27,6 +28,8 @@
 #include "warp/gen/ecg.h"
 #include "warp/gen/gesture.h"
 #include "warp/mining/nn_classifier.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 #include "warp/ts/znorm.h"
 
 namespace warp {
@@ -89,14 +92,18 @@ std::vector<MeasureSpec> MakeMeasures(size_t length) {
   return measures;
 }
 
-void RunDomain(const char* domain, const Dataset& train, const Dataset& test,
-               size_t length) {
+void RunDomain(obs::BenchReport& report, const char* domain,
+               const Dataset& train, const Dataset& test, size_t length) {
   std::printf("\n%s (%zu train / %zu test, N=%zu):\n", domain, train.size(),
               test.size(), length);
   TablePrinter table({"measure", "accuracy (%)", "time (s)", "kind"});
   for (const MeasureSpec& spec : MakeMeasures(length)) {
+    const obs::MetricsSnapshot before = obs::SnapshotCounters();
     const ClassificationStats stats =
         Evaluate1Nn(train, test, spec.measure);
+    report.AddCase(std::string(domain) + "/" + spec.name,
+                   SummarizeSamples({stats.seconds}),
+                   obs::CountersSince(before));
     table.AddRow({spec.name,
                   TablePrinter::FormatDouble(stats.accuracy * 100.0, 1),
                   TablePrinter::FormatDouble(stats.seconds, 2),
@@ -114,6 +121,17 @@ int Main(int argc, char** argv) {
   const int classes = static_cast<int>(flags.GetInt("classes", 6));
   const double warp = flags.GetDouble("warp", 0.1);
   const double noise = flags.GetDouble("noise", 0.45);
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "Bake-off", "1-NN accuracy and time for every measure in the suite");
+  report.AddConfig("length", static_cast<int64_t>(length));
+  report.AddConfig("train", static_cast<int64_t>(per_class_train));
+  report.AddConfig("test", static_cast<int64_t>(per_class_test));
+  report.AddConfig("classes", classes);
+  report.AddConfig("warp", warp);
+  report.AddConfig("noise", noise);
 
   PrintBanner("Bake-off",
               "1-NN accuracy and time for every measure in the suite "
@@ -135,7 +153,7 @@ int Main(int argc, char** argv) {
     (i % pool_per_class < per_class_train ? gesture_train : gesture_test)
         .Add(gesture_pool[i]);
   }
-  RunDomain("Gestures", gesture_train, gesture_test, length);
+  RunDomain(report, "Gestures", gesture_train, gesture_test, length);
 
   // Domain 2: ECG beats (normal vs PVC).
   gen::EcgOptions ecg_options;
@@ -147,13 +165,14 @@ int Main(int argc, char** argv) {
   const auto [ecg_train, ecg_test] = ecg_pool.StratifiedSplit(
       static_cast<double>(per_class_train) /
       static_cast<double>(per_class_train + per_class_test));
-  RunDomain("ECG beats", ecg_train, ecg_test, length);
+  RunDomain(report, "ECG beats", ecg_train, ecg_test, length);
 
   std::printf(
       "\nReading guide: the elastic measures cluster at the top on warped "
       "data, with cDTW_10%% among the fastest of them — the bake-off "
       "consensus the paper builds on. FastDTW is the only approximate "
       "entry, and it approximates the *unconstrained* variant.\n");
+  report.Finish(json_path);
   return 0;
 }
 

@@ -9,19 +9,22 @@
 // error metric, both dendrograms, and the Fig. 8 "wrong-way warp"
 // diagnostic on the 8:1 PAA-coarsened pair.
 //
-// Flags: --radius (20).
+// Flags: --radius (20), --json=<path>.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "harness/bench_flags.h"
+#include "warp/common/stopwatch.h"
 #include "warp/core/approx_error.h"
 #include "warp/core/distance_matrix.h"
 #include "warp/core/dtw.h"
 #include "warp/core/fastdtw.h"
 #include "warp/gen/adversarial.h"
 #include "warp/mining/hierarchical_clustering.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
 #include "warp/ts/paa.h"
 
 namespace warp {
@@ -43,6 +46,13 @@ double MeanPathDirection(const WarpingPath& path) {
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 20));
+  const std::string json_path = JsonFlag(flags);
+  flags.Finalize();
+
+  obs::BenchReport report(
+      "E7 / Table 2 + Figs. 7-8",
+      "Adversarial triple: Full DTW vs FastDTW distance matrices");
+  report.AddConfig("radius", static_cast<int64_t>(radius));
 
   PrintBanner("E7 / Table 2 + Figs. 7-8",
               "Adversarial triple: Full DTW vs FastDTW_20 distance "
@@ -53,15 +63,25 @@ int Main(int argc, char** argv) {
                                                    triple.c};
   const std::vector<std::string> labels = {"A", "B", "C"};
 
+  obs::MetricsSnapshot before = obs::SnapshotCounters();
+  Stopwatch watch;
   const DistanceMatrix exact = ComputePairwiseMatrix(
       series, [](std::span<const double> a, std::span<const double> b) {
         return DtwDistance(a, b);
       });
+  report.AddCase("full_dtw_matrix",
+                 SummarizeSamples({watch.ElapsedSeconds()}),
+                 obs::CountersSince(before));
+  before = obs::SnapshotCounters();
+  watch.Restart();
   const DistanceMatrix approx = ComputePairwiseMatrix(
       series,
       [radius](std::span<const double> a, std::span<const double> b) {
         return FastDtwDistance(a, b, radius);
       });
+  report.AddCase("fastdtw_matrix",
+                 SummarizeSamples({watch.ElapsedSeconds()}),
+                 obs::CountersSince(before));
 
   std::printf("Full DTW distance matrix:\n%s\n",
               exact.ToString(labels).c_str());
@@ -111,6 +131,7 @@ int Main(int argc, char** argv) {
       "  opposite direction: %s (this is why FastDTW cannot recover)\n",
       raw_direction, coarse_direction, coarse_direction * 8.0,
       raw_direction * coarse_direction < 0.0 ? "yes" : "no");
+  report.Finish(json_path);
   return 0;
 }
 

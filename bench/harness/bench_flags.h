@@ -2,9 +2,10 @@
 //
 // Every bench binary accepts scaling flags (sample sizes, repetition
 // counts) so the full paper-scale sweeps can be run on bigger hardware
-// while the defaults finish in seconds on a laptop. Unknown flags abort
-// with a message listing what was seen, so typos don't silently run the
-// default configuration.
+// while the defaults finish in seconds on a laptop. Malformed arguments
+// abort immediately; unknown (unconsumed) flags abort from Finalize(),
+// which every binary calls after reading its flags and before doing any
+// work — so typos never silently run the default configuration.
 
 #ifndef WARP_BENCH_HARNESS_BENCH_FLAGS_H_
 #define WARP_BENCH_HARNESS_BENCH_FLAGS_H_
@@ -40,7 +41,8 @@ class Flags {
   }
 
   ~Flags() {
-    // Catch typos: every provided flag must have been consumed.
+    // Backstop for binaries that forgot to call Finalize(): still warn so
+    // a typo is at least visible, even though the run already happened.
     for (const auto& [key, value] : values_) {
       if (consumed_.count(key) == 0) {
         std::fprintf(stderr, "warning: unknown flag --%s=%s ignored\n",
@@ -70,9 +72,35 @@ class Flags {
     return it->second != "false" && it->second != "0";
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  // Exits(2) if any provided flag was never consumed by a Get*() call.
+  // Call after reading every flag and before the measurement loop, so a
+  // typo fails fast instead of after minutes of benchmarking.
+  void Finalize() {
+    bool ok = true;
+    for (const auto& [key, value] : values_) {
+      if (consumed_.count(key) == 0) {
+        std::fprintf(stderr, "error: unknown flag --%s=%s\n", key.c_str(),
+                     value.c_str());
+        ok = false;
+      }
+    }
+    if (!ok) std::exit(2);
+    finalized_ = true;
+  }
+
+  bool finalized() const { return finalized_; }
+
  private:
   std::map<std::string, std::string> values_;
   std::set<std::string> consumed_;
+  bool finalized_ = false;
 };
 
 // Shared --threads flag. Default 1 keeps every harness paper-faithful
@@ -81,6 +109,12 @@ class Flags {
 inline size_t ThreadsFlag(Flags& flags) {
   const int64_t value = flags.GetInt("threads", 1);
   return value <= 0 ? DefaultThreadCount() : static_cast<size_t>(value);
+}
+
+// Shared --json=<path> flag: destination for the machine-readable
+// warp-bench-v1 report (docs/OBSERVABILITY.md); empty means console only.
+inline std::string JsonFlag(Flags& flags) {
+  return flags.GetString("json", "");
 }
 
 // Standard experiment banner so every harness's output is self-describing.

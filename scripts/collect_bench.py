@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Run a small bench suite, validate the JSON reports, merge them.
+
+This is the driver behind CI's `bench-smoke` job: it runs a handful of
+bench binaries at deliberately tiny sizes (seconds total, not minutes),
+checks that every `--json=<path>` report conforms to its schema, and
+merges everything into a single trajectory file that CI uploads as an
+artifact.  Two schemas are in play (see docs/OBSERVABILITY.md):
+
+  * `warp-bench-v1`  — emitted by every Flags-based bench binary.
+  * google-benchmark — emitted by bench_kernels, whose `--json=<path>`
+    is translated to `--benchmark_out=<path> --benchmark_out_format=json`.
+
+Usage:
+  scripts/collect_bench.py [--build-dir=build] [--out=bench_trajectory.json]
+
+Exit status is nonzero if any binary fails to run, any report fails
+validation, or any expected report file is missing.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Each entry: (binary name, extra flags).  Keep sizes tiny — this is a
+# smoke test of the reporting pipeline, not a measurement run.
+SUITE = [
+    ("bench_table1_cases", ["--reps=1"]),
+    ("bench_accuracy_radius", ["--pairs=2", "--length=64"]),
+    ("bench_footnote_trillion", ["--reps=20", "--haystack=20000"]),
+    ("bench_kernels", ["--benchmark_filter=BM_Envelope/128$"]),
+]
+
+TIMING_KEYS = {
+    "repetitions", "mean_s", "stddev_s", "min_s", "max_s",
+    "median_s", "p95_s", "total_s",
+}
+
+
+def fail(message):
+    print(f"collect_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_warp_bench_v1(report, source):
+    """Checks the warp-bench-v1 document structure (docs/OBSERVABILITY.md)."""
+    for key in ("schema", "experiment", "description", "config", "host",
+                "cases"):
+        if key not in report:
+            fail(f"{source}: missing top-level key '{key}'")
+    if report["schema"] != "warp-bench-v1":
+        fail(f"{source}: schema is '{report['schema']}', want 'warp-bench-v1'")
+    host = report["host"]
+    for key in ("profiling", "build"):
+        if key not in host:
+            fail(f"{source}: host object missing '{key}'")
+    if not isinstance(report["cases"], list) or not report["cases"]:
+        fail(f"{source}: 'cases' must be a non-empty array")
+    for case in report["cases"]:
+        for key in ("name", "timing", "counters"):
+            if key not in case:
+                fail(f"{source}: case missing '{key}': {case}")
+        missing = TIMING_KEYS - set(case["timing"])
+        if missing:
+            fail(f"{source}: case '{case['name']}' timing missing {missing}")
+        for counter, value in case["counters"].items():
+            if not isinstance(value, int) or value < 0:
+                fail(f"{source}: counter '{counter}' is not a non-negative "
+                     f"integer: {value!r}")
+    if "spans" in report and not isinstance(report["spans"], list):
+        fail(f"{source}: 'spans' must be an array")
+
+
+def validate_google_benchmark(report, source):
+    """Checks the google-benchmark JSON structure (bench_kernels)."""
+    for key in ("context", "benchmarks"):
+        if key not in report:
+            fail(f"{source}: missing top-level key '{key}'")
+    if not isinstance(report["benchmarks"], list) or not report["benchmarks"]:
+        fail(f"{source}: 'benchmarks' must be a non-empty array")
+    for entry in report["benchmarks"]:
+        if "name" not in entry:
+            fail(f"{source}: benchmark entry missing 'name': {entry}")
+
+
+def run_one(build_dir, binary, extra_flags, json_dir):
+    path = os.path.join(build_dir, "bench", binary)
+    if not os.path.exists(path):
+        fail(f"bench binary not found: {path} (build with "
+             f"`cmake -B {build_dir} && cmake --build {build_dir}`)")
+    json_path = os.path.join(json_dir, binary + ".json")
+    command = [path, *extra_flags, f"--json={json_path}"]
+    print(f"collect_bench: running {' '.join(command)}")
+    result = subprocess.run(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        fail(f"{binary} exited with status {result.returncode}")
+    if not os.path.exists(json_path):
+        fail(f"{binary} did not write its report to {json_path}")
+    with open(json_path, encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(f"{binary}: report is not valid JSON: {error}")
+    if binary == "bench_kernels":
+        validate_google_benchmark(report, binary)
+        schema = "google-benchmark"
+    else:
+        validate_warp_bench_v1(report, binary)
+        schema = "warp-bench-v1"
+    case_count = len(report.get("cases", report.get("benchmarks", [])))
+    print(f"collect_bench: {binary}: OK ({schema}, {case_count} cases)")
+    return {"binary": binary, "flags": extra_flags, "schema": schema,
+            "report": report}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding bench/ binaries")
+    parser.add_argument("--out", default="bench_trajectory.json",
+                        help="merged trajectory output file")
+    args = parser.parse_args()
+
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="warp-bench-") as json_dir:
+        for binary, extra_flags in SUITE:
+            runs.append(run_one(args.build_dir, binary, extra_flags, json_dir))
+
+    trajectory = {
+        "schema": "warp-bench-trajectory-v1",
+        "suite": [{"binary": b, "flags": f} for b, f in SUITE],
+        "runs": runs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"collect_bench: wrote {len(runs)} validated reports to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

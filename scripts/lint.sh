@@ -8,6 +8,8 @@
 #     through warp::Rng with explicit seeds (see CONTRIBUTING.md)
 #   * no #pragma once            — headers use project include guards
 #   * include guards match path  — e.g. src/warp/core/dtw.h uses WARP_CORE_DTW_H_
+#   * no std::chrono in src/ outside common/stopwatch* and obs/ — timing
+#     flows through warp::Stopwatch so the observability layer sees it
 #
 # Tool-backed checks:
 #   * clang-format --dry-run -Werror over all tracked C++ sources
@@ -63,6 +65,19 @@ banned_random="$(cpp_sources | grep '^src/' | xargs grep -nE \
 if [ -n "$banned_random" ]; then
   echo "$banned_random" >&2
   fail "platform RNG found in src/ — all randomness must flow through warp::Rng"
+fi
+
+# --- Convention: timing flows through warp::Stopwatch ----------------------
+# Raw std::chrono in library code bypasses the observability layer and
+# invites nondeterministic timing-dependent behavior. Only the Stopwatch
+# implementation and the obs/ subsystem may touch the clock directly.
+banned_chrono="$(cpp_sources | grep '^src/' \
+    | grep -vE '^src/warp/(common/stopwatch|obs/)' \
+    | xargs grep -nE 'std::chrono|<chrono>' \
+    | grep -vE ':[0-9]+: *(//|\*)' || true)"
+if [ -n "$banned_chrono" ]; then
+  echo "$banned_chrono" >&2
+  fail "std::chrono found in src/ — time through warp::Stopwatch (warp/common/stopwatch.h)"
 fi
 
 # --- Convention: include guards, no #pragma once ---------------------------

@@ -6,6 +6,9 @@
 #include <memory>
 #include <utility>
 
+#include "warp/common/stopwatch.h"
+#include "warp/obs/metrics.h"
+
 namespace warp {
 
 size_t DefaultThreadCount() {
@@ -40,6 +43,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  WARP_COUNT(obs::Counter::kPoolTasks);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -63,8 +67,20 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Idle time between tasks, attributed per worker thread. Waits that
+      // end in shutdown are not counted — only waits a task resolves, so
+      // the total reflects queue starvation during real work. Clock reads
+      // cannot be optimized out, so the whole probe is compiled away when
+      // profiling is off (WARP_COUNT alone would not remove the now()).
+#if WARP_PROFILE_ENABLED
+      Stopwatch wait_watch;
+#endif
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
+#if WARP_PROFILE_ENABLED
+      WARP_COUNT_ADD(obs::Counter::kPoolQueueWaitNanos,
+                     wait_watch.ElapsedSeconds() * 1e9);
+#endif
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -90,6 +106,8 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   if (grain == 0) grain = 1;
   const size_t num_chunks = ChunkCount(begin, end, grain);
   const size_t workers = pool == nullptr ? 1 : pool->size();
+  WARP_COUNT(obs::Counter::kPoolParallelFors);
+  WARP_COUNT_ADD(obs::Counter::kPoolChunks, num_chunks);
 
   auto run_chunk = [&](size_t chunk, size_t worker) {
     const size_t chunk_begin = begin + chunk * grain;

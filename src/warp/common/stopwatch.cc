@@ -5,38 +5,37 @@
 #include <limits>
 
 #include "warp/common/assert.h"
+#include "warp/common/statistics.h"
 
 namespace warp {
 
 std::string TimingSummary::ToString() const {
-  char buffer[128];
+  char buffer[160];
   std::snprintf(buffer, sizeof(buffer),
-                "%.3f ms (std %.3f, min %.3f, max %.3f, n=%d)", mean * 1e3,
-                stddev * 1e3, min * 1e3, max * 1e3, repetitions);
+                "%.3f ms (std %.3f, min %.3f, med %.3f, p95 %.3f, max %.3f, "
+                "n=%d)",
+                mean * 1e3, stddev * 1e3, min * 1e3, median * 1e3, p95 * 1e3,
+                max * 1e3, repetitions);
   return buffer;
 }
 
-TimingSummary MeasureRepeated(const std::function<void()>& fn,
-                              int repetitions, int warmup) {
-  WARP_CHECK(repetitions > 0);
-  for (int i = 0; i < warmup; ++i) fn();
-
+TimingSummary SummarizeSamples(const std::vector<double>& samples) {
+  WARP_CHECK(!samples.empty());
   TimingSummary summary;
-  summary.repetitions = repetitions;
+  summary.repetitions = static_cast<int>(samples.size());
+  summary.samples = samples;
   summary.min = std::numeric_limits<double>::infinity();
   summary.max = 0.0;
 
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (int i = 0; i < repetitions; ++i) {
-    Stopwatch watch;
-    fn();
-    const double elapsed = watch.ElapsedSeconds();
+  for (const double elapsed : samples) {
     sum += elapsed;
     sum_sq += elapsed * elapsed;
     if (elapsed < summary.min) summary.min = elapsed;
     if (elapsed > summary.max) summary.max = elapsed;
   }
+  const int repetitions = summary.repetitions;
   summary.total = sum;
   summary.mean = sum / repetitions;
   const double variance =
@@ -45,7 +44,40 @@ TimingSummary MeasureRepeated(const std::function<void()>& fn,
                               (repetitions - 1))
           : 0.0;
   summary.stddev = std::sqrt(variance);
+  summary.median = Median(samples);
+  summary.p95 = Percentile(samples, 95.0);
   return summary;
+}
+
+TimingSummary PerOpSummary(double total_seconds, int64_t ops) {
+  WARP_CHECK(ops > 0);
+  TimingSummary summary;
+  summary.repetitions = ops > std::numeric_limits<int>::max()
+                            ? std::numeric_limits<int>::max()
+                            : static_cast<int>(ops);
+  const double per_op = total_seconds / static_cast<double>(ops);
+  summary.mean = per_op;
+  summary.min = per_op;
+  summary.max = per_op;
+  summary.median = per_op;
+  summary.p95 = per_op;
+  summary.total = total_seconds;
+  return summary;
+}
+
+TimingSummary MeasureRepeated(const std::function<void()>& fn,
+                              int repetitions, int warmup) {
+  WARP_CHECK(repetitions > 0);
+  for (int i = 0; i < warmup; ++i) fn();
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  return SummarizeSamples(samples);
 }
 
 }  // namespace warp

@@ -30,19 +30,34 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-// Summary of a repeated timing measurement, all in seconds.
+// Summary of a repeated timing measurement, all in seconds. Per-run
+// samples are retained so order statistics (median, p95) survive — means
+// alone hide the scheduler-noise tail that dominates close comparisons.
 struct TimingSummary {
   int repetitions = 0;
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
   double total = 0.0;
+  std::vector<double> samples;  // One entry per repetition, run order.
 
   double mean_millis() const { return mean * 1e3; }
   double min_millis() const { return min * 1e3; }
+  double median_millis() const { return median * 1e3; }
+  double p95_millis() const { return p95 * 1e3; }
   std::string ToString() const;
 };
+
+// Builds a TimingSummary (including median/p95) from per-run samples.
+TimingSummary SummarizeSamples(const std::vector<double>& samples);
+
+// Summary for a measurement that timed `ops` operations in one aggregate
+// run of `total_seconds` (e.g. an all-pairs sweep): per-op mean with no
+// spread information. `ops` must be positive.
+TimingSummary PerOpSummary(double total_seconds, int64_t ops);
 
 // Runs `fn` `repetitions` times (after `warmup` untimed runs) and reports
 // per-run statistics. `fn` must be self-contained; anything it returns is

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
@@ -76,6 +77,8 @@ double DistanceEngineImpl(size_t n, size_t m, RowRangeFn&& row_range,
     if constexpr (kAbandoning) {
       if (row_min > abandon_above) {
         if (cells != nullptr) *cells = visited;
+        WARP_COUNT_ADD(obs::Counter::kDtwCells, visited);
+        WARP_COUNT(obs::Counter::kDtwEarlyAbandons);
         return kInf;
       }
     }
@@ -83,6 +86,7 @@ double DistanceEngineImpl(size_t n, size_t m, RowRangeFn&& row_range,
     prev_hi = hi;
   }
   if (cells != nullptr) *cells = visited;
+  WARP_COUNT_ADD(obs::Counter::kDtwCells, visited);
   return prev[m];
 }
 
@@ -225,6 +229,10 @@ DtwResult PathEngine(size_t n, size_t m, const WarpingWindow& window,
     offsets[i + 1] = offsets[i] + (r.hi - r.lo + 1);
   }
   std::vector<double> cumulative(offsets[n]);
+  WARP_COUNT_ADD(obs::Counter::kPathEngineCells, offsets[n]);
+  WARP_COUNT_ADD(obs::Counter::kPathEngineBytes,
+                 offsets[n] * sizeof(double) +
+                     (n + 1) * sizeof(uint64_t));
 
   auto value_at = [&](size_t i, size_t j) -> double {
     const auto& r = window.range(i);
@@ -397,6 +405,7 @@ double PrunedCdtwDistance(std::span<const double> x,
     size_t sc = 0;
     size_t prev_last_under = n;  // Row -1 imposes no limit on row 0.
     uint64_t visited = 0;
+    uint64_t skipped = 0;  // Band cells pruning never touched.
     for (size_t i = 0; i < n; ++i) {
       const size_t blo = i > band ? i - band : 0;
       const size_t bhi = std::min(n - 1, i + band);
@@ -430,11 +439,14 @@ double PrunedCdtwDistance(std::span<const double> x,
           last_under = j;
         }
       }
+      skipped += (bhi - blo + 1) - (j - beg);
       if (!found) {
         // Cannot happen when ub really upper-bounds the optimum (the
         // optimal path crosses every row with prefix <= ub); defend
         // against a caller-supplied bound that was too tight.
         if (cells != nullptr) *cells = visited;
+        WARP_COUNT_ADD(obs::Counter::kPrunedDtwCells, visited);
+        WARP_COUNT_ADD(obs::Counter::kPrunedDtwCellsSkipped, skipped);
         return kInf;
       }
       // Stale-cell discipline: the next row may read one column past what
@@ -447,6 +459,8 @@ double PrunedCdtwDistance(std::span<const double> x,
       prev_last_under = last_under;
     }
     if (cells != nullptr) *cells = visited;
+    WARP_COUNT_ADD(obs::Counter::kPrunedDtwCells, visited);
+    WARP_COUNT_ADD(obs::Counter::kPrunedDtwCellsSkipped, skipped);
     return prev[n];
   });
 }

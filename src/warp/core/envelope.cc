@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
 Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
   WARP_CHECK(!values.empty());
   const size_t n = values.size();
+  WARP_COUNT(obs::Counter::kEnvelopeBuilds);
+  WARP_COUNT_ADD(obs::Counter::kEnvelopePoints, n);
   Envelope env;
   env.upper.resize(n);
   env.lower.resize(n);
@@ -59,6 +62,8 @@ Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
 Envelope ComputeEnvelopeNaive(std::span<const double> values, size_t band) {
   WARP_CHECK(!values.empty());
   const size_t n = values.size();
+  WARP_COUNT(obs::Counter::kEnvelopeBuilds);
+  WARP_COUNT_ADD(obs::Counter::kEnvelopePoints, n);
   Envelope env;
   env.upper.resize(n);
   env.lower.resize(n);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 #include "warp/ts/paa.h"
 
 namespace warp {
@@ -19,7 +20,9 @@ bool AtBaseCase(size_t n, size_t m, size_t radius) {
 DtwResult FastDtwRecursive(std::span<const double> x,
                            std::span<const double> y, size_t radius,
                            CostKind cost) {
+  WARP_COUNT(obs::Counter::kFastDtwLevels);
   if (AtBaseCase(x.size(), y.size(), radius)) {
+    WARP_COUNT(obs::Counter::kFastDtwBaseCases);
     return Dtw(x, y, cost);
   }
   const std::vector<double> shrunk_x = HalveByTwo(x);
@@ -44,7 +47,9 @@ MultiSeries HalveMultiByTwo(const MultiSeries& series) {
 
 DtwResult MultiFastDtwRecursive(const MultiSeries& x, const MultiSeries& y,
                                 size_t radius, CostKind cost) {
+  WARP_COUNT(obs::Counter::kFastDtwLevels);
   if (AtBaseCase(x.length(), y.length(), radius)) {
+    WARP_COUNT(obs::Counter::kFastDtwBaseCases);
     return MultiWindowedDtw(x, y, WarpingWindow::Full(x.length(), y.length()),
                             cost);
   }
@@ -65,6 +70,7 @@ DtwResult FastDtw(std::span<const double> x, std::span<const double> y,
                   size_t radius, CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
   DtwResult result = FastDtwRecursive(x, y, radius, cost);
+  WARP_COUNT_ADD(obs::Counter::kFastDtwCells, result.cells_visited);
   // Debug-build oracle hook: whatever the recursion produced must still be
   // a legal full-resolution warping path (admissibility — never beating
   // exact DTW — is checked by check::CheckFastDtwAdmissible in tests).
@@ -81,7 +87,9 @@ DtwResult MultiFastDtw(const MultiSeries& x, const MultiSeries& y,
                        size_t radius, CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(x.num_channels() == y.num_channels());
-  return MultiFastDtwRecursive(x, y, radius, cost);
+  DtwResult result = MultiFastDtwRecursive(x, y, radius, cost);
+  WARP_COUNT_ADD(obs::Counter::kFastDtwCells, result.cells_visited);
+  return result;
 }
 
 }  // namespace warp

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 #include "warp/ts/paa.h"
 
 namespace warp {
@@ -81,6 +82,7 @@ DtwResult WindowedDtwReference(size_t n, size_t m,
 
   DtwResult result;
   result.cells_visited = window.size();
+  WARP_COUNT_ADD(obs::Counter::kFastDtwRefCells, window.size());
   const auto corner = d.find(Key(static_cast<int64_t>(n),
                                  static_cast<int64_t>(m)));
   WARP_CHECK_MSG(corner != d.end() && corner->second.cost < kInf,
@@ -190,7 +192,9 @@ DtwResult ReferenceFastDtw1D(std::vector<double> x, std::vector<double> y,
   auto cell_cost = [&x, &y, cost](size_t i, size_t j) {
     return cost(x[i], y[j]);
   };
+  WARP_COUNT(obs::Counter::kFastDtwRefLevels);
   if (x.size() < min_time_size || y.size() < min_time_size) {
+    WARP_COUNT(obs::Counter::kFastDtwRefBaseCases);
     return WindowedDtwReference(x.size(), y.size(),
                                 FullWindow(x.size(), y.size()), cell_cost);
   }
@@ -226,7 +230,9 @@ DtwResult ReferenceFastDtwMulti(const MultiSeries& x, const MultiSeries& y,
     }
     return sum;
   };
+  WARP_COUNT(obs::Counter::kFastDtwRefLevels);
   if (x.length() < min_time_size || y.length() < min_time_size) {
+    WARP_COUNT(obs::Counter::kFastDtwRefBaseCases);
     return WindowedDtwReference(x.length(), y.length(),
                                 FullWindow(x.length(), y.length()),
                                 cell_cost);

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
 double LbKimFl(std::span<const double> x, std::span<const double> y,
                CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
+  WARP_COUNT(obs::Counter::kLbKimCalls);
   return WithCost(cost, [&](auto c) {
     // On a 1x1 matrix the first and last aligned cells coincide; counting
     // the cell twice would overshoot cDTW and break pruning soundness
@@ -25,6 +27,7 @@ double LbKeogh(const Envelope& query_envelope,
                  "envelope and candidate lengths must match");
   WARP_CHECK_MSG(query_envelope.lower.size() == query_envelope.upper.size(),
                  "envelope upper/lower lengths must match");
+  WARP_COUNT(obs::Counter::kLbKeoghCalls);
   return WithCost(cost, [&](auto c) {
     double sum = 0.0;
     for (size_t i = 0; i < candidate.size(); ++i) {
@@ -54,6 +57,7 @@ double LbImproved(const Envelope& query_envelope,
                   std::span<const double> candidate, size_t band,
                   CostKind cost) {
   WARP_CHECK(query.size() == candidate.size());
+  WARP_COUNT(obs::Counter::kLbImprovedCalls);
   const double first = LbKeogh(query_envelope, candidate, cost);
 
   // Projection of the candidate onto the query's envelope tube.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
@@ -19,6 +20,7 @@ double SubsequenceDtwDistance(std::span<const double> query,
   WARP_CHECK(!query.empty() && !series.empty());
   const size_t n = query.size();
   const size_t m = series.size();
+  WARP_COUNT_ADD(obs::Counter::kSubsequenceCells, n * m);
   return WithCost(cost, [&](auto c) {
     std::vector<double> prev(m);
     std::vector<double> cur(m);
@@ -44,6 +46,7 @@ SubsequenceAlignment SubsequenceDtw(std::span<const double> query,
   WARP_CHECK(!query.empty() && !series.empty());
   const size_t n = query.size();
   const size_t m = series.size();
+  WARP_COUNT_ADD(obs::Counter::kSubsequenceCells, n * m);
 
   return WithCost(cost, [&](auto c) {
     std::vector<double> d(n * m);

@@ -13,6 +13,7 @@
 #include "warp/common/stopwatch.h"
 #include "warp/core/dtw.h"
 #include "warp/core/lower_bounds.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
@@ -224,11 +225,13 @@ Prediction AcceleratedNnClassifier::ClassifyWithBuffer(
   best.distance = kInf;
   for (size_t i = 0; i < train_.size(); ++i) {
     if (stats != nullptr) ++stats->candidates;
+    WARP_COUNT(obs::Counter::kCascadeCandidates);
     const std::span<const double> candidate = train_[i].view();
 
     // Rung 1: constant-time LB_Kim.
     if (LbKimFl(query, candidate, cost_) >= best.distance) {
       if (stats != nullptr) ++stats->pruned_by_kim;
+      WARP_COUNT(obs::Counter::kLbKimKills);
       continue;
     }
     // Rung 2: LB_Keogh with the query envelope, early-abandoning at the
@@ -238,6 +241,7 @@ Prediction AcceleratedNnClassifier::ClassifyWithBuffer(
         LbKeogh(train_envelopes_[i], query, cost_, best.distance) >=
             best.distance) {
       if (stats != nullptr) ++stats->pruned_by_keogh;
+      WARP_COUNT(obs::Counter::kLbKeoghKills);
       continue;
     }
     // Rung 3: exact cDTW with early abandoning.
@@ -249,6 +253,11 @@ Prediction AcceleratedNnClassifier::ClassifyWithBuffer(
       } else {
         ++stats->full_dtw;
       }
+    }
+    if (d == kInf) {
+      WARP_COUNT(obs::Counter::kCascadeEarlyAbandons);
+    } else {
+      WARP_COUNT(obs::Counter::kCascadeFullDtw);
     }
     if (d < best.distance) {
       best.distance = d;
@@ -271,16 +280,19 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
   DtwBuffer buffer;
   for (size_t i = 0; i < train_.size(); ++i) {
     if (stats != nullptr) ++stats->candidates;
+    WARP_COUNT(obs::Counter::kCascadeCandidates);
     const std::span<const double> candidate = train_[i].view();
     const double threshold = kbest.PruneThreshold();
 
     if (LbKimFl(query, candidate, cost_) >= threshold) {
       if (stats != nullptr) ++stats->pruned_by_kim;
+      WARP_COUNT(obs::Counter::kLbKimKills);
       continue;
     }
     if (LbKeogh(query_envelope, candidate, cost_, threshold) >= threshold ||
         LbKeogh(train_envelopes_[i], query, cost_, threshold) >= threshold) {
       if (stats != nullptr) ++stats->pruned_by_keogh;
+      WARP_COUNT(obs::Counter::kLbKeoghKills);
       continue;
     }
     const double d = CdtwDistanceAbandoning(query, candidate, band_,
@@ -291,6 +303,11 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
       } else {
         ++stats->full_dtw;
       }
+    }
+    if (d == kInf) {
+      WARP_COUNT(obs::Counter::kCascadeEarlyAbandons);
+    } else {
+      WARP_COUNT(obs::Counter::kCascadeFullDtw);
     }
     if (d < kInf) kbest.Offer(d, i);
   }

@@ -8,6 +8,7 @@
 #include "warp/core/dtw.h"
 #include "warp/core/envelope.h"
 #include "warp/core/lower_bounds.h"
+#include "warp/obs/metrics.h"
 #include "warp/ts/znorm.h"
 
 namespace warp {
@@ -62,6 +63,7 @@ SubsequenceMatch FindBestMatch(std::span<const double> haystack,
       running.Push(haystack[pos + m - 1]);
     }
     if (stats != nullptr) ++stats->windows;
+    WARP_COUNT(obs::Counter::kCascadeCandidates);
     const double mean = running.mean();
     const double stddev = running.stddev();
     const double inv = stddev > 1e-12 ? 1.0 / stddev : 0.0;
@@ -75,6 +77,7 @@ SubsequenceMatch FindBestMatch(std::span<const double> haystack,
     });
     if (kim >= best.distance) {
       if (stats != nullptr) ++stats->pruned_by_kim;
+      WARP_COUNT(obs::Counter::kLbKimKills);
       continue;
     }
 
@@ -82,6 +85,7 @@ SubsequenceMatch FindBestMatch(std::span<const double> haystack,
     NormalizeWindow(haystack, pos, m, mean, stddev, &window);
     if (LbKeogh(q_envelope, window, cost, best.distance) >= best.distance) {
       if (stats != nullptr) ++stats->pruned_by_keogh;
+      WARP_COUNT(obs::Counter::kLbKeoghKills);
       continue;
     }
 
@@ -94,6 +98,11 @@ SubsequenceMatch FindBestMatch(std::span<const double> haystack,
       } else {
         ++stats->full_dtw;
       }
+    }
+    if (d == kInf) {
+      WARP_COUNT(obs::Counter::kCascadeEarlyAbandons);
+    } else {
+      WARP_COUNT(obs::Counter::kCascadeFullDtw);
     }
     if (d < best.distance) {
       best.distance = d;
@@ -124,6 +133,8 @@ SubsequenceMatch FindBestMatchNaive(std::span<const double> haystack,
       ++stats->windows;
       ++stats->full_dtw;
     }
+    WARP_COUNT(obs::Counter::kCascadeCandidates);
+    WARP_COUNT(obs::Counter::kCascadeFullDtw);
     window.assign(haystack.begin() + pos, haystack.begin() + pos + m);
     ZNormalizeInPlace(window);
     const double d = CdtwDistance(q, window, band, cost, &buffer);

@@ -4,6 +4,7 @@
 
 #include "warp/common/assert.h"
 #include "warp/core/lower_bounds.h"
+#include "warp/obs/metrics.h"
 
 namespace warp {
 
@@ -32,6 +33,7 @@ std::optional<StreamMonitor::Event> StreamMonitor::Push(double value) {
   if (stats_.samples < m) return std::nullopt;
 
   ++stats_.windows_checked;
+  WARP_COUNT(obs::Counter::kCascadeCandidates);
   const double mean = running_.mean();
   const double stddev = running_.stddev();
   const double inv = stddev > 1e-12 ? 1.0 / stddev : 0.0;
@@ -46,6 +48,7 @@ std::optional<StreamMonitor::Event> StreamMonitor::Push(double value) {
   });
   if (kim > threshold_) {
     ++stats_.pruned_by_kim;
+    WARP_COUNT(obs::Counter::kLbKimKills);
     return std::nullopt;
   }
 
@@ -55,6 +58,7 @@ std::optional<StreamMonitor::Event> StreamMonitor::Push(double value) {
   }
   if (LbKeogh(query_envelope_, window_, cost_, threshold_) > threshold_) {
     ++stats_.pruned_by_keogh;
+    WARP_COUNT(obs::Counter::kLbKeoghKills);
     return std::nullopt;
   }
 
@@ -62,9 +66,11 @@ std::optional<StreamMonitor::Event> StreamMonitor::Push(double value) {
                                           cost_, &buffer_);
   if (d == std::numeric_limits<double>::infinity()) {
     ++stats_.abandoned_dtw;
+    WARP_COUNT(obs::Counter::kCascadeEarlyAbandons);
     return std::nullopt;
   }
   ++stats_.full_dtw;
+  WARP_COUNT(obs::Counter::kCascadeFullDtw);
   if (d > threshold_) return std::nullopt;
   ++stats_.events;
   return Event{stats_.samples - 1, d};

@@ -1,0 +1,75 @@
+#include "warp/obs/trace.h"
+
+#include <mutex>
+#include <utility>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace obs {
+
+namespace {
+
+// Completed spans, appended under a mutex from whichever thread closed
+// them. Leaked singleton for the same static-teardown reason as the
+// metrics registry.
+struct SpanBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;
+};
+
+SpanBuffer& GlobalSpanBuffer() {
+  static SpanBuffer* buffer = new SpanBuffer();
+  return *buffer;
+}
+
+// Each thread tracks its own open-span ancestry; spans must be closed in
+// LIFO order, which scoped construction guarantees.
+thread_local std::vector<std::string> open_span_names;
+
+std::string JoinPath(const std::vector<std::string>& names) {
+  std::string path;
+  for (const std::string& name : names) {
+    if (!path.empty()) path.push_back('/');
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(std::string name) {
+  open_span_names.push_back(std::move(name));
+  start_counters_ = SnapshotCounters();
+  watch_.Restart();
+}
+
+TraceSpan::~TraceSpan() {
+  const double seconds = watch_.ElapsedSeconds();
+  WARP_CHECK(!open_span_names.empty());
+
+  SpanRecord record;
+  record.seconds = seconds;
+  record.counters = CountersSince(start_counters_);
+  record.depth = open_span_names.size() - 1;
+  record.path = JoinPath(open_span_names);
+  record.name = open_span_names.back();
+  open_span_names.pop_back();
+
+  SpanBuffer& buffer = GlobalSpanBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.records.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> DrainSpans() {
+  SpanBuffer& buffer = GlobalSpanBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  std::vector<SpanRecord> drained = std::move(buffer.records);
+  buffer.records.clear();
+  return drained;
+}
+
+size_t ActiveSpanDepth() { return open_span_names.size(); }
+
+}  // namespace obs
+}  // namespace warp

@@ -1,0 +1,60 @@
+// Scoped, nesting trace spans built on Stopwatch.
+//
+// A TraceSpan times a lexical scope and records the counter work done
+// inside it (bench → dataset → algorithm → repetition). Spans nest via a
+// per-thread stack; each completed span is appended to a global buffer
+// that DrainSpans() empties — the bench report serializes them under the
+// "spans" key of its JSON document.
+//
+// Spans are deliberately coarse-grained instrumentation for harness-level
+// scopes (a case, a dataset sweep), not for per-cell kernel work: each
+// span costs two counter snapshots and one mutex acquisition, so keep
+// them out of inner loops. Timing always works; counter deltas are all
+// zero when WARP_PROFILE=OFF.
+
+#ifndef WARP_OBS_TRACE_H_
+#define WARP_OBS_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "warp/common/stopwatch.h"
+#include "warp/obs/metrics.h"
+
+namespace warp {
+namespace obs {
+
+// A completed span, as drained by DrainSpans().
+struct SpanRecord {
+  std::string path;  // Slash-joined ancestry including self, e.g. "bench/ecg/cdtw".
+  std::string name;  // Leaf name alone.
+  size_t depth = 0;  // 0 for a root span.
+  double seconds = 0.0;
+  MetricsSnapshot counters;  // Work counted while the span was open.
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  MetricsSnapshot start_counters_;
+  Stopwatch watch_;
+};
+
+// Removes and returns every span completed since the last drain, in
+// completion order (children precede their parents).
+std::vector<SpanRecord> DrainSpans();
+
+// Depth of the calling thread's currently open span stack.
+size_t ActiveSpanDepth();
+
+}  // namespace obs
+}  // namespace warp
+
+#endif  // WARP_OBS_TRACE_H_

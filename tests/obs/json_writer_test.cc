@@ -1,0 +1,175 @@
+// Unit tests for the bench-report JSON emitter.
+
+#include "warp/obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace warp {
+namespace obs {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter writer;
+  writer.BeginObject().EndObject();
+  EXPECT_EQ(writer.TakeOutput(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter writer;
+  writer.BeginArray().EndArray();
+  EXPECT_EQ(writer.TakeOutput(), "[]");
+}
+
+TEST(JsonWriterTest, ScalarDocument) {
+  JsonWriter writer;
+  writer.Int(-42);
+  EXPECT_EQ(writer.TakeOutput(), "-42");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("a")
+      .Int(1)
+      .Key("b")
+      .String("two")
+      .Key("c")
+      .Bool(true)
+      .Key("d")
+      .Null()
+      .Key("e")
+      .Uint(18446744073709551615ull)
+      .EndObject();
+  EXPECT_EQ(writer.TakeOutput(),
+            "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null,"
+            "\"e\":18446744073709551615}");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("rows")
+      .BeginArray()
+      .BeginObject()
+      .Key("x")
+      .Int(1)
+      .EndObject()
+      .BeginObject()
+      .Key("x")
+      .Int(2)
+      .EndObject()
+      .EndArray()
+      .Key("tail")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .Int(3)
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(writer.TakeOutput(),
+            "{\"rows\":[{\"x\":1},{\"x\":2}],\"tail\":[1,2,3]}");
+}
+
+TEST(JsonWriterTest, RawValueSplicesVerbatim) {
+  JsonWriter writer;
+  writer.BeginObject().Key("cfg").RawValue("3.25").EndObject();
+  EXPECT_EQ(writer.TakeOutput(), "{\"cfg\":3.25}");
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonWriter::Escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("tab\tnewline\n"), "tab\\tnewline\\n");
+  EXPECT_EQ(JsonWriter::Escape(std::string("nul\0byte", 8)),
+            "nul\\u0000byte");
+  EXPECT_EQ(JsonWriter::Escape("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughUnchanged) {
+  const std::string utf8 = "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac";
+  EXPECT_EQ(JsonWriter::Escape(utf8), utf8);
+}
+
+TEST(JsonWriterTest, StringValueIsQuotedAndEscaped) {
+  JsonWriter writer;
+  writer.String("line1\nline2");
+  EXPECT_EQ(writer.TakeOutput(), "\"line1\\nline2\"");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsExactly) {
+  const double cases[] = {0.0,   1.0,     -1.5,        0.1,
+                          1e-30, 1e30,    3.141592653589793,
+                          1.0 / 3.0,      5e-324,
+                          std::numeric_limits<double>::max()};
+  for (const double value : cases) {
+    const std::string text = JsonWriter::FormatDouble(value);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonWriter::FormatDouble(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::FormatDouble(
+                -std::numeric_limits<double>::infinity()),
+            "null");
+  JsonWriter writer;
+  writer.BeginArray().Double(std::nan("")).Double(2.5).EndArray();
+  EXPECT_EQ(writer.TakeOutput(), "[null,2.5]");
+}
+
+TEST(JsonWriterTest, NegativeZeroSurvives) {
+  const std::string text = JsonWriter::FormatDouble(-0.0);
+  const double parsed = std::strtod(text.c_str(), nullptr);
+  EXPECT_TRUE(std::signbit(parsed));
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginObject().Int(1);
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, KeyInsideArrayAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginArray().Key("k");
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, SecondTopLevelValueAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.Int(1);
+        writer.Int(2);
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, UnclosedContainerAbortsOnTakeOutput) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginObject();
+        writer.TakeOutput();
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace warp

@@ -30,6 +30,7 @@
 #include "warp/mining/nn_classifier.h"
 #include "warp/mining/similarity_search.h"
 #include "warp/mining/window_search.h"
+#include "warp/obs/metrics.h"
 #include "warp/ts/io.h"
 #include "warp/ts/znorm.h"
 
@@ -74,6 +75,12 @@ COMMANDS
                       (default 1; 0 = all cores / WARP_THREADS)
 
   info <data.tsv>     Dataset summary (sizes, classes, length stats).
+
+GLOBAL FLAGS
+  --profile           After the command, print the work-counter report
+                      (cells computed, bound calls, cascade outcomes) to
+                      stderr. Requires a -DWARP_PROFILE=ON build (the
+                      default); see docs/OBSERVABILITY.md.
 )";
 
 struct Args {
@@ -362,6 +369,25 @@ int CmdInfo(const Args& args) {
   return 0;
 }
 
+// Prints every nonzero work counter accumulated during the command.
+void PrintProfile(const obs::MetricsSnapshot& delta) {
+  std::fprintf(stderr, "# --- work counters (WARP_PROFILE) ---\n");
+  if (!obs::kProfilingEnabled) {
+    std::fprintf(stderr,
+                 "# counters disabled: rebuild with -DWARP_PROFILE=ON\n");
+    return;
+  }
+  bool any = false;
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    if (delta.values[i] == 0) continue;
+    any = true;
+    std::fprintf(stderr, "# %-28s %llu\n",
+                 obs::CounterName(static_cast<obs::Counter>(i)),
+                 static_cast<unsigned long long>(delta.values[i]));
+  }
+  if (!any) std::fprintf(stderr, "# (all counters zero)\n");
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
       std::strcmp(argv[1], "--help") == 0) {
@@ -369,13 +395,18 @@ int Main(int argc, char** argv) {
     return argc < 2 ? 1 : 0;
   }
   const Args args = Parse(argc, argv);
+  const bool profile = args.Has("profile");
+  const obs::MetricsSnapshot before = obs::SnapshotCounters();
   const std::string command = argv[1];
-  if (command == "dist") return CmdDist(args);
-  if (command == "search") return CmdSearch(args);
-  if (command == "classify") return CmdClassify(args);
-  if (command == "cluster") return CmdCluster(args);
-  if (command == "info") return CmdInfo(args);
-  Fail("unknown command: " + command + " (try `warp_cli help`)");
+  int status = -1;
+  if (command == "dist") status = CmdDist(args);
+  else if (command == "search") status = CmdSearch(args);
+  else if (command == "classify") status = CmdClassify(args);
+  else if (command == "cluster") status = CmdCluster(args);
+  else if (command == "info") status = CmdInfo(args);
+  else Fail("unknown command: " + command + " (try `warp_cli help`)");
+  if (profile) PrintProfile(obs::CountersSince(before));
+  return status;
 }
 
 }  // namespace
