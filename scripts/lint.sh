@@ -80,6 +80,19 @@ if [ -n "$banned_chrono" ]; then
   fail "std::chrono found in src/ — time through warp::Stopwatch (warp/common/stopwatch.h)"
 fi
 
+# --- Convention: DP loops run on the shared engine --------------------------
+# A `std::vector<double> prev(` declaration in src/warp/core/ is the
+# telltale of a hand-rolled two-row DP loop. All banded/two-row dynamic
+# programming belongs in dp_engine.h (policies + TwoRowEngine); kernels
+# are thin instantiations. See DESIGN.md "One banded-DP engine".
+raw_dp_loops="$(cpp_sources | grep '^src/warp/core/' \
+    | grep -v 'src/warp/core/dp_engine.h' \
+    | xargs grep -nE 'std::vector<double> prev\(' || true)"
+if [ -n "$raw_dp_loops" ]; then
+  echo "$raw_dp_loops" >&2
+  fail "hand-rolled two-row DP loop in src/warp/core/ — instantiate dp::TwoRowEngine (warp/core/dp_engine.h) instead"
+fi
+
 # --- Convention: include guards, no #pragma once ---------------------------
 pragma_once="$(cpp_sources | xargs grep -ln '#pragma once' || true)"
 if [ -n "$pragma_once" ]; then

@@ -83,7 +83,7 @@ bool CheckCdtwBandMonotone(std::span<const double> x,
                            double tolerance, std::string* error) {
   WARP_CHECK(error != nullptr);
   WARP_CHECK(!bands.empty());
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   double previous = CdtwDistance(x, y, bands[0], cost, &buffer);
   for (size_t k = 1; k < bands.size(); ++k) {
     WARP_CHECK_MSG(bands[k - 1] <= bands[k], "bands must be ascending");

@@ -103,7 +103,7 @@ inline size_t ChunkCount(size_t begin, size_t end, size_t grain) {
 }
 
 // One default-constructed T per worker slot, padded to a cache line so
-// two workers' scratch (DtwBuffer, envelope storage, stat counters) never
+// two workers' scratch (DtwWorkspace, envelope storage, stat counters) never
 // false-share. Index with the worker argument ParallelFor hands each
 // chunk.
 template <typename T>

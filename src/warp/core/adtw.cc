@@ -1,44 +1,24 @@
 #include "warp/core/adtw.h"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
-
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
 
 namespace warp {
 
 double AdtwDistance(std::span<const double> x, std::span<const double> y,
-                    double omega, CostKind cost) {
+                    double omega, CostKind cost, DtwWorkspace* workspace) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(omega >= 0.0);
-  const size_t n = x.size();
-  const size_t m = y.size();
-  constexpr double kInf = std::numeric_limits<double>::infinity();
 
+  // The engine's ADTW policy: same two-row layout as DTW (dp[j+1] =
+  // D(i, j)), with the amercement added on the two non-diagonal
+  // predecessors. Unconstrained, so every row spans all columns.
   return WithCost(cost, [&](auto c) {
-    // Same two-row layout as the DTW engine (dp[j+1] = D(i, j)), with the
-    // amercement added on the two non-diagonal predecessors.
-    std::vector<double> prev(m + 1, kInf);
-    std::vector<double> cur(m + 1, kInf);
-    prev[0] = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      cur[0] = kInf;
-      double left = kInf;
-      double diag = prev[0];
-      for (size_t j = 0; j < m; ++j) {
-        const double up = prev[j + 1];
-        double best = diag;                        // Diagonal: no penalty.
-        if (up + omega < best) best = up + omega;  // Stretch x.
-        if (left + omega < best) best = left + omega;  // Stretch y.
-        const double value = best + c(x[i], y[j]);
-        cur[j + 1] = value;
-        left = value;
-        diag = up;
-      }
-      std::swap(prev, cur);
-    }
-    return prev[m];
+    return dp::TwoRowEngine(
+        x.size(), y.size(), dp::FullRowRange{y.size() - 1},
+        dp::AdtwPolicy<dp::SeriesCellCost<decltype(c)>>{
+            {x.data(), y.data(), c}, omega},
+        dp::kInf, workspace);
   });
 }
 

@@ -20,7 +20,8 @@ namespace warp {
 
 // O(n*m) time, O(m) space. `omega` must be >= 0.
 double AdtwDistance(std::span<const double> x, std::span<const double> y,
-                    double omega, CostKind cost = CostKind::kSquared);
+                    double omega, CostKind cost = CostKind::kSquared,
+                    DtwWorkspace* workspace = nullptr);
 
 // A common heuristic for picking omega: a fraction of the average
 // per-step cost, estimated from the Euclidean distance of a sample pair.

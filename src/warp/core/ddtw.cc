@@ -20,10 +20,10 @@ std::vector<double> DerivativeTransform(std::span<const double> values) {
 }
 
 double DdtwDistance(std::span<const double> x, std::span<const double> y,
-                    size_t band, CostKind cost) {
+                    size_t band, CostKind cost, DtwWorkspace* workspace) {
   const std::vector<double> dx = DerivativeTransform(x);
   const std::vector<double> dy = DerivativeTransform(y);
-  return CdtwDistance(dx, dy, band, cost);
+  return CdtwDistance(dx, dy, band, cost, workspace);
 }
 
 DtwResult Ddtw(std::span<const double> x, std::span<const double> y,

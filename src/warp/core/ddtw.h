@@ -26,7 +26,8 @@ std::vector<double> DerivativeTransform(std::span<const double> values);
 // DTW distance between the derivative transforms, constrained to `band`
 // cells (band >= length gives unconstrained DDTW).
 double DdtwDistance(std::span<const double> x, std::span<const double> y,
-                    size_t band, CostKind cost = CostKind::kSquared);
+                    size_t band, CostKind cost = CostKind::kSquared,
+                    DtwWorkspace* workspace = nullptr);
 
 // Path-recovering variant. The path indexes the *original* series (the
 // transform is length-preserving).

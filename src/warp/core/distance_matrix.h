@@ -60,7 +60,7 @@ std::pair<size_t, size_t> CondensedPairFromIndex(size_t index, size_t n);
 // slot, so the result is bitwise-identical to the serial fill at any
 // thread count. `measure` is invoked concurrently and must be safe to
 // call from multiple threads (the library's distance kernels are, as
-// long as no shared mutable DtwBuffer is captured). threads == 0 means
+// long as no shared mutable DtwWorkspace is captured). threads == 0 means
 // DefaultThreadCount().
 DistanceMatrix ComputePairwiseMatrix(
     const std::vector<std::vector<double>>& series,

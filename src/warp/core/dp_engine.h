@@ -1,0 +1,709 @@
+// The one banded two-row DP engine behind every elastic measure.
+//
+// Each elastic kernel in this library — full/banded/abandoning/pruned DTW,
+// WDTW, ADTW, DDTW, LCSS, ERP, MSM, subsequence DTW, and both FastDTW
+// base cases — is the same machine-sympathetic inner loop wearing a
+// different local-cost recurrence. This header factors that loop out once
+// and expresses every kernel as a policy bundle over it:
+//
+//   * RowRange   — which columns row i visits (full, Sakoe–Chiba band,
+//                  square band, arbitrary WarpingWindow).
+//   * Policy     — the recurrence itself: top-row boundary, per-row left
+//                  boundary, the cell combination, and the final readout.
+//   * Pruner     — optional PrunedDTW column pruning (dp::BandPruner) or
+//                  none (dp::NoPruner).
+//   * kAbandoning — compile-time early-abandon row-minimum hook.
+//
+// The engine owns the correctness-critical details the hand-rolled copies
+// used to each maintain separately: the +1 column offset (index j+1 holds
+// D(i, j); index 0 is the virtual D(i, -1)), the carried left/diag
+// scalars that keep the serial dependency in registers, and the
+// stale-row-tail reset when the explored range narrows between rows
+// (tests/core/dp_engine_test.cc pins that reset).
+//
+// Scratch rows live in a DtwWorkspace. Reusing one across calls makes the
+// steady state allocation-free; every (re)allocation bumps the
+// `workspace_allocs` counter so tests and bench reports can prove it.
+//
+// A second, materialized engine (dp::MaterializedDp) backs the
+// path-recovering variants: it fills the window's cells, then walks back
+// from the anchor along minimal predecessors under a pluggable tie order
+// (diagonal-preferring for this library's kernels, up/left/diagonal for
+// the reference FastDTW port) and anchor rule (both corners, or the free
+// start/end rows of subsequence DTW).
+
+#ifndef WARP_CORE_DP_ENGINE_H_
+#define WARP_CORE_DP_ENGINE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "warp/common/assert.h"
+#include "warp/core/warping_path.h"
+#include "warp/core/window.h"
+#include "warp/obs/metrics.h"
+#include "warp/ts/multi_series.h"
+
+namespace warp {
+
+// Reusable scratch rows for the two-row engine. Passing the same
+// workspace across calls in a tight loop makes the steady state
+// allocation-free: PrepareRows only touches the allocator when the
+// requested width exceeds what the workspace already owns, and each such
+// growth bumps obs::Counter::kWorkspaceAllocs.
+struct DtwWorkspace {
+  std::vector<double> prev;
+  std::vector<double> cur;
+
+  void PrepareRows(size_t cols) {
+    if (cols > prev.capacity() || cols > cur.capacity()) {
+      WARP_COUNT(obs::Counter::kWorkspaceAllocs);
+    }
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    prev.assign(cols, kInf);
+    cur.assign(cols, kInf);
+  }
+};
+
+namespace dp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sentinel for "do not publish this count to the obs registry". Kernels
+// with their own counters (DTW, PrunedDTW) pass real counter ids; the
+// measures that never counted (WDTW, ADTW, LCSS, ERP, MSM) pass this.
+inline constexpr obs::Counter kNoCounter = obs::Counter::kNumCounters;
+
+inline void CountMaybe(obs::Counter counter, uint64_t amount) {
+  if (counter != kNoCounter) WARP_COUNT_ADD(counter, amount);
+}
+
+// Where the engine publishes its work. `cells` is added on every exit
+// path (success, abandon, prune failure); `abandons` on an early abandon;
+// `skipped` holds the pruner's untouched band cells. `cells_out` is an
+// optional per-call sink independent of the registry.
+struct EngineCounters {
+  obs::Counter cells = kNoCounter;
+  obs::Counter abandons = kNoCounter;
+  obs::Counter skipped = kNoCounter;
+  uint64_t* cells_out = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Row ranges. Each yields the inclusive column range of row i and must
+// satisfy the WarpingWindow invariants (monotone ranges, reachable,
+// corners included).
+
+// Every row visits every column.
+struct FullRowRange {
+  size_t last_col;
+  std::pair<uint32_t, uint32_t> operator()(size_t) const {
+    return {0, static_cast<uint32_t>(last_col)};
+  }
+};
+
+// Equal-length Sakoe–Chiba band: pure integer clamping, no rounding. The
+// all-pairs experiments hit this path, so it matters that it is
+// branch-lean.
+struct SquareBandRowRange {
+  size_t band;
+  size_t last_col;
+  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
+    const size_t lo = i > band ? i - band : 0;
+    const size_t hi = i + band < last_col ? i + band : last_col;
+    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
+  }
+};
+
+// Sakoe–Chiba per-row range, generalized to unequal lengths by centering
+// the band on the scaled diagonal. The `lo(i+1) - 1` patch widens hi just
+// enough to keep consecutive rows connected when the diagonal advances by
+// more than one column per row; this reproduces exactly what
+// WarpingWindow::SakoeChiba + Canonicalize produce, without materializing
+// the window.
+struct BandRowRange {
+  size_t n;
+  int64_t last_col;
+  int64_t band;
+  double slope;
+
+  int64_t LoAt(size_t i) const {
+    const int64_t center =
+        static_cast<int64_t>(std::llround(static_cast<double>(i) * slope));
+    return std::clamp<int64_t>(center - band, 0, last_col);
+  }
+
+  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
+    const int64_t center =
+        static_cast<int64_t>(std::llround(static_cast<double>(i) * slope));
+    const int64_t lo = std::clamp<int64_t>(center - band, 0, last_col);
+    int64_t hi = std::clamp<int64_t>(center + band, 0, last_col);
+    if (i + 1 < n) {
+      const int64_t next_lo = LoAt(i + 1);
+      if (next_lo - 1 > hi) hi = next_lo - 1;
+    } else {
+      hi = last_col;
+    }
+    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
+  }
+};
+
+inline BandRowRange MakeBandRowRange(size_t n, size_t m, size_t band) {
+  BandRowRange range;
+  range.n = n;
+  range.last_col = static_cast<int64_t>(m) - 1;
+  range.band = static_cast<int64_t>(band);
+  range.slope = n > 1 ? static_cast<double>(m - 1) / static_cast<double>(n - 1)
+                      : 0.0;
+  return range;
+}
+
+struct WindowRowRange {
+  const WarpingWindow* window;
+  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
+    const WarpingWindow::ColRange& r = window->range(i);
+    return {r.lo, r.hi};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Cell costs.
+
+// 1-D local cost bound to two spans.
+template <typename Cost>
+struct SeriesCellCost {
+  const double* x;
+  const double* y;
+  Cost cost;
+  double operator()(size_t i, size_t j) const { return cost(x[i], y[j]); }
+};
+
+// Multichannel (dependent) local cost: sum of per-channel costs.
+template <typename Cost>
+struct MultiCellCost {
+  const MultiSeries* x;
+  const MultiSeries* y;
+  Cost cost;
+  double operator()(size_t i, size_t j) const {
+    double sum = 0.0;
+    for (size_t c = 0; c < x->num_channels(); ++c) {
+      sum += cost(x->at(c, i), y->at(c, j));
+    }
+    return sum;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Recurrence policies. The engine calls, in order:
+//   InitTopRow(top, m)  — once; writes the virtual row -1 over a kInf-
+//                         filled array of m+1 slots (slot j+1 = D(-1, j),
+//                         slot 0 = D(-1, -1)).
+//   LeftBoundary(i)     — once per row whose range starts at column 0;
+//                         the value of the virtual D(i, -1). May mutate
+//                         policy state (ERP accumulates its gap prefix).
+//   Cell(i, j, diag, up, left) — the recurrence; diag = D(i-1, j-1),
+//                         up = D(i-1, j), left = D(i, j-1).
+//   Finish(row, m)      — once; reads the answer out of the final row.
+
+// Classic DTW recurrence: min(diag, up, left) + cost(i, j).
+template <typename CellCostFn>
+struct MinPlusPolicy {
+  CellCostFn cost;
+
+  void InitTopRow(double* top, size_t /*m*/) { top[0] = 0.0; }
+  double LeftBoundary(size_t /*i*/) const { return kInf; }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    double best = diag;
+    if (up < best) best = up;
+    if (left < best) best = left;
+    return best + cost(i, j);
+  }
+  double Finish(const double* row, size_t m) const { return row[m]; }
+};
+
+// ADTW (Herrmann & Webb, 2023): the amercement `omega` is charged on the
+// two non-diagonal predecessors before the minimum is taken.
+template <typename CellCostFn>
+struct AdtwPolicy {
+  CellCostFn cost;
+  double omega;
+
+  void InitTopRow(double* top, size_t /*m*/) { top[0] = 0.0; }
+  double LeftBoundary(size_t /*i*/) const { return kInf; }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    double best = diag;                            // Diagonal: no penalty.
+    if (up + omega < best) best = up + omega;      // Stretch x.
+    if (left + omega < best) best = left + omega;  // Stretch y.
+    return best + cost(i, j);
+  }
+  double Finish(const double* row, size_t m) const { return row[m]; }
+};
+
+// Subsequence DTW distance (Müller): free start — every column of the
+// virtual top row costs 0, so row 0 pays only its own cell — and free
+// end — the answer is the cheapest cell of the last row.
+template <typename CellCostFn>
+struct FreeEndsMinPlusPolicy {
+  CellCostFn cost;
+
+  void InitTopRow(double* top, size_t m) { std::fill_n(top, m + 1, 0.0); }
+  double LeftBoundary(size_t /*i*/) const { return kInf; }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    double best = diag;
+    if (up < best) best = up;
+    if (left < best) best = left;
+    return best + cost(i, j);
+  }
+  double Finish(const double* row, size_t m) const {
+    double best = row[1];
+    for (size_t j = 2; j <= m; ++j) {
+      if (row[j] < best) best = row[j];
+    }
+    return best;
+  }
+};
+
+// ERP (Chen & Ng, 2004): L1 edit distance with gaps charged against a
+// fixed reference value. Both boundaries are gap prefix sums; the left
+// boundary accumulates across rows, which is why this policy is stateful
+// and the engine takes policies by non-const reference.
+struct ErpPolicy {
+  const double* x;
+  const double* y;
+  double gap;
+  double left_acc = 0.0;  // D(i, -1): everything in x[0..i] gapped.
+
+  void InitTopRow(double* top, size_t m) {
+    top[0] = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      top[j + 1] = top[j] + std::fabs(y[j] - gap);
+    }
+  }
+  double LeftBoundary(size_t i) {
+    left_acc += std::fabs(x[i] - gap);
+    return left_acc;
+  }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    const double match = diag + std::fabs(x[i] - y[j]);
+    const double gap_x = up + std::fabs(x[i] - gap);
+    const double gap_y = left + std::fabs(y[j] - gap);
+    return std::min({match, gap_x, gap_y});
+  }
+  double Finish(const double* row, size_t m) const { return row[m]; }
+};
+
+// LCSS (Vlachos et al., 2002) as a max-DP over match counts. Counts are
+// small non-negative integers, exact in double; the caller casts the
+// result back to size_t. Matches are only allowed inside the band,
+// carries are free — so the band gates the match case inside Cell rather
+// than narrowing the row range.
+struct LcssPolicy {
+  const double* x;
+  const double* y;
+  double epsilon;
+  size_t band;
+
+  void InitTopRow(double* top, size_t m) { std::fill_n(top, m + 1, 0.0); }
+  double LeftBoundary(size_t /*i*/) const { return 0.0; }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    const size_t dev = i > j ? i - j : j - i;
+    if (dev <= band && std::fabs(x[i] - y[j]) <= epsilon) {
+      return diag + 1.0;
+    }
+    return std::max(up, left);
+  }
+  double Finish(const double* row, size_t m) const { return row[m]; }
+};
+
+// MSM (Stefan, Athitsos & Das, 2013). The first row and column have their
+// own recurrences (there is no virtual row/column in the classical
+// formulation), so Cell dispatches on i == 0 / j == 0 and ignores the
+// unreachable predecessors.
+struct MsmPolicy {
+  const double* x;
+  const double* y;
+  double c;
+
+  // MSM's split/merge cost: moving `value` next to `adjacent` when the
+  // opposite series sits at `opposite`. Free-of-extras (just c) when
+  // value lies between them, otherwise c plus the distance to the nearer.
+  double MoveCost(double value, double adjacent, double opposite) const {
+    if ((adjacent <= value && value <= opposite) ||
+        (adjacent >= value && value >= opposite)) {
+      return c;
+    }
+    return c + std::min(std::fabs(value - adjacent),
+                        std::fabs(value - opposite));
+  }
+
+  void InitTopRow(double* /*top*/, size_t /*m*/) {}  // Row 0 ignores it.
+  double LeftBoundary(size_t /*i*/) const { return kInf; }
+  double Cell(size_t i, size_t j, double diag, double up, double left) const {
+    if (i == 0) {
+      if (j == 0) return std::fabs(x[0] - y[0]);
+      return left + MoveCost(y[j], y[j - 1], x[0]);
+    }
+    if (j == 0) return up + MoveCost(x[i], x[i - 1], y[0]);
+    const double match = diag + std::fabs(x[i] - y[j]);
+    const double split_x = up + MoveCost(x[i], x[i - 1], y[j]);
+    const double merge_y = left + MoveCost(y[j], y[j - 1], x[i]);
+    return std::min({match, split_x, merge_y});
+  }
+  double Finish(const double* row, size_t m) const { return row[m]; }
+};
+
+// ---------------------------------------------------------------------------
+// Pruners.
+
+struct NoPruner {
+  static constexpr bool kEnabled = false;
+};
+
+// PrunedDTW (Silva & Batista, SDM 2016) column pruning against an
+// admissible upper bound: cells provably not on any path cheaper than
+// `ub` are skipped. sc is the first column of the previous row whose
+// value stayed <= ub (no cheaper-than-ub path enters this row left of
+// it); `limit` is one past the previous row's last under-bound column —
+// beyond it cells are reachable only through a live horizontal chain.
+struct BandPruner {
+  static constexpr bool kEnabled = true;
+
+  double ub;
+  size_t sc = 0;
+  size_t prev_last_under;  // Row -1 imposes no limit on row 0.
+  size_t limit = 0;
+  bool found = false;
+  size_t first_under = 0;
+  size_t last_under = 0;
+
+  BandPruner(double upper_bound, size_t m)
+      : ub(upper_bound), prev_last_under(m) {}
+
+  size_t RowBegin(size_t i, size_t band_lo, size_t band_hi) {
+    limit = i == 0 ? band_hi : std::min(band_hi, prev_last_under + 1);
+    found = false;
+    return std::max(band_lo, sc);
+  }
+  bool ShouldStop(size_t j, double left) const {
+    return j > limit && left > ub;  // Nothing can reach further.
+  }
+  void Observe(size_t j, double value) {
+    if (value <= ub) {
+      if (!found) {
+        first_under = j;
+        found = true;
+      }
+      last_under = j;
+    }
+  }
+  // False when no cell of the row stayed under the bound — cannot happen
+  // when ub really upper-bounds the optimum (the optimal path crosses
+  // every row with prefix <= ub); defends against a caller-supplied bound
+  // that was too tight.
+  bool RowFinished() {
+    if (!found) return false;
+    sc = first_under;
+    prev_last_under = last_under;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The distance-only engine.
+//
+// Rows are visited in order; `row_range(i)` yields the inclusive column
+// range of row i. DP arrays use a +1 column offset so that index j+1
+// holds D(i, j); index 0 holds the virtual D(i, -1), and the virtual row
+// -1 is written by the policy's InitTopRow.
+//
+// Stale-cell management: explored ranges only move right (between rows
+// and, under pruning, within the skipped prefix), so on entry to row i
+// the only prev-row indices the row can read that were not freshly
+// written are those above the previous row's explored hi + 1; they are
+// re-set to inf first. The engine owns this reset — the hand-rolled
+// kernels used to each maintain their own copy, and wdtw.cc's was the
+// template for the regression test that now pins it.
+template <bool kAbandoning, typename RowRangeFn, typename Policy,
+          typename Pruner>
+double TwoRowEngineImpl(size_t n, size_t m, RowRangeFn&& row_range,
+                        Policy& policy, Pruner& pruner, double abandon_above,
+                        DtwWorkspace* workspace,
+                        const EngineCounters& counters) {
+  WARP_CHECK(n > 0 && m > 0);
+  DtwWorkspace local;
+  DtwWorkspace* ws = workspace != nullptr ? workspace : &local;
+  ws->PrepareRows(m + 1);
+  double* prev = ws->prev.data();
+  double* cur = ws->cur.data();
+  policy.InitTopRow(prev, m);
+
+  size_t prev_hi = m;  // prev[] is fully initialized before row 0.
+  uint64_t visited = 0;
+  uint64_t skipped = 0;  // Band cells pruning never touched.
+  const auto report = [&] {
+    if (counters.cells_out != nullptr) *counters.cells_out = visited;
+    CountMaybe(counters.cells, visited);
+    if constexpr (Pruner::kEnabled) CountMaybe(counters.skipped, skipped);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto [lo32, hi32] = row_range(i);
+    const size_t band_lo = lo32;
+    const size_t hi = hi32;
+    WARP_DCHECK(band_lo <= hi && hi < m);
+    for (size_t k = prev_hi + 2; k <= hi + 1; ++k) prev[k] = kInf;
+    size_t lo = band_lo;
+    if constexpr (Pruner::kEnabled) lo = pruner.RowBegin(i, band_lo, hi);
+    // Virtual D(i, lo-1): the policy's left boundary when the row starts
+    // at column 0 (row i+1 may read this slot as its diagonal
+    // predecessor), unreachable otherwise.
+    const double boundary = lo == 0 ? policy.LeftBoundary(i) : kInf;
+    cur[lo] = boundary;
+
+    // The carried scalars keep the recurrence's serial dependency in
+    // registers: `left` is D(i, j-1), `diag` is D(i-1, j-1); prev[] is
+    // only read once per cell and cur[] only written.
+    const double* __restrict prev_row = prev;
+    double* __restrict cur_row = cur;
+    double left = boundary;
+    double diag = prev_row[lo];
+    double row_min = kInf;
+    size_t j = lo;
+    for (; j <= hi; ++j) {
+      if constexpr (Pruner::kEnabled) {
+        if (pruner.ShouldStop(j, left)) break;
+      }
+      const double up = prev_row[j + 1];  // D(i-1, j)
+      const double value = policy.Cell(i, j, diag, up, left);
+      cur_row[j + 1] = value;
+      left = value;
+      diag = up;
+      if constexpr (Pruner::kEnabled) pruner.Observe(j, value);
+      if constexpr (kAbandoning) {
+        if (value < row_min) row_min = value;
+      }
+    }
+    visited += j - lo;
+    if constexpr (Pruner::kEnabled) {
+      skipped += (hi - band_lo + 1) - (j - lo);
+      if (!pruner.RowFinished()) {
+        report();
+        return kInf;
+      }
+    }
+    if constexpr (kAbandoning) {
+      if (row_min > abandon_above) {
+        report();
+        CountMaybe(counters.abandons, 1);
+        return kInf;
+      }
+    }
+    std::swap(prev, cur);
+    prev_hi = j > lo ? j - 1 : lo;
+  }
+  if constexpr (Pruner::kEnabled) {
+    // A pruned final row that never reached the corner cannot answer;
+    // mirrors the defensive RowFinished return above.
+    if (prev_hi < m - 1) {
+      report();
+      return kInf;
+    }
+  }
+  report();
+  return policy.Finish(prev, m);
+}
+
+// Dispatches the abandon hook at compile time so the common
+// non-abandoning path carries no per-cell branch.
+template <typename RowRangeFn, typename Policy, typename Pruner = NoPruner>
+double TwoRowEngine(size_t n, size_t m, RowRangeFn&& row_range, Policy policy,
+                    double abandon_above = kInf,
+                    DtwWorkspace* workspace = nullptr,
+                    const EngineCounters& counters = {},
+                    Pruner pruner = {}) {
+  if (abandon_above == kInf) {
+    return TwoRowEngineImpl<false>(n, m, row_range, policy, pruner,
+                                   abandon_above, workspace, counters);
+  }
+  return TwoRowEngineImpl<true>(n, m, row_range, policy, pruner,
+                                abandon_above, workspace, counters);
+}
+
+// Routes to the integer fast path when the band is square (n == m); the
+// generalized scaled-diagonal range produces identical ranges there, just
+// with more arithmetic per row.
+template <typename Policy>
+double BandedTwoRowEngine(size_t n, size_t m, size_t band, Policy policy,
+                          double abandon_above = kInf,
+                          DtwWorkspace* workspace = nullptr,
+                          const EngineCounters& counters = {}) {
+  if (n == m) {
+    return TwoRowEngine(n, m, SquareBandRowRange{band, m - 1},
+                        std::move(policy), abandon_above, workspace, counters);
+  }
+  return TwoRowEngine(n, m, MakeBandRowRange(n, m, band), std::move(policy),
+                      abandon_above, workspace, counters);
+}
+
+// ---------------------------------------------------------------------------
+// The materialized (path-recovering) engine.
+//
+// Fills the cumulative-cost value of every window cell (flattened
+// row-major with per-row offsets), then walks back from the anchor along
+// minimal predecessors.
+
+// Traceback tie orders. Candidates are probed in the policy's order; the
+// first available candidate seeds the choice and later ones must be
+// strictly smaller to replace it — exactly the first-minimal-candidate
+// rule both ported implementations use.
+enum class Move : int { kDiag = 0, kUp = 1, kLeft = 2 };
+
+// This library's order: diagonal, up, left — ties prefer the diagonal
+// step, which yields the shortest optimal path.
+struct PreferDiagonalTie {
+  static constexpr Move kOrder[3] = {Move::kDiag, Move::kUp, Move::kLeft};
+};
+
+// The reference fastdtw package's order: up, left, diagonal (the first
+// minimal candidate of its min() over candidate tuples).
+struct ReferenceTie {
+  static constexpr Move kOrder[3] = {Move::kUp, Move::kLeft, Move::kDiag};
+};
+
+// Anchor rules.
+struct CornerAnchors {
+  // Paths run (0, 0) .. (n-1, m-1).
+  static constexpr bool kFreeEnds = false;
+};
+struct FreeEndsAnchors {
+  // Subsequence DTW: the path may start at any column of row 0 and end at
+  // any column of row n-1; the end is the cheapest last-row cell (first
+  // minimum wins) and traceback stops on reaching row 0.
+  static constexpr bool kFreeEnds = true;
+};
+
+struct MaterializedResult {
+  double distance = 0.0;
+  std::vector<PathPoint> path;
+  uint64_t cells_visited = 0;
+  size_t end_col = 0;  // FreeEndsAnchors: the chosen last-row column.
+};
+
+template <typename Tie = PreferDiagonalTie, typename Anchors = CornerAnchors,
+          typename CellCostFn>
+MaterializedResult MaterializedDp(size_t n, size_t m,
+                                  const WarpingWindow& window,
+                                  CellCostFn&& cell_cost,
+                                  obs::Counter cells_counter = kNoCounter,
+                                  obs::Counter bytes_counter = kNoCounter) {
+  WARP_CHECK(window.rows() == n && window.cols() == m);
+  std::string error;
+  WARP_CHECK_MSG(window.Validate(&error), error.c_str());
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = window.range(i);
+    offsets[i + 1] = offsets[i] + (r.hi - r.lo + 1);
+  }
+  std::vector<double> cumulative(offsets[n]);
+  CountMaybe(cells_counter, offsets[n]);
+  CountMaybe(bytes_counter,
+             offsets[n] * sizeof(double) + (n + 1) * sizeof(uint64_t));
+
+  auto value_at = [&](size_t i, size_t j) -> double {
+    const auto& r = window.range(i);
+    if (j < r.lo || j > r.hi) return kInf;
+    return cumulative[offsets[i] + (j - r.lo)];
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& r = window.range(i);
+    for (size_t j = r.lo; j <= r.hi; ++j) {
+      double best;
+      const bool anchored =
+          Anchors::kFreeEnds ? i == 0 : (i == 0 && j == 0);
+      if (anchored) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0 && j > 0) best = value_at(i - 1, j - 1);
+        if (i > 0) best = std::min(best, value_at(i - 1, j));
+        if (j > 0) best = std::min(best, value_at(i, j - 1));
+      }
+      cumulative[offsets[i] + (j - r.lo)] = best + cell_cost(i, j);
+    }
+  }
+
+  MaterializedResult result;
+  result.cells_visited = offsets[n];
+  size_t end = m - 1;
+  if constexpr (Anchors::kFreeEnds) {
+    double best = kInf;
+    end = 0;
+    for (size_t j = 0; j < m; ++j) {
+      const double v = value_at(n - 1, j);
+      if (v < best) {
+        best = v;
+        end = j;
+      }
+    }
+    result.distance = best;
+  } else {
+    result.distance = value_at(n - 1, m - 1);
+  }
+  result.end_col = end;
+  WARP_CHECK_MSG(std::isfinite(result.distance),
+                 "window admits no complete warping path");
+
+  // Traceback by value: cumulative values are immutable once written, so
+  // re-deriving each step's first-minimal predecessor reproduces exactly
+  // the parent a forward pointer would have recorded.
+  size_t i = n - 1;
+  size_t j = end;
+  result.path.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+  auto done = [&] {
+    return Anchors::kFreeEnds ? i == 0 : (i == 0 && j == 0);
+  };
+  while (!done()) {
+    double best = kInf;
+    int move = -1;
+    for (const Move cand : Tie::kOrder) {
+      const bool available = cand == Move::kDiag ? (i > 0 && j > 0)
+                             : cand == Move::kUp ? i > 0
+                                                 : j > 0;
+      if (!available) continue;
+      const double v = cand == Move::kDiag ? value_at(i - 1, j - 1)
+                       : cand == Move::kUp ? value_at(i - 1, j)
+                                           : value_at(i, j - 1);
+      if (move < 0 || v < best) {
+        best = v;
+        move = static_cast<int>(cand);
+      }
+    }
+    WARP_CHECK_MSG(move >= 0 && std::isfinite(best),
+                   "traceback hit an unreachable cell");
+    if (move == static_cast<int>(Move::kDiag)) {
+      --i;
+      --j;
+    } else if (move == static_cast<int>(Move::kUp)) {
+      --i;
+    } else {
+      --j;
+    }
+    result.path.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+}  // namespace dp
+}  // namespace warp
+
+#endif  // WARP_CORE_DP_ENGINE_H_

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <utility>
 
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
 #include "warp/obs/metrics.h"
 
 namespace warp {
@@ -14,303 +14,27 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// ---------------------------------------------------------------------------
-// Distance-only engine.
-//
-// Classic two-row DP specialized to banded/windowed exploration. Rows are
-// visited in order; `row_range(i)` yields the inclusive column range of
-// row i and must satisfy the WarpingWindow invariants (monotone ranges,
-// reachable, corners included). DP arrays use a +1 column offset so that
-// index j+1 holds D(i, j); index 0 holds the virtual D(i, -1) = inf, and
-// the virtual row -1 is all inf except D(-1, -1) = 0.
-//
-// Stale-cell management: ranges only move right, so after finishing row
-// i-1 the only prev-row indices row i can read that were not freshly
-// written are those above hi_{i-1}+1; they are re-set to inf on entry.
-template <bool kAbandoning, typename RowRangeFn, typename CellCostFn>
-double DistanceEngineImpl(size_t n, size_t m, RowRangeFn&& row_range,
-                          CellCostFn&& cell_cost, double abandon_above,
-                          DtwBuffer* buffer, uint64_t* cells) {
-  WARP_CHECK(n > 0 && m > 0);
-  DtwBuffer local;
-  DtwBuffer* buf = buffer != nullptr ? buffer : &local;
-  buf->prev.assign(m + 1, kInf);
-  buf->cur.assign(m + 1, kInf);
-  double* prev = buf->prev.data();
-  double* cur = buf->cur.data();
-  prev[0] = 0.0;
+// Every DTW-family kernel below is a thin instantiation of the shared
+// engine in dp_engine.h: a MinPlus recurrence over a row range, with the
+// abandon hook and the PrunedDTW pruner composed in as policies. The
+// engine publishes this family's work through the kDtwCells /
+// kDtwEarlyAbandons / kPrunedDtw* counters.
 
-  size_t prev_hi = m;  // prev[] is fully initialized before row 0.
-  uint64_t visited = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const auto [lo32, hi32] = row_range(i);
-    const size_t lo = lo32;
-    const size_t hi = hi32;
-    WARP_DCHECK(lo <= hi && hi < m);
-    for (size_t k = prev_hi + 2; k <= hi + 1; ++k) prev[k] = kInf;
-    // Virtual D(i, lo-1) = inf: row i+1 may read this slot as its
-    // diagonal predecessor if its range starts at the same column.
-    cur[lo] = kInf;
-
-    // The carried scalars keep the recurrence's serial dependency in
-    // registers: `left` is D(i, j-1), `diag` is D(i-1, j-1); prev[] is
-    // only read once per cell and cur[] only written.
-    const double* __restrict prev_row = prev;
-    double* __restrict cur_row = cur;
-    double left = kInf;
-    double diag = prev_row[lo];
-    double row_min = kInf;
-    for (size_t j = lo; j <= hi; ++j) {
-      const double up = prev_row[j + 1];  // D(i-1, j)
-      double best = diag;
-      if (up < best) best = up;
-      if (left < best) best = left;
-      const double value = best + cell_cost(i, j);
-      cur_row[j + 1] = value;
-      left = value;
-      diag = up;
-      if constexpr (kAbandoning) {
-        if (value < row_min) row_min = value;
-      }
-    }
-    visited += hi - lo + 1;
-    if constexpr (kAbandoning) {
-      if (row_min > abandon_above) {
-        if (cells != nullptr) *cells = visited;
-        WARP_COUNT_ADD(obs::Counter::kDtwCells, visited);
-        WARP_COUNT(obs::Counter::kDtwEarlyAbandons);
-        return kInf;
-      }
-    }
-    std::swap(prev, cur);
-    prev_hi = hi;
-  }
-  if (cells != nullptr) *cells = visited;
-  WARP_COUNT_ADD(obs::Counter::kDtwCells, visited);
-  return prev[m];
+dp::EngineCounters DtwCounters(uint64_t* cells) {
+  dp::EngineCounters counters;
+  counters.cells = obs::Counter::kDtwCells;
+  counters.abandons = obs::Counter::kDtwEarlyAbandons;
+  counters.cells_out = cells;
+  return counters;
 }
-
-template <typename RowRangeFn, typename CellCostFn>
-double DistanceEngine(size_t n, size_t m, RowRangeFn&& row_range,
-                      CellCostFn&& cell_cost, double abandon_above,
-                      DtwBuffer* buffer, uint64_t* cells) {
-  if (abandon_above == kInf) {
-    return DistanceEngineImpl<false>(n, m, row_range, cell_cost,
-                                     abandon_above, buffer, cells);
-  }
-  return DistanceEngineImpl<true>(n, m, row_range, cell_cost, abandon_above,
-                                  buffer, cells);
-}
-
-// Sakoe–Chiba per-row range, generalized to unequal lengths by centering
-// the band on the scaled diagonal. The `lo(i+1) - 1` patch widens hi just
-// enough to keep consecutive rows connected when the diagonal advances by
-// more than one column per row; this reproduces exactly what
-// WarpingWindow::SakoeChiba + Canonicalize produce, without materializing
-// the window.
-struct BandRowRange {
-  size_t n;
-  int64_t last_col;
-  int64_t band;
-  double slope;
-
-  int64_t LoAt(size_t i) const {
-    const int64_t center =
-        static_cast<int64_t>(std::llround(static_cast<double>(i) * slope));
-    return std::clamp<int64_t>(center - band, 0, last_col);
-  }
-
-  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
-    const int64_t center =
-        static_cast<int64_t>(std::llround(static_cast<double>(i) * slope));
-    const int64_t lo = std::clamp<int64_t>(center - band, 0, last_col);
-    int64_t hi = std::clamp<int64_t>(center + band, 0, last_col);
-    if (i + 1 < n) {
-      const int64_t next_lo = LoAt(i + 1);
-      if (next_lo - 1 > hi) hi = next_lo - 1;
-    } else {
-      hi = last_col;
-    }
-    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
-  }
-};
-
-// Routes to the integer fast path when the band is square (n == m); the
-// generalized scaled-diagonal range produces identical ranges there, just
-// with more arithmetic per row.
-template <typename CellCostFn>
-double BandedDistance(size_t n, size_t m, size_t band, CellCostFn&& cell_cost,
-                      double abandon_above, DtwBuffer* buffer,
-                      uint64_t* cells);
-
-BandRowRange MakeBandRowRange(size_t n, size_t m, size_t band) {
-  BandRowRange range;
-  range.n = n;
-  range.last_col = static_cast<int64_t>(m) - 1;
-  range.band = static_cast<int64_t>(band);
-  range.slope = n > 1 ? static_cast<double>(m - 1) / static_cast<double>(n - 1)
-                      : 0.0;
-  return range;
-}
-
-// Equal-length Sakoe–Chiba band: pure integer clamping, no rounding. The
-// all-pairs experiments hit this path, so it matters that it is branch-lean.
-struct SquareBandRowRange {
-  size_t band;
-  size_t last_col;
-  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
-    const size_t lo = i > band ? i - band : 0;
-    const size_t hi = i + band < last_col ? i + band : last_col;
-    return {static_cast<uint32_t>(lo), static_cast<uint32_t>(hi)};
-  }
-};
-
-struct WindowRowRange {
-  const WarpingWindow* window;
-  std::pair<uint32_t, uint32_t> operator()(size_t i) const {
-    const WarpingWindow::ColRange& r = window->range(i);
-    return {r.lo, r.hi};
-  }
-};
 
 template <typename CellCostFn>
 double BandedDistance(size_t n, size_t m, size_t band, CellCostFn&& cell_cost,
-                      double abandon_above, DtwBuffer* buffer,
+                      double abandon_above, DtwWorkspace* workspace,
                       uint64_t* cells) {
-  if (n == m) {
-    return DistanceEngine(n, m, SquareBandRowRange{band, m - 1}, cell_cost,
-                          abandon_above, buffer, cells);
-  }
-  return DistanceEngine(n, m, MakeBandRowRange(n, m, band), cell_cost,
-                        abandon_above, buffer, cells);
-}
-
-// 1-D local cost bound to two spans.
-template <typename Cost>
-struct SeriesCellCost {
-  const double* x;
-  const double* y;
-  Cost cost;
-  double operator()(size_t i, size_t j) const { return cost(x[i], y[j]); }
-};
-
-// Multichannel (dependent) local cost: sum of per-channel costs.
-template <typename Cost>
-struct MultiCellCost {
-  const MultiSeries* x;
-  const MultiSeries* y;
-  Cost cost;
-  double operator()(size_t i, size_t j) const {
-    double sum = 0.0;
-    for (size_t c = 0; c < x->num_channels(); ++c) {
-      sum += cost(x->at(c, i), y->at(c, j));
-    }
-    return sum;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Path-recovering engine.
-//
-// Materializes the cumulative-cost value of every window cell (flattened
-// row-major with per-row offsets), then walks back from (n-1, m-1) along
-// minimal predecessors. Ties prefer the diagonal step, which yields the
-// shortest optimal path.
-template <typename CellCostFn>
-DtwResult PathEngine(size_t n, size_t m, const WarpingWindow& window,
-                     CellCostFn&& cell_cost) {
-  WARP_CHECK(window.rows() == n && window.cols() == m);
-  std::string error;
-  WARP_CHECK_MSG(window.Validate(&error), error.c_str());
-
-  std::vector<uint64_t> offsets(n + 1, 0);
-  for (size_t i = 0; i < n; ++i) {
-    const auto& r = window.range(i);
-    offsets[i + 1] = offsets[i] + (r.hi - r.lo + 1);
-  }
-  std::vector<double> cumulative(offsets[n]);
-  WARP_COUNT_ADD(obs::Counter::kPathEngineCells, offsets[n]);
-  WARP_COUNT_ADD(obs::Counter::kPathEngineBytes,
-                 offsets[n] * sizeof(double) +
-                     (n + 1) * sizeof(uint64_t));
-
-  auto value_at = [&](size_t i, size_t j) -> double {
-    const auto& r = window.range(i);
-    if (j < r.lo || j > r.hi) return kInf;
-    return cumulative[offsets[i] + (j - r.lo)];
-  };
-
-  for (size_t i = 0; i < n; ++i) {
-    const auto& r = window.range(i);
-    for (size_t j = r.lo; j <= r.hi; ++j) {
-      double best;
-      if (i == 0 && j == 0) {
-        best = 0.0;
-      } else {
-        best = kInf;
-        if (i > 0 && j > 0) best = value_at(i - 1, j - 1);
-        if (i > 0) best = std::min(best, value_at(i - 1, j));
-        if (j > 0) best = std::min(best, value_at(i, j - 1));
-      }
-      cumulative[offsets[i] + (j - r.lo)] = best + cell_cost(i, j);
-    }
-  }
-
-  DtwResult result;
-  result.distance = value_at(n - 1, m - 1);
-  result.cells_visited = offsets[n];
-  WARP_CHECK_MSG(std::isfinite(result.distance),
-                 "window admits no complete warping path");
-
-  // Traceback.
-  size_t i = n - 1;
-  size_t j = m - 1;
-  result.path.Append(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
-  while (i != 0 || j != 0) {
-    double best = kInf;
-    int move = -1;  // 0 = diagonal, 1 = up, 2 = left.
-    if (i > 0 && j > 0) {
-      best = value_at(i - 1, j - 1);
-      move = 0;
-    }
-    if (i > 0) {
-      const double up = value_at(i - 1, j);
-      if (up < best) {
-        best = up;
-        move = 1;
-      }
-    }
-    if (j > 0) {
-      const double left = value_at(i, j - 1);
-      if (left < best) {
-        best = left;
-        move = 2;
-      }
-    }
-    WARP_CHECK_MSG(move >= 0 && std::isfinite(best),
-                   "traceback hit an unreachable cell");
-    if (move == 0) {
-      --i;
-      --j;
-    } else if (move == 1) {
-      --i;
-    } else {
-      --j;
-    }
-    result.path.Append(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
-  }
-  result.path.Reverse();
-#ifndef NDEBUG
-  // Debug-build invariant oracle hooks: the recovered alignment must be a
-  // legal warping path, stay inside the window it was searched in, and
-  // cost exactly what the DP reported.
-  std::string path_error;
-  WARP_CHECK_MSG(result.path.Validate(n, m, &path_error), path_error.c_str());
-  for (const PathPoint& p : result.path.points()) {
-    WARP_DCHECK(window.Contains(p.i, p.j));
-  }
-#endif
-  return result;
+  return dp::BandedTwoRowEngine(
+      n, m, band, dp::MinPlusPolicy<CellCostFn>{cell_cost}, abandon_above,
+      workspace, DtwCounters(cells));
 }
 
 }  // namespace
@@ -319,14 +43,14 @@ DtwResult PathEngine(size_t n, size_t m, const WarpingWindow& window,
 // Unconstrained DTW.
 
 double DtwDistance(std::span<const double> x, std::span<const double> y,
-                   CostKind cost, uint64_t* cells) {
+                   CostKind cost, uint64_t* cells, DtwWorkspace* workspace) {
   WARP_CHECK(!x.empty() && !y.empty());
   const size_t band = std::max(x.size(), y.size());
   return WithCost(cost, [&](auto c) {
     return BandedDistance(
         x.size(), y.size(), band,
-        SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, kInf, nullptr,
-        cells);
+        dp::SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, kInf,
+        workspace, cells);
   });
 }
 
@@ -339,20 +63,20 @@ DtwResult Dtw(std::span<const double> x, std::span<const double> y,
 // Sakoe–Chiba constrained DTW.
 
 double CdtwDistance(std::span<const double> x, std::span<const double> y,
-                    size_t band, CostKind cost, DtwBuffer* buffer,
+                    size_t band, CostKind cost, DtwWorkspace* buffer,
                     uint64_t* cells) {
   WARP_CHECK(!x.empty() && !y.empty());
   return WithCost(cost, [&](auto c) {
     return BandedDistance(
         x.size(), y.size(), band,
-        SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, kInf, buffer,
+        dp::SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, kInf, buffer,
         cells);
   });
 }
 
 double CdtwDistanceFraction(std::span<const double> x,
                             std::span<const double> y, double fraction,
-                            CostKind cost, DtwBuffer* buffer) {
+                            CostKind cost, DtwWorkspace* buffer) {
   WARP_CHECK(fraction >= 0.0);
   const size_t longest = std::max(x.size(), y.size());
   const size_t band = static_cast<size_t>(
@@ -363,12 +87,12 @@ double CdtwDistanceFraction(std::span<const double> x,
 double CdtwDistanceAbandoning(std::span<const double> x,
                               std::span<const double> y, size_t band,
                               double abandon_above, CostKind cost,
-                              DtwBuffer* buffer) {
+                              DtwWorkspace* buffer) {
   WARP_CHECK(!x.empty() && !y.empty());
   return WithCost(cost, [&](auto c) {
     return BandedDistance(
         x.size(), y.size(), band,
-        SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, abandon_above,
+        dp::SeriesCellCost<decltype(c)>{x.data(), y.data(), c}, abandon_above,
         buffer, nullptr);
   });
 }
@@ -376,7 +100,7 @@ double CdtwDistanceAbandoning(std::span<const double> x,
 double PrunedCdtwDistance(std::span<const double> x,
                           std::span<const double> y, size_t band,
                           CostKind cost, double upper_bound,
-                          DtwBuffer* buffer, uint64_t* cells) {
+                          DtwWorkspace* buffer, uint64_t* cells) {
   WARP_CHECK(!x.empty());
   WARP_CHECK_MSG(x.size() == y.size(),
                  "PrunedDTW requires equal lengths (the Euclidean upper "
@@ -389,79 +113,16 @@ double PrunedCdtwDistance(std::span<const double> x,
   // only weakens pruning, never correctness.
   ub += 1e-9 * (std::fabs(ub) + 1.0);
 
-  return WithCost(cost, [&](auto c) -> double {
-    DtwBuffer local;
-    DtwBuffer* buf = buffer != nullptr ? buffer : &local;
-    buf->prev.assign(n + 1, kInf);
-    buf->cur.assign(n + 1, kInf);
-    double* prev = buf->prev.data();
-    double* cur = buf->cur.data();
-    prev[0] = 0.0;
-
-    // sc: first column of the previous row whose value stayed <= ub (no
-    // cheaper-than-ub path enters this row left of it). limit: one past
-    // the previous row's last under-bound column; beyond it cells are
-    // reachable only through a live horizontal chain.
-    size_t sc = 0;
-    size_t prev_last_under = n;  // Row -1 imposes no limit on row 0.
-    uint64_t visited = 0;
-    uint64_t skipped = 0;  // Band cells pruning never touched.
-    for (size_t i = 0; i < n; ++i) {
-      const size_t blo = i > band ? i - band : 0;
-      const size_t bhi = std::min(n - 1, i + band);
-      const size_t beg = std::max(blo, sc);
-      const size_t limit =
-          i == 0 ? bhi : std::min(bhi, prev_last_under + 1);
-
-      cur[beg] = kInf;  // Virtual D(i, beg-1): pruned or out of band.
-      double left = kInf;
-      double diag = prev[beg];
-      bool found = false;
-      size_t first_under = 0;
-      size_t last_under = 0;
-      size_t j = beg;
-      for (; j <= bhi; ++j) {
-        if (j > limit && left > ub) break;  // Nothing can reach further.
-        const double up = prev[j + 1];
-        double best = diag;
-        if (up < best) best = up;
-        if (left < best) best = left;
-        const double value = best + c(x[i], y[j]);
-        cur[j + 1] = value;
-        diag = up;
-        left = value;
-        ++visited;
-        if (value <= ub) {
-          if (!found) {
-            first_under = j;
-            found = true;
-          }
-          last_under = j;
-        }
-      }
-      skipped += (bhi - blo + 1) - (j - beg);
-      if (!found) {
-        // Cannot happen when ub really upper-bounds the optimum (the
-        // optimal path crosses every row with prefix <= ub); defend
-        // against a caller-supplied bound that was too tight.
-        if (cells != nullptr) *cells = visited;
-        WARP_COUNT_ADD(obs::Counter::kPrunedDtwCells, visited);
-        WARP_COUNT_ADD(obs::Counter::kPrunedDtwCellsSkipped, skipped);
-        return kInf;
-      }
-      // Stale-cell discipline: the next row may read one column past what
-      // this row wrote.
-      const size_t explored_hi = j > beg ? j - 1 : beg;
-      const size_t next_bhi = std::min(n - 1, i + 1 + band);
-      for (size_t k = explored_hi + 2; k <= next_bhi + 1; ++k) cur[k] = kInf;
-      std::swap(prev, cur);
-      sc = first_under;
-      prev_last_under = last_under;
-    }
-    if (cells != nullptr) *cells = visited;
-    WARP_COUNT_ADD(obs::Counter::kPrunedDtwCells, visited);
-    WARP_COUNT_ADD(obs::Counter::kPrunedDtwCellsSkipped, skipped);
-    return prev[n];
+  dp::EngineCounters counters;
+  counters.cells = obs::Counter::kPrunedDtwCells;
+  counters.skipped = obs::Counter::kPrunedDtwCellsSkipped;
+  counters.cells_out = cells;
+  return WithCost(cost, [&](auto c) {
+    return dp::TwoRowEngine(
+        n, n, dp::SquareBandRowRange{band, n - 1},
+        dp::MinPlusPolicy<dp::SeriesCellCost<decltype(c)>>{
+            {x.data(), y.data(), c}},
+        kInf, buffer, counters, dp::BandPruner(ub, n));
   });
 }
 
@@ -477,13 +138,15 @@ DtwResult Cdtw(std::span<const double> x, std::span<const double> y,
 double WindowedDtwDistance(std::span<const double> x,
                            std::span<const double> y,
                            const WarpingWindow& window, CostKind cost,
-                           DtwBuffer* buffer, uint64_t* cells) {
+                           DtwWorkspace* buffer, uint64_t* cells) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(window.rows() == x.size() && window.cols() == y.size());
   return WithCost(cost, [&](auto c) {
-    return DistanceEngine(x.size(), y.size(), WindowRowRange{&window},
-                          SeriesCellCost<decltype(c)>{x.data(), y.data(), c},
-                          kInf, buffer, cells);
+    return dp::TwoRowEngine(
+        x.size(), y.size(), dp::WindowRowRange{&window},
+        dp::MinPlusPolicy<dp::SeriesCellCost<decltype(c)>>{
+            {x.data(), y.data(), c}},
+        kInf, buffer, DtwCounters(cells));
   });
 }
 
@@ -491,8 +154,26 @@ DtwResult WindowedDtw(std::span<const double> x, std::span<const double> y,
                       const WarpingWindow& window, CostKind cost) {
   WARP_CHECK(!x.empty() && !y.empty());
   return WithCost(cost, [&](auto c) {
-    return PathEngine(x.size(), y.size(), window,
-                      SeriesCellCost<decltype(c)>{x.data(), y.data(), c});
+    dp::MaterializedResult dp_result = dp::MaterializedDp(
+        x.size(), y.size(), window,
+        dp::SeriesCellCost<decltype(c)>{x.data(), y.data(), c},
+        obs::Counter::kPathEngineCells, obs::Counter::kPathEngineBytes);
+    DtwResult result;
+    result.distance = dp_result.distance;
+    result.cells_visited = dp_result.cells_visited;
+    result.path = WarpingPath(std::move(dp_result.path));
+#ifndef NDEBUG
+    // Debug-build invariant oracle hooks: the recovered alignment must be
+    // a legal warping path, stay inside the window it was searched in,
+    // and cost exactly what the DP reported.
+    std::string path_error;
+    WARP_CHECK_MSG(result.path.Validate(x.size(), y.size(), &path_error),
+                   path_error.c_str());
+    for (const PathPoint& p : result.path.points()) {
+      WARP_DCHECK(window.Contains(p.i, p.j));
+    }
+#endif
+    return result;
   });
 }
 
@@ -550,20 +231,20 @@ double MultiDtwDistance(const MultiSeries& x, const MultiSeries& y,
   const size_t band = std::max(x.length(), y.length());
   return WithCost(cost, [&](auto c) {
     return BandedDistance(x.length(), y.length(), band,
-                          MultiCellCost<decltype(c)>{&x, &y, c}, kInf,
+                          dp::MultiCellCost<decltype(c)>{&x, &y, c}, kInf,
                           nullptr, cells);
   });
 }
 
 double MultiCdtwDistance(const MultiSeries& x, const MultiSeries& y,
-                         size_t band, CostKind cost, DtwBuffer* buffer,
+                         size_t band, CostKind cost, DtwWorkspace* buffer,
                          uint64_t* cells) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(x.num_channels() == y.num_channels());
   return WithCost(cost, [&](auto c) {
     return BandedDistance(x.length(), y.length(), band,
-                          MultiCellCost<decltype(c)>{&x, &y, c}, kInf, buffer,
-                          cells);
+                          dp::MultiCellCost<decltype(c)>{&x, &y, c}, kInf,
+                          buffer, cells);
   });
 }
 
@@ -572,8 +253,23 @@ DtwResult MultiWindowedDtw(const MultiSeries& x, const MultiSeries& y,
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(x.num_channels() == y.num_channels());
   return WithCost(cost, [&](auto c) {
-    return PathEngine(x.length(), y.length(), window,
-                      MultiCellCost<decltype(c)>{&x, &y, c});
+    dp::MaterializedResult dp_result = dp::MaterializedDp(
+        x.length(), y.length(), window,
+        dp::MultiCellCost<decltype(c)>{&x, &y, c},
+        obs::Counter::kPathEngineCells, obs::Counter::kPathEngineBytes);
+    DtwResult result;
+    result.distance = dp_result.distance;
+    result.cells_visited = dp_result.cells_visited;
+    result.path = WarpingPath(std::move(dp_result.path));
+#ifndef NDEBUG
+    std::string path_error;
+    WARP_CHECK_MSG(result.path.Validate(x.length(), y.length(), &path_error),
+                   path_error.c_str());
+    for (const PathPoint& p : result.path.points()) {
+      WARP_DCHECK(window.Contains(p.i, p.j));
+    }
+#endif
+    return result;
   });
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "warp/core/cost.h"
+#include "warp/core/dp_engine.h"
 #include "warp/core/warping_path.h"
 #include "warp/core/window.h"
 #include "warp/ts/multi_series.h"
@@ -37,21 +38,21 @@ struct DtwResult {
   uint64_t cells_visited = 0;
 };
 
-// Reusable scratch space for the distance-only kernels. Passing the same
-// buffer across calls in a tight loop avoids one allocation per call.
-struct DtwBuffer {
-  std::vector<double> prev;
-  std::vector<double> cur;
-};
+// Historical name for the engine's reusable scratch space (see
+// DtwWorkspace in dp_engine.h). Passing the same workspace across calls
+// in a tight loop makes the steady state allocation-free.
+using DtwBuffer = DtwWorkspace;
 
 // ---------------------------------------------------------------------------
 // Unconstrained (Full) DTW.
 
 // Distance only; O(min) memory. `cells` (optional) receives the number of
-// DP cells evaluated.
+// DP cells evaluated; `workspace` (optional) reuses scratch rows across
+// calls.
 double DtwDistance(std::span<const double> x, std::span<const double> y,
                    CostKind cost = CostKind::kSquared,
-                   uint64_t* cells = nullptr);
+                   uint64_t* cells = nullptr,
+                   DtwWorkspace* workspace = nullptr);
 
 // Distance and optimal warping path; O(n*m) memory.
 DtwResult Dtw(std::span<const double> x, std::span<const double> y,

@@ -1,116 +1,54 @@
 #include "warp/core/elastic.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
-
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
 
 namespace warp {
 
 size_t LcssLength(std::span<const double> x, std::span<const double> y,
-                  double epsilon, size_t band) {
+                  double epsilon, size_t band, DtwWorkspace* workspace) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(epsilon >= 0.0);
-  const size_t n = x.size();
-  const size_t m = y.size();
 
-  // Two-row DP over match lengths; cells outside the band stay at the
-  // running maximum of their row prefix (standard banded-LCSS semantics:
-  // matches are only allowed inside the band, carries are free).
-  std::vector<size_t> prev(m + 1, 0);
-  std::vector<size_t> cur(m + 1, 0);
-  for (size_t i = 0; i < n; ++i) {
-    cur[0] = 0;
-    for (size_t j = 0; j < m; ++j) {
-      const size_t dev = i > j ? i - j : j - i;
-      if (dev <= band && std::fabs(x[i] - y[j]) <= epsilon) {
-        cur[j + 1] = prev[j] + 1;
-      } else {
-        cur[j + 1] = std::max(prev[j + 1], cur[j]);
-      }
-    }
-    std::swap(prev, cur);
-  }
-  return prev[m];
+  // Max-DP over match counts, run in the engine's double rows (counts are
+  // small non-negative integers, exact in double). Cells outside the band
+  // stay at the running maximum of their row prefix (standard banded-LCSS
+  // semantics: matches are only allowed inside the band, carries are
+  // free), so the policy gates the band instead of the row range.
+  const double length = dp::TwoRowEngine(
+      x.size(), y.size(), dp::FullRowRange{y.size() - 1},
+      dp::LcssPolicy{x.data(), y.data(), epsilon, band}, dp::kInf, workspace);
+  return static_cast<size_t>(length);
 }
 
 double LcssDistance(std::span<const double> x, std::span<const double> y,
-                    double epsilon, size_t band) {
-  const size_t lcss = LcssLength(x, y, epsilon, band);
+                    double epsilon, size_t band, DtwWorkspace* workspace) {
+  const size_t lcss = LcssLength(x, y, epsilon, band, workspace);
   const size_t shortest = std::min(x.size(), y.size());
   return 1.0 - static_cast<double>(lcss) / static_cast<double>(shortest);
 }
 
 double ErpDistance(std::span<const double> x, std::span<const double> y,
-                   double gap_value) {
+                   double gap_value, DtwWorkspace* workspace) {
   WARP_CHECK(!x.empty() && !y.empty());
-  const size_t n = x.size();
-  const size_t m = y.size();
-
-  // D(i, -1) = sum of |x[0..i] - g| (everything gapped), likewise the
-  // first row; interior is the three-way edit recurrence on L1 costs.
-  std::vector<double> prev(m + 1, 0.0);
-  std::vector<double> cur(m + 1, 0.0);
-  for (size_t j = 0; j < m; ++j) {
-    prev[j + 1] = prev[j] + std::fabs(y[j] - gap_value);
-  }
-  double left_boundary = 0.0;  // D(i-1, -1).
-  for (size_t i = 0; i < n; ++i) {
-    cur[0] = left_boundary + std::fabs(x[i] - gap_value);
-    for (size_t j = 0; j < m; ++j) {
-      const double match = prev[j] + std::fabs(x[i] - y[j]);
-      const double gap_x = prev[j + 1] + std::fabs(x[i] - gap_value);
-      const double gap_y = cur[j] + std::fabs(y[j] - gap_value);
-      cur[j + 1] = std::min({match, gap_x, gap_y});
-    }
-    left_boundary = cur[0];
-    std::swap(prev, cur);
-  }
-  return prev[m];
+  // Boundaries are gap prefix sums — D(i, -1) accumulates |x[0..i] - g|
+  // across rows inside the (stateful) policy, D(-1, j) is the top-row
+  // prefix of |y[0..j] - g|; interior is the three-way edit recurrence on
+  // L1 costs.
+  return dp::TwoRowEngine(x.size(), y.size(),
+                          dp::FullRowRange{y.size() - 1},
+                          dp::ErpPolicy{x.data(), y.data(), gap_value},
+                          dp::kInf, workspace);
 }
-
-namespace {
-
-// MSM's split/merge cost: moving `value` next to `adjacent` when the
-// opposite series sits at `opposite`. Free-of-extras (just c) when value
-// lies between them, otherwise c plus the distance to the nearer one.
-double MsmCost(double value, double adjacent, double opposite, double c) {
-  if ((adjacent <= value && value <= opposite) ||
-      (adjacent >= value && value >= opposite)) {
-    return c;
-  }
-  return c + std::min(std::fabs(value - adjacent),
-                      std::fabs(value - opposite));
-}
-
-}  // namespace
 
 double MsmDistance(std::span<const double> x, std::span<const double> y,
-                   double split_merge_cost) {
+                   double split_merge_cost, DtwWorkspace* workspace) {
   WARP_CHECK(!x.empty() && !y.empty());
   WARP_CHECK(split_merge_cost >= 0.0);
-  const size_t n = x.size();
-  const size_t m = y.size();
-  const double c = split_merge_cost;
-
-  std::vector<double> prev(m);
-  std::vector<double> cur(m);
-  prev[0] = std::fabs(x[0] - y[0]);
-  for (size_t j = 1; j < m; ++j) {
-    prev[j] = prev[j - 1] + MsmCost(y[j], y[j - 1], x[0], c);
-  }
-  for (size_t i = 1; i < n; ++i) {
-    cur[0] = prev[0] + MsmCost(x[i], x[i - 1], y[0], c);
-    for (size_t j = 1; j < m; ++j) {
-      const double match = prev[j - 1] + std::fabs(x[i] - y[j]);
-      const double split_x = prev[j] + MsmCost(x[i], x[i - 1], y[j], c);
-      const double merge_y = cur[j - 1] + MsmCost(y[j], y[j - 1], x[i], c);
-      cur[j] = std::min({match, split_x, merge_y});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[m - 1];
+  return dp::TwoRowEngine(
+      x.size(), y.size(), dp::FullRowRange{y.size() - 1},
+      dp::MsmPolicy{x.data(), y.data(), split_merge_cost}, dp::kInf,
+      workspace);
 }
 
 }  // namespace warp

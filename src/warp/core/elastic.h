@@ -25,31 +25,40 @@
 
 namespace warp {
 
+struct DtwWorkspace;
+
+// All three run on the shared two-row engine (warp/core/dp_engine.h);
+// the optional workspace reuses scratch rows across calls.
+
 // ---------------------------------------------------------------------------
 // LCSS.
 
 // Length of the longest common subsequence where x[i] matches y[j] iff
 // |x[i] - y[j]| <= epsilon and |i - j| <= band.
 size_t LcssLength(std::span<const double> x, std::span<const double> y,
-                  double epsilon, size_t band);
+                  double epsilon, size_t band,
+                  DtwWorkspace* workspace = nullptr);
 
 // The standard LCSS distance: 1 - LCSS / min(n, m), in [0, 1].
 double LcssDistance(std::span<const double> x, std::span<const double> y,
-                    double epsilon, size_t band);
+                    double epsilon, size_t band,
+                    DtwWorkspace* workspace = nullptr);
 
 // ---------------------------------------------------------------------------
 // ERP. L1-based; `gap_value` (g) is the reference a gapped element is
 // charged against (0 for z-normalized data is the standard choice).
 
 double ErpDistance(std::span<const double> x, std::span<const double> y,
-                   double gap_value = 0.0);
+                   double gap_value = 0.0,
+                   DtwWorkspace* workspace = nullptr);
 
 // ---------------------------------------------------------------------------
 // MSM. `split_merge_cost` (c) is the price of duplicating or merging a
 // point; typical grid 0.01 .. 100 in the classification literature.
 
 double MsmDistance(std::span<const double> x, std::span<const double> y,
-                   double split_merge_cost = 1.0);
+                   double split_merge_cost = 1.0,
+                   DtwWorkspace* workspace = nullptr);
 
 }  // namespace warp
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/core/fastdtw_common.h"
 #include "warp/obs/metrics.h"
 #include "warp/ts/paa.h"
 
@@ -10,18 +11,11 @@ namespace warp {
 
 namespace {
 
-// The reference implementation bottoms out when either series is shorter
-// than radius + 2 (so the expanded window at the next level would already
-// cover everything interesting).
-bool AtBaseCase(size_t n, size_t m, size_t radius) {
-  return n < radius + 2 || m < radius + 2;
-}
-
 DtwResult FastDtwRecursive(std::span<const double> x,
                            std::span<const double> y, size_t radius,
                            CostKind cost) {
   WARP_COUNT(obs::Counter::kFastDtwLevels);
-  if (AtBaseCase(x.size(), y.size(), radius)) {
+  if (AtFastDtwBaseCase(x.size(), y.size(), radius)) {
     WARP_COUNT(obs::Counter::kFastDtwBaseCases);
     return Dtw(x, y, cost);
   }
@@ -36,19 +30,10 @@ DtwResult FastDtwRecursive(std::span<const double> x,
   return refined;
 }
 
-MultiSeries HalveMultiByTwo(const MultiSeries& series) {
-  std::vector<std::vector<double>> channels;
-  channels.reserve(series.num_channels());
-  for (size_t c = 0; c < series.num_channels(); ++c) {
-    channels.push_back(HalveByTwo(series.channel(c)));
-  }
-  return MultiSeries(std::move(channels), series.label());
-}
-
 DtwResult MultiFastDtwRecursive(const MultiSeries& x, const MultiSeries& y,
                                 size_t radius, CostKind cost) {
   WARP_COUNT(obs::Counter::kFastDtwLevels);
-  if (AtBaseCase(x.length(), y.length(), radius)) {
+  if (AtFastDtwBaseCase(x.length(), y.length(), radius)) {
     WARP_COUNT(obs::Counter::kFastDtwBaseCases);
     return MultiWindowedDtw(x, y, WarpingWindow::Full(x.length(), y.length()),
                             cost);

@@ -1,0 +1,43 @@
+// Helpers shared by the two FastDTW implementations (the library's
+// optimized fastdtw.cc and the published-package port in
+// fastdtw_reference.cc). Both recursions must agree on exactly two
+// things for their cell-count comparisons to be apples-to-apples:
+//
+//   * the base-case cutoff — recursion bottoms out when either series is
+//     shorter than radius + 2, the reference package's min_time_size; and
+//   * the coarsening step — PAA by 2 applied per channel.
+//
+// Keeping them here (and only here) makes any future divergence a
+// compile-visible edit rather than a silent drift between the files.
+
+#ifndef WARP_CORE_FASTDTW_COMMON_H_
+#define WARP_CORE_FASTDTW_COMMON_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "warp/ts/multi_series.h"
+#include "warp/ts/paa.h"
+
+namespace warp {
+
+// True when the recursion must run an exact DP instead of recursing: the
+// expanded window at the next level would already cover everything.
+inline bool AtFastDtwBaseCase(size_t n, size_t m, size_t radius) {
+  return n < radius + 2 || m < radius + 2;
+}
+
+// Channel-wise PAA-by-2 coarsening for multivariate series.
+inline MultiSeries HalveMultiByTwo(const MultiSeries& series) {
+  std::vector<std::vector<double>> channels;
+  channels.reserve(series.num_channels());
+  for (size_t c = 0; c < series.num_channels(); ++c) {
+    channels.push_back(HalveByTwo(series.channel(c)));
+  }
+  return MultiSeries(std::move(channels), series.label());
+}
+
+}  // namespace warp
+
+#endif  // WARP_CORE_FASTDTW_COMMON_H_

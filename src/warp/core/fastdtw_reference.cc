@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
+#include "warp/core/fastdtw_common.h"
+#include "warp/core/window.h"
 #include "warp/obs/metrics.h"
 #include "warp/ts/paa.h"
 
@@ -104,15 +107,21 @@ DtwResult WindowedDtwReference(size_t n, size_t m,
   return result;
 }
 
-std::vector<Cell> FullWindow(size_t n, size_t m) {
-  std::vector<Cell> window;
-  window.reserve(n * m);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) {
-      window.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j)});
-    }
-  }
-  return window;
+// Base case: the full n x m matrix. A dense DP over the full window with
+// the reference tie order reproduces the hash-map DP exactly — cumulative
+// values are order-independent, and traceback-by-value re-derives the
+// same first-minimal parent each forward pointer would have recorded — so
+// the base case runs on the shared materialized engine instead.
+template <typename CellCostFn>
+DtwResult FullMatrixReferenceDtw(size_t n, size_t m, CellCostFn&& cell_cost) {
+  auto dp_result = dp::MaterializedDp<dp::ReferenceTie>(
+      n, m, WarpingWindow::Full(n, m), cell_cost,
+      obs::Counter::kFastDtwRefCells);
+  DtwResult result;
+  result.distance = dp_result.distance;
+  result.cells_visited = dp_result.cells_visited;
+  result.path = WarpingPath(std::move(dp_result.path));
+  return result;
 }
 
 // The package's __expand_window, structure preserved: a hash set of path
@@ -188,15 +197,13 @@ std::vector<Cell> ExpandWindowReference(const WarpingPath& path, size_t n,
 template <typename Cost>
 DtwResult ReferenceFastDtw1D(std::vector<double> x, std::vector<double> y,
                              size_t radius, Cost cost) {
-  const size_t min_time_size = radius + 2;
   auto cell_cost = [&x, &y, cost](size_t i, size_t j) {
     return cost(x[i], y[j]);
   };
   WARP_COUNT(obs::Counter::kFastDtwRefLevels);
-  if (x.size() < min_time_size || y.size() < min_time_size) {
+  if (AtFastDtwBaseCase(x.size(), y.size(), radius)) {
     WARP_COUNT(obs::Counter::kFastDtwRefBaseCases);
-    return WindowedDtwReference(x.size(), y.size(),
-                                FullWindow(x.size(), y.size()), cell_cost);
+    return FullMatrixReferenceDtw(x.size(), y.size(), cell_cost);
   }
   std::vector<double> x_shrunk = HalveByTwo(x);
   std::vector<double> y_shrunk = HalveByTwo(y);
@@ -210,19 +217,9 @@ DtwResult ReferenceFastDtw1D(std::vector<double> x, std::vector<double> y,
   return refined;
 }
 
-MultiSeries HalveMulti(const MultiSeries& series) {
-  std::vector<std::vector<double>> channels;
-  channels.reserve(series.num_channels());
-  for (size_t c = 0; c < series.num_channels(); ++c) {
-    channels.push_back(HalveByTwo(series.channel(c)));
-  }
-  return MultiSeries(std::move(channels), series.label());
-}
-
 template <typename Cost>
 DtwResult ReferenceFastDtwMulti(const MultiSeries& x, const MultiSeries& y,
                                 size_t radius, Cost cost) {
-  const size_t min_time_size = radius + 2;
   auto cell_cost = [&x, &y, cost](size_t i, size_t j) {
     double sum = 0.0;
     for (size_t c = 0; c < x.num_channels(); ++c) {
@@ -231,14 +228,12 @@ DtwResult ReferenceFastDtwMulti(const MultiSeries& x, const MultiSeries& y,
     return sum;
   };
   WARP_COUNT(obs::Counter::kFastDtwRefLevels);
-  if (x.length() < min_time_size || y.length() < min_time_size) {
+  if (AtFastDtwBaseCase(x.length(), y.length(), radius)) {
     WARP_COUNT(obs::Counter::kFastDtwRefBaseCases);
-    return WindowedDtwReference(x.length(), y.length(),
-                                FullWindow(x.length(), y.length()),
-                                cell_cost);
+    return FullMatrixReferenceDtw(x.length(), y.length(), cell_cost);
   }
-  const MultiSeries x_shrunk = HalveMulti(x);
-  const MultiSeries y_shrunk = HalveMulti(y);
+  const MultiSeries x_shrunk = HalveMultiByTwo(x);
+  const MultiSeries y_shrunk = HalveMultiByTwo(y);
   const DtwResult low_res =
       ReferenceFastDtwMulti(x_shrunk, y_shrunk, radius, cost);
   const std::vector<Cell> window =

@@ -1,42 +1,28 @@
 #include "warp/core/subsequence_dtw.h"
 
-#include <algorithm>
-#include <limits>
-
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
+#include "warp/core/window.h"
 #include "warp/obs/metrics.h"
 
 namespace warp {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-}  // namespace
-
 double SubsequenceDtwDistance(std::span<const double> query,
                               std::span<const double> series,
-                              CostKind cost) {
+                              CostKind cost,
+                              DtwWorkspace* workspace) {
   WARP_CHECK(!query.empty() && !series.empty());
   const size_t n = query.size();
   const size_t m = series.size();
   WARP_COUNT_ADD(obs::Counter::kSubsequenceCells, n * m);
+  // Free start = a virtual all-zero row above the matrix (row 0 then pays
+  // only its own cell cost); free end = min over the last row.
   return WithCost(cost, [&](auto c) {
-    std::vector<double> prev(m);
-    std::vector<double> cur(m);
-    // Free start: row 0 pays only its own cell (no accumulation along j).
-    for (size_t j = 0; j < m; ++j) prev[j] = c(query[0], series[j]);
-    for (size_t i = 1; i < n; ++i) {
-      cur[0] = prev[0] + c(query[i], series[0]);
-      for (size_t j = 1; j < m; ++j) {
-        const double best =
-            std::min({prev[j - 1], prev[j], cur[j - 1]});
-        cur[j] = best + c(query[i], series[j]);
-      }
-      std::swap(prev, cur);
-    }
-    // Free end: best cost over all ending columns.
-    return *std::min_element(prev.begin(), prev.end());
+    return dp::TwoRowEngine(
+        n, m, dp::FullRowRange{m - 1},
+        dp::FreeEndsMinPlusPolicy<dp::SeriesCellCost<decltype(c)>>{
+            {query.data(), series.data(), c}},
+        dp::kInf, workspace);
   });
 }
 
@@ -49,65 +35,16 @@ SubsequenceAlignment SubsequenceDtw(std::span<const double> query,
   WARP_COUNT_ADD(obs::Counter::kSubsequenceCells, n * m);
 
   return WithCost(cost, [&](auto c) {
-    std::vector<double> d(n * m);
-    auto at = [&](size_t i, size_t j) -> double& { return d[i * m + j]; };
-
-    for (size_t j = 0; j < m; ++j) at(0, j) = c(query[0], series[j]);
-    for (size_t i = 1; i < n; ++i) {
-      at(i, 0) = at(i - 1, 0) + c(query[i], series[0]);
-      for (size_t j = 1; j < m; ++j) {
-        const double best =
-            std::min({at(i - 1, j - 1), at(i - 1, j), at(i, j - 1)});
-        at(i, j) = best + c(query[i], series[j]);
-      }
-    }
+    const WarpingWindow window = WarpingWindow::Full(n, m);
+    auto dp_result = dp::MaterializedDp<dp::PreferDiagonalTie,
+                                        dp::FreeEndsAnchors>(
+        n, m, window,
+        [&](size_t i, size_t j) { return c(query[i], series[j]); });
 
     SubsequenceAlignment result;
-    size_t end = 0;
-    double best = kInf;
-    for (size_t j = 0; j < m; ++j) {
-      if (at(n - 1, j) < best) {
-        best = at(n - 1, j);
-        end = j;
-      }
-    }
-    result.distance = best;
-    result.end = end;
-
-    // Traceback: diagonal-preferring, stopping when row 0 is reached (any
-    // column of row 0 is a legal start).
-    size_t i = n - 1;
-    size_t j = end;
-    result.path.push_back({static_cast<uint32_t>(i),
-                           static_cast<uint32_t>(j)});
-    while (i != 0) {
-      double step_best = kInf;
-      int move = -1;  // 0 diag, 1 up, 2 left.
-      if (j > 0) {
-        step_best = at(i - 1, j - 1);
-        move = 0;
-      }
-      if (at(i - 1, j) < step_best) {
-        step_best = at(i - 1, j);
-        move = 1;
-      }
-      if (j > 0 && at(i, j - 1) < step_best) {
-        step_best = at(i, j - 1);
-        move = 2;
-      }
-      WARP_DCHECK(move >= 0);
-      if (move == 0) {
-        --i;
-        --j;
-      } else if (move == 1) {
-        --i;
-      } else {
-        --j;
-      }
-      result.path.push_back({static_cast<uint32_t>(i),
-                             static_cast<uint32_t>(j)});
-    }
-    std::reverse(result.path.begin(), result.path.end());
+    result.distance = dp_result.distance;
+    result.end = dp_result.end_col;
+    result.path = std::move(dp_result.path);
     result.start = result.path.front().j;
     return result;
   });

@@ -20,6 +20,8 @@
 
 namespace warp {
 
+struct DtwWorkspace;
+
 struct SubsequenceAlignment {
   double distance = 0.0;  // Accumulated cost of the best alignment.
   size_t start = 0;       // First matched index of the long series.
@@ -37,10 +39,12 @@ SubsequenceAlignment SubsequenceDtw(std::span<const double> query,
                                     std::span<const double> series,
                                     CostKind cost = CostKind::kSquared);
 
-// Distance-only variant with O(m) memory.
+// Distance-only variant with O(m) memory. The optional workspace reuses
+// the two scratch rows across calls (see warp/core/dp_engine.h).
 double SubsequenceDtwDistance(std::span<const double> query,
                               std::span<const double> series,
-                              CostKind cost = CostKind::kSquared);
+                              CostKind cost = CostKind::kSquared,
+                              DtwWorkspace* workspace = nullptr);
 
 }  // namespace warp
 

@@ -1,11 +1,10 @@
 #include "warp/core/wdtw.h"
 
 #include <cmath>
-#include <limits>
-#include <utility>
 #include <vector>
 
 #include "warp/common/assert.h"
+#include "warp/core/dp_engine.h"
 
 namespace warp {
 
@@ -22,14 +21,16 @@ std::vector<double> MakeWdtwWeights(size_t n, double g, double w_max) {
 }
 
 double WdtwDistance(std::span<const double> x, std::span<const double> y,
-                    double g, size_t band, CostKind cost) {
+                    double g, size_t band, CostKind cost,
+                    DtwWorkspace* workspace) {
   WARP_CHECK_MSG(x.size() == y.size(),
                  "WDTW requires equal lengths (phase-difference weights)");
   WARP_CHECK(!x.empty());
   const std::vector<double> weights = MakeWdtwWeights(x.size(), g);
 
   // The weighted local cost is a per-cell scale on top of the base cost;
-  // the DP itself is the standard two-row banded recurrence.
+  // the DP itself is the engine's MinPlus recurrence over the square
+  // Sakoe–Chiba band (equal lengths, so the integer fast path applies).
   return WithCost(cost, [&](auto c) {
     struct WeightedCost {
       const double* x;
@@ -41,39 +42,11 @@ double WdtwDistance(std::span<const double> x, std::span<const double> y,
         return weights[phase] * base(x[i], y[j]);
       }
     };
-    const WarpingWindow window =
-        WarpingWindow::SakoeChiba(x.size(), y.size(), band);
-    const size_t n = x.size();
-    const size_t m = y.size();
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    std::vector<double> prev(m + 1, kInf);
-    std::vector<double> cur(m + 1, kInf);
-    prev[0] = 0.0;
     const WeightedCost cell{x.data(), y.data(), weights.data(), c};
-    for (size_t i = 0; i < n; ++i) {
-      const auto& range = window.range(i);
-      cur[range.lo] = kInf;
-      double left = kInf;
-      double diag = prev[range.lo];
-      for (size_t j = range.lo; j <= range.hi; ++j) {
-        const double up = prev[j + 1];
-        double best = diag;
-        if (up < best) best = up;
-        if (left < best) best = left;
-        const double value = best + cell(i, j);
-        cur[j + 1] = value;
-        left = value;
-        diag = up;
-      }
-      // Reset the stale tail of this row's output before it becomes the
-      // next row's predecessor row.
-      if (i + 1 < n) {
-        const auto& next = window.range(i + 1);
-        for (size_t k = range.hi + 2; k <= next.hi + 1; ++k) cur[k] = kInf;
-      }
-      std::swap(prev, cur);
-    }
-    return prev[m];
+    return dp::TwoRowEngine(x.size(), y.size(),
+                            dp::SquareBandRowRange{band, y.size() - 1},
+                            dp::MinPlusPolicy<WeightedCost>{cell}, dp::kInf,
+                            workspace);
   });
 }
 

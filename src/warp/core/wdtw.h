@@ -30,7 +30,8 @@ std::vector<double> MakeWdtwWeights(size_t n, double g = 0.05,
 // Lengths must be equal (the phase difference needs a common index base).
 double WdtwDistance(std::span<const double> x, std::span<const double> y,
                     double g, size_t band,
-                    CostKind cost = CostKind::kSquared);
+                    CostKind cost = CostKind::kSquared,
+                    DtwWorkspace* workspace = nullptr);
 
 }  // namespace warp
 

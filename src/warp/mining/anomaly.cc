@@ -36,7 +36,7 @@ Discord FindTopDiscord(std::span<const double> series, size_t m, size_t band,
 
   Discord best;
   best.nn_distance = -1.0;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (size_t a = 0; a < windows.size(); ++a) {
     if (stats != nullptr) ++stats->candidates;
     double nn = kInf;
@@ -97,7 +97,7 @@ Motif FindTopMotif(std::span<const double> series, size_t m, size_t band,
 
   Motif best;
   best.distance = kInf;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (size_t a = 0; a < windows.size(); ++a) {
     if (stats != nullptr) ++stats->candidates;
     for (size_t b = a + 1; b < windows.size(); ++b) {

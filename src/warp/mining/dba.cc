@@ -18,7 +18,7 @@ double TotalCost(const std::vector<std::vector<double>>& series,
                  const std::vector<double>& average,
                  const DbaOptions& options) {
   double total = 0.0;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (const auto& s : series) {
     total += CdtwDistance(average, s,
                           EffectiveBand(options, average.size()),
@@ -31,7 +31,7 @@ size_t MedoidIndex(const std::vector<std::vector<double>>& series,
                    const DbaOptions& options) {
   size_t best_index = 0;
   double best_sum = std::numeric_limits<double>::infinity();
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (size_t i = 0; i < series.size(); ++i) {
     double sum = 0.0;
     for (size_t j = 0; j < series.size(); ++j) {

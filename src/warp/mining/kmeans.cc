@@ -27,7 +27,7 @@ std::vector<std::vector<double>> SeedCentroids(
     const KMeansOptions& options, Rng& rng) {
   std::vector<std::vector<double>> centroids;
   centroids.push_back(series[rng.UniformInt(series.size())]);
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   while (centroids.size() < options.k) {
     size_t best_index = 0;
     double best_distance = -1.0;
@@ -72,7 +72,7 @@ KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
   std::optional<ThreadPool> pool;
   if (threads > 1 && n > 1) pool.emplace(threads);
   ThreadPool* pool_ptr = pool ? &*pool : nullptr;
-  PerThread<DtwBuffer> buffers(pool_ptr);
+  PerThread<DtwWorkspace> buffers(pool_ptr);
   constexpr size_t kAssignGrain = 4;
 
   std::vector<int> best_cluster(n);
@@ -83,7 +83,7 @@ KMeansResult DtwKMeans(const std::vector<std::vector<double>>& series,
     // the result is bitwise-identical at any thread count.
     ParallelFor(pool_ptr, 0, n, kAssignGrain,
                 [&](size_t chunk_begin, size_t chunk_end, size_t worker) {
-                  DtwBuffer& buffer = buffers[worker];
+                  DtwWorkspace& buffer = buffers[worker];
                   for (size_t i = chunk_begin; i < chunk_end; ++i) {
                     best_cluster[i] = 0;
                     best_distance[i] = kInf;

@@ -210,13 +210,15 @@ AcceleratedNnClassifier::AcceleratedNnClassifier(const Dataset& train,
 
 Prediction AcceleratedNnClassifier::Classify(
     std::span<const double> query, ClassificationStats* stats) const {
-  DtwBuffer buffer;
-  return ClassifyWithBuffer(query, stats, &buffer);
+  // Thread-local so repeated queries from one thread hit warm scratch rows
+  // (allocation-free steady state; see obs::Counter::kWorkspaceAllocs).
+  static thread_local DtwWorkspace workspace;
+  return Classify(query, stats, &workspace);
 }
 
-Prediction AcceleratedNnClassifier::ClassifyWithBuffer(
+Prediction AcceleratedNnClassifier::Classify(
     std::span<const double> query, ClassificationStats* stats,
-    DtwBuffer* buffer) const {
+    DtwWorkspace* buffer) const {
   WARP_CHECK_MSG(query.size() == length_,
                  "query length must match the training set");
   const Envelope query_envelope = ComputeEnvelope(query, band_);
@@ -277,7 +279,7 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
   const Envelope query_envelope = ComputeEnvelope(query, band_);
 
   KBest kbest(k);
-  DtwBuffer buffer;
+  static thread_local DtwWorkspace buffer;
   for (size_t i = 0; i < train_.size(); ++i) {
     if (stats != nullptr) ++stats->candidates;
     WARP_COUNT(obs::Counter::kCascadeCandidates);
@@ -325,15 +327,15 @@ ClassificationStats AcceleratedNnClassifier::Evaluate(const Dataset& test,
 
   // Each chunk accumulates its own cascade counters; the merge below runs
   // in chunk order, so the totals match the serial scan exactly. Each
-  // worker slot reuses one DtwBuffer across all its queries.
+  // worker slot reuses one DtwWorkspace across all its queries.
   std::vector<ClassificationStats> partials(ChunkCount(0, n, kEvalGrain));
-  PerThread<DtwBuffer> buffers(pool_ptr);
+  PerThread<DtwWorkspace> buffers(pool_ptr);
   Stopwatch watch;
   ParallelFor(pool_ptr, 0, n, kEvalGrain,
               [&](size_t chunk_begin, size_t chunk_end, size_t worker) {
                 ClassificationStats local;
                 for (size_t i = chunk_begin; i < chunk_end; ++i) {
-                  const Prediction prediction = ClassifyWithBuffer(
+                  const Prediction prediction = Classify(
                       test[i].view(), &local, &buffers[worker]);
                   ++local.total;
                   if (prediction.label == test[i].label()) ++local.correct;

@@ -27,7 +27,7 @@
 
 namespace warp {
 
-struct DtwBuffer;
+struct DtwWorkspace;
 
 struct Prediction {
   int label = TimeSeries::kUnlabeled;
@@ -100,8 +100,16 @@ class AcceleratedNnClassifier {
   AcceleratedNnClassifier(const Dataset& train, size_t band,
                           CostKind cost = CostKind::kSquared);
 
+  // Classifies against a thread-local reusable DtwWorkspace, so repeated
+  // queries on one thread allocate nothing in steady state.
   Prediction Classify(std::span<const double> query,
                       ClassificationStats* stats = nullptr) const;
+
+  // As above with a caller-owned workspace (e.g. a PerThread<DtwWorkspace>
+  // slot); the cascade's DTW rung reuses it across candidates.
+  Prediction Classify(std::span<const double> query,
+                      ClassificationStats* stats,
+                      DtwWorkspace* workspace) const;
 
   // Exact accelerated k-NN: the cascade prunes against the k-th best
   // distance so far, so correctness is preserved for any k.
@@ -109,16 +117,13 @@ class AcceleratedNnClassifier {
                          ClassificationStats* stats = nullptr) const;
 
   // threads as for Evaluate1Nn: parallelism is over test queries, each
-  // worker reuses a private DtwBuffer, and the cascade counters are
+  // worker reuses a private DtwWorkspace, and the cascade counters are
   // summed in chunk order — bitwise-identical stats at any thread count.
   ClassificationStats Evaluate(const Dataset& test, size_t threads = 1) const;
 
   size_t band() const { return band_; }
 
  private:
-  Prediction ClassifyWithBuffer(std::span<const double> query,
-                                ClassificationStats* stats,
-                                DtwBuffer* buffer) const;
 
   Dataset train_;
   size_t band_;

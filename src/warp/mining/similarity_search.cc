@@ -55,7 +55,7 @@ SubsequenceMatch FindBestMatch(std::span<const double> haystack,
   SubsequenceMatch best;
   best.distance = kInf;
   std::vector<double> window;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
 
   for (size_t pos = 0; pos < num_windows; ++pos) {
     if (pos > 0) {
@@ -127,7 +127,7 @@ SubsequenceMatch FindBestMatchNaive(std::span<const double> haystack,
   SubsequenceMatch best;
   best.distance = kInf;
   std::vector<double> window;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (size_t pos = 0; pos + m <= haystack.size(); ++pos) {
     if (stats != nullptr) {
       ++stats->windows;

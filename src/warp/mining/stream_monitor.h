@@ -65,7 +65,7 @@ class StreamMonitor {
   size_t ring_head_ = 0;       // Next write slot.
   RunningMeanStd running_;
   std::vector<double> window_; // Scratch: normalized trailing window.
-  DtwBuffer buffer_;
+  DtwWorkspace buffer_;
   Stats stats_;
 };
 

@@ -28,7 +28,7 @@ double LoocvAccuracy(const Dataset& dataset, size_t band, CostKind cost) {
   }
 
   size_t correct = 0;
-  DtwBuffer buffer;
+  DtwWorkspace buffer;
   for (size_t q = 0; q < dataset.size(); ++q) {
     const std::span<const double> query = dataset[q].view();
     double best = kInf;

@@ -45,8 +45,9 @@ namespace obs {
 // stable identifier used in --json output and docs/OBSERVABILITY.md;
 // keep both in sync when adding counters.
 #define WARP_OBS_COUNTER_LIST(X)                          \
-  /* Banded/windowed DP engine (dtw.cc). */               \
+  /* Banded/windowed DP engine (dp_engine.h / dtw.cc). */ \
   X(kDtwCells, "dtw_cells")                               \
+  X(kWorkspaceAllocs, "workspace_allocs")                 \
   X(kDtwEarlyAbandons, "dtw_early_abandons")              \
   X(kPrunedDtwCells, "pruned_dtw_cells")                  \
   X(kPrunedDtwCellsSkipped, "pruned_dtw_cells_skipped")   \

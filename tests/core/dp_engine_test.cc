@@ -1,0 +1,166 @@
+// Engine-level regression tests for warp/core/dp_engine.h: the stale
+// row-tail reset contract and the workspace_allocs steady-state
+// guarantee.
+
+#include "warp/core/dp_engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/common/random.h"
+#include "warp/core/dtw.h"
+#include "warp/gen/gesture.h"
+#include "warp/gen/random_walk.h"
+#include "warp/mining/nn_classifier.h"
+#include "warp/obs/metrics.h"
+
+namespace warp {
+namespace {
+
+// --------------------------------------------------------------------------
+// Stale row-tail reset.
+//
+// The two-row engine reuses its scratch rows across rows and across calls,
+// so any cell the previous row did NOT explore still holds a finite value
+// from two rows back (or from an earlier call on the same workspace). The
+// engine owns resetting that tail to +inf before each row; every kernel
+// that narrows or re-widens its explored range per row depends on it.
+
+// PrunedDTW is the harshest consumer: with a tight upper bound, each row's
+// explored range shrinks below the band, so the next row reads cells past
+// the previous row's last explored column on almost every row. If the
+// engine's pre-row tail reset regresses, those reads pick up stale finite
+// costs from two rows back and the "exact" pruned distance silently
+// diverges from plain cDTW.
+TEST(DpEngineStaleTailTest, PrunedMatchesPlainUnderTightBound) {
+  DtwWorkspace workspace;  // Shared across all calls: maximally stale.
+  uint64_t total_pruned_cells = 0;
+  uint64_t total_plain_cells = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const std::vector<double> x = gen::RandomWalk(128, rng);
+    const std::vector<double> y = gen::RandomWalk(128, rng);
+    for (const size_t band : {size_t{4}, size_t{13}, size_t{128}}) {
+      uint64_t plain_cells = 0;
+      const double plain = CdtwDistance(x, y, band, CostKind::kSquared,
+                                        &workspace, &plain_cells);
+      // The exact distance as the upper bound prunes as hard as an exact
+      // bound can while still being admissible.
+      uint64_t pruned_cells = 0;
+      const double pruned =
+          PrunedCdtwDistance(x, y, band, CostKind::kSquared, plain,
+                             &workspace, &pruned_cells);
+      EXPECT_EQ(pruned, plain) << "seed=" << seed << " band=" << band;
+      total_pruned_cells += pruned_cells;
+      total_plain_cells += plain_cells;
+    }
+  }
+  // The test only has teeth if pruning actually narrowed rows.
+  EXPECT_LT(total_pruned_cells, total_plain_cells);
+}
+
+// Direct re-widening pattern: a window whose rows are narrow, then wide.
+// The wide row's right tail reads prev-row cells the narrow row never
+// wrote; with a workspace deliberately poisoned by a larger earlier call,
+// a missing reset would read the earlier call's finite values.
+TEST(DpEngineStaleTailTest, NarrowThenWideWindowIgnoresPoisonedWorkspace) {
+  Rng rng(7);
+  const std::vector<double> x = gen::RandomWalk(64, rng);
+  const std::vector<double> y = gen::RandomWalk(64, rng);
+
+  DtwWorkspace poisoned;
+  {
+    // Fill the workspace with small finite values: a self-comparison
+    // leaves near-zero cumulative costs in both rows.
+    Rng rng2(8);
+    const std::vector<double> big = gen::RandomWalk(256, rng2);
+    (void)CdtwDistance(big, big, 256, CostKind::kSquared, &poisoned);
+  }
+
+  // Itakura: one cell in the first row, widening toward the middle. Every
+  // widening step reads a prev-row cell outside the previous range.
+  const WarpingWindow window = WarpingWindow::Itakura(64, 64, 2.0);
+  const double fresh = WindowedDtwDistance(x, y, window);
+  const double reused =
+      WindowedDtwDistance(x, y, window, CostKind::kSquared, &poisoned);
+  EXPECT_EQ(reused, fresh);
+
+  // Same property for the banded kernel at a narrow band.
+  const double fresh_band = CdtwDistance(x, y, 3);
+  const double reused_band =
+      CdtwDistance(x, y, 3, CostKind::kSquared, &poisoned);
+  EXPECT_EQ(reused_band, fresh_band);
+}
+
+// --------------------------------------------------------------------------
+// workspace_allocs: every row (re)allocation bumps the counter, and
+// steady-state loops over a reused workspace must be allocation-free.
+
+TEST(DpEngineWorkspaceTest, AllocsFlatAcrossRepeatedCallsOnOneWorkspace) {
+  if (!obs::kProfilingEnabled) GTEST_SKIP() << "profiling disabled";
+  Rng rng(11);
+  const std::vector<double> x = gen::RandomWalk(96, rng);
+  const std::vector<double> y = gen::RandomWalk(96, rng);
+
+  DtwWorkspace workspace;
+  (void)CdtwDistance(x, y, 10, CostKind::kSquared, &workspace);  // Warm up.
+
+  const obs::MetricsSnapshot before = obs::SnapshotCounters();
+  for (int i = 0; i < 50; ++i) {
+    (void)CdtwDistance(x, y, 10, CostKind::kSquared, &workspace);
+    (void)DtwDistance(x, y, CostKind::kSquared, nullptr, &workspace);
+    (void)PrunedCdtwDistance(x, y, 10, CostKind::kSquared, -1.0, &workspace);
+  }
+  const obs::MetricsSnapshot delta = obs::CountersSince(before);
+  EXPECT_EQ(delta.values[static_cast<size_t>(
+                obs::Counter::kWorkspaceAllocs)],
+            0u)
+      << "steady-state distance calls must not reallocate";
+}
+
+TEST(DpEngineWorkspaceTest, GrowthBumpsTheCounterOnce) {
+  if (!obs::kProfilingEnabled) GTEST_SKIP() << "profiling disabled";
+  DtwWorkspace workspace;
+  const obs::MetricsSnapshot before = obs::SnapshotCounters();
+  workspace.PrepareRows(64);
+  workspace.PrepareRows(32);   // Shrink: reuse, no allocation.
+  workspace.PrepareRows(64);   // Back within capacity: no allocation.
+  workspace.PrepareRows(128);  // Growth: one more allocation.
+  const obs::MetricsSnapshot delta = obs::CountersSince(before);
+  EXPECT_EQ(delta.values[static_cast<size_t>(
+                obs::Counter::kWorkspaceAllocs)],
+            2u);
+}
+
+// Repeated 1-NN queries are the flagship steady-state loop: after the
+// first query warms the classifier's thread-local workspace, further
+// queries must not touch the allocator through the DP engine.
+TEST(DpEngineWorkspaceTest, RepeatedNnQueriesStayFlat) {
+  if (!obs::kProfilingEnabled) GTEST_SKIP() << "profiling disabled";
+  gen::GestureOptions options;
+  options.length = 96;
+  options.num_classes = 3;
+  options.seed = 23;
+  const Dataset data = gen::MakeGestureDataset(6, options);
+  const auto [train, test] = data.StratifiedSplit(0.5);
+  const AcceleratedNnClassifier classifier(train, 5);
+
+  for (const TimeSeries& query : test.series()) {
+    (void)classifier.Classify(query.view());  // Warm up.
+  }
+  const obs::MetricsSnapshot before = obs::SnapshotCounters();
+  for (int round = 0; round < 5; ++round) {
+    for (const TimeSeries& query : test.series()) {
+      (void)classifier.Classify(query.view());
+    }
+  }
+  const obs::MetricsSnapshot delta = obs::CountersSince(before);
+  EXPECT_EQ(delta.values[static_cast<size_t>(
+                obs::Counter::kWorkspaceAllocs)],
+            0u)
+      << "steady-state 1-NN queries must be allocation-free in the engine";
+}
+
+}  // namespace
+}  // namespace warp

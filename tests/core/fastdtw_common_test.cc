@@ -1,0 +1,87 @@
+// Tests for the helpers shared by the two FastDTW implementations
+// (warp/core/fastdtw_common.h), plus the admissibility oracle run over
+// BOTH implementations — the optimized recursion and the reference port
+// must each respect FastDTW's contract on the same inputs.
+
+#include "warp/core/fastdtw_common.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/check/exactness_oracle.h"
+#include "warp/common/random.h"
+#include "warp/core/dtw.h"
+#include "warp/core/fastdtw.h"
+#include "warp/core/fastdtw_reference.h"
+#include "warp/gen/random_walk.h"
+#include "warp/ts/paa.h"
+
+namespace warp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(FastDtwCommonTest, BaseCaseCutoffMatchesReferenceRule) {
+  // The reference package bottoms out when either series is shorter than
+  // radius + 2.
+  EXPECT_TRUE(AtFastDtwBaseCase(1, 100, 0));
+  EXPECT_FALSE(AtFastDtwBaseCase(2, 100, 0));
+  EXPECT_TRUE(AtFastDtwBaseCase(100, 11, 10));
+  EXPECT_FALSE(AtFastDtwBaseCase(100, 12, 10));
+  EXPECT_TRUE(AtFastDtwBaseCase(11, 100, 10));
+  EXPECT_FALSE(AtFastDtwBaseCase(12, 12, 10));
+}
+
+TEST(FastDtwCommonTest, HalveMultiByTwoHalvesEveryChannel) {
+  Rng rng(31);
+  const std::vector<double> c0 = gen::RandomWalk(10, rng);
+  const std::vector<double> c1 = gen::RandomWalk(10, rng);
+  const MultiSeries series({c0, c1}, 3);
+  const MultiSeries halved = HalveMultiByTwo(series);
+  EXPECT_EQ(halved.num_channels(), 2u);
+  EXPECT_EQ(halved.length(), 5u);
+  EXPECT_EQ(halved.label(), 3);
+  // Channel-wise PAA by 2, same as the univariate helper.
+  const std::vector<double> expected0 = HalveByTwo(c0);
+  for (size_t i = 0; i < expected0.size(); ++i) {
+    EXPECT_DOUBLE_EQ(halved.at(0, i), expected0[i]);
+  }
+}
+
+// The admissibility contract, checked for both implementations: the
+// approximation never beats exact DTW, returns a valid full-resolution
+// path, and reports the distance its own path actually costs.
+TEST(FastDtwCommonTest, BothImplementationsAreAdmissible) {
+  for (uint64_t seed = 50; seed < 62; ++seed) {
+    Rng rng(seed);
+    const size_t n = 40 + static_cast<size_t>(seed % 5) * 17;
+    const std::vector<double> x = gen::RandomWalk(n, rng);
+    const std::vector<double> y = gen::RandomWalk(n + seed % 3, rng);
+    const double exact = DtwDistance(x, y);
+
+    for (const size_t radius : {size_t{0}, size_t{1}, size_t{4}}) {
+      // Optimized implementation: the library's oracle.
+      std::string error;
+      EXPECT_TRUE(check::CheckFastDtwAdmissible(x, y, radius,
+                                                CostKind::kSquared, kTol,
+                                                &error))
+          << "seed=" << seed << " radius=" << radius << ": " << error;
+
+      // Reference port: the same three properties, checked directly.
+      const DtwResult ref = ReferenceFastDtw(x, y, radius);
+      EXPECT_GE(ref.distance, exact - kTol)
+          << "reference beat exact DTW: seed=" << seed
+          << " radius=" << radius;
+      EXPECT_TRUE(ref.path.IsValid(x.size(), y.size()))
+          << "seed=" << seed << " radius=" << radius;
+      EXPECT_NEAR(ref.path.CostAlong(x, y, CostKind::kSquared),
+                  ref.distance, kTol * (1.0 + ref.distance))
+          << "seed=" << seed << " radius=" << radius;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warp

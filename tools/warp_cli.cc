@@ -25,6 +25,7 @@
 #include "warp/core/elastic.h"
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
+#include "warp/core/measure.h"
 #include "warp/core/wdtw.h"
 #include "warp/mining/hierarchical_clustering.h"
 #include "warp/mining/nn_classifier.h"
@@ -42,8 +43,8 @@ constexpr char kHelp[] = R"(warp_cli — exact and approximate DTW from the comm
 
 COMMANDS
   dist <a> <b>        Distance between two single-series files.
-    --measure=M       ed | cdtw (default) | dtw | fastdtw | fastdtw-ref |
-                      ddtw | wdtw | adtw | lcss | erp | msm
+    --measure=M       any registered measure (default cdtw); run
+                      `warp_cli measures` for the list
     --omega=F         ADTW non-diagonal step penalty (default 0.1)
     --epsilon=F       LCSS match tolerance (default 0.1)
     --gap=F           ERP gap reference value (default 0)
@@ -75,6 +76,9 @@ COMMANDS
                       (default 1; 0 = all cores / WARP_THREADS)
 
   info <data.tsv>     Dataset summary (sizes, classes, length stats).
+
+  measures            List every registered measure with a one-line
+                      summary (the registry in warp/core/measure.h).
 
 GLOBAL FLAGS
   --profile           After the command, print the work-counter report
@@ -177,28 +181,32 @@ int CmdDist(const Args& args) {
   const size_t band = static_cast<size_t>(
       window * static_cast<double>(std::max(a.size(), b.size())) + 0.5);
 
+  // Every distance-only evaluation goes through the measure registry; the
+  // explicit band_cells reproduces this command's historical half-up band
+  // rounding exactly. Path-printing stays special-cased on the four
+  // path-capable measures.
+  MeasureParams params;
+  params.band_cells = static_cast<long>(band);
+  params.cost = cost;
+  params.fastdtw_radius = radius;
+  params.wdtw_g = args.FlagDouble("g", 0.05);
+  params.adtw_omega = args.FlagDouble("omega", 0.1);
+  params.lcss_epsilon = args.FlagDouble("epsilon", 0.1);
+  params.erp_gap = args.FlagDouble("gap", 0.0);
+  params.msm_cost = args.FlagDouble("c", 1.0);
+
   Stopwatch watch;
   double distance = 0.0;
   DtwResult result;
   bool have_path = false;
-  if (measure == "ed") {
-    distance = EuclideanDistance(a.view(), b.view(), cost);
-  } else if (measure == "cdtw") {
-    if (args.Has("path")) {
-      result = Cdtw(a.view(), b.view(), band, cost);
-      distance = result.distance;
-      have_path = true;
-    } else {
-      distance = CdtwDistance(a.view(), b.view(), band, cost);
-    }
-  } else if (measure == "dtw") {
-    if (args.Has("path")) {
-      result = Dtw(a.view(), b.view(), cost);
-      distance = result.distance;
-      have_path = true;
-    } else {
-      distance = DtwDistance(a.view(), b.view(), cost);
-    }
+  if (args.Has("path") && measure == "cdtw") {
+    result = Cdtw(a.view(), b.view(), band, cost);
+    distance = result.distance;
+    have_path = true;
+  } else if (args.Has("path") && measure == "dtw") {
+    result = Dtw(a.view(), b.view(), cost);
+    distance = result.distance;
+    have_path = true;
   } else if (measure == "fastdtw") {
     result = FastDtw(a.view(), b.view(), radius, cost);
     distance = result.distance;
@@ -207,23 +215,11 @@ int CmdDist(const Args& args) {
     result = ReferenceFastDtw(a.view(), b.view(), radius, cost);
     distance = result.distance;
     have_path = args.Has("path");
-  } else if (measure == "ddtw") {
-    distance = DdtwDistance(a.view(), b.view(), band, cost);
-  } else if (measure == "wdtw") {
-    distance = WdtwDistance(a.view(), b.view(),
-                            args.FlagDouble("g", 0.05), band, cost);
-  } else if (measure == "adtw") {
-    distance = AdtwDistance(a.view(), b.view(),
-                            args.FlagDouble("omega", 0.1), cost);
-  } else if (measure == "lcss") {
-    distance = LcssDistance(a.view(), b.view(),
-                            args.FlagDouble("epsilon", 0.1), band);
-  } else if (measure == "erp") {
-    distance = ErpDistance(a.view(), b.view(), args.FlagDouble("gap", 0.0));
-  } else if (measure == "msm") {
-    distance = MsmDistance(a.view(), b.view(), args.FlagDouble("c", 1.0));
+  } else if (IsRegisteredMeasure(measure)) {
+    distance = MakeMeasure(measure, params)(a.view(), b.view());
   } else {
-    Fail("unknown --measure: " + measure);
+    Fail("unknown --measure: " + measure + " (expected one of " +
+         RegisteredMeasureNames() + ")");
   }
   const double millis = watch.ElapsedMillis();
 
@@ -309,26 +305,16 @@ int CmdCluster(const Args& args) {
     labels.push_back(std::to_string(i) + ":" +
                      std::to_string(dataset[i].label()));
   }
-  SeriesMeasure fn;
-  if (measure == "ed") {
-    fn = [](std::span<const double> a, std::span<const double> b) {
-      return EuclideanDistance(a, b);
-    };
-  } else if (measure == "cdtw") {
-    fn = [window](std::span<const double> a, std::span<const double> b) {
-      return CdtwDistanceFraction(a, b, window);
-    };
-  } else if (measure == "dtw") {
-    fn = [](std::span<const double> a, std::span<const double> b) {
-      return DtwDistance(a, b);
-    };
-  } else if (measure == "fastdtw") {
-    fn = [radius](std::span<const double> a, std::span<const double> b) {
-      return FastDtwDistance(a, b, radius);
-    };
-  } else {
-    Fail("unknown --measure: " + measure);
+  // The registry's fraction mode uses the same llround rule as
+  // CdtwDistanceFraction, so banded measures resolve their band per pair.
+  if (!IsRegisteredMeasure(measure)) {
+    Fail("unknown --measure: " + measure + " (expected one of " +
+         RegisteredMeasureNames() + ")");
   }
+  MeasureParams params;
+  params.window_fraction = window;
+  params.fastdtw_radius = radius;
+  const SeriesMeasure fn = MakeMeasure(measure, params);
 
   const DistanceMatrix matrix =
       ComputePairwiseMatrix(series, fn, ParseThreads(args));
@@ -369,6 +355,15 @@ int CmdInfo(const Args& args) {
   return 0;
 }
 
+int CmdMeasures(const Args& args) {
+  (void)args;
+  for (const MeasureInfo& info : RegisteredMeasures()) {
+    std::printf("%-12s %-11s %s\n", info.name.c_str(),
+                info.exact ? "exact" : "approximate", info.summary.c_str());
+  }
+  return 0;
+}
+
 // Prints every nonzero work counter accumulated during the command.
 void PrintProfile(const obs::MetricsSnapshot& delta) {
   std::fprintf(stderr, "# --- work counters (WARP_PROFILE) ---\n");
@@ -404,6 +399,7 @@ int Main(int argc, char** argv) {
   else if (command == "classify") status = CmdClassify(args);
   else if (command == "cluster") status = CmdCluster(args);
   else if (command == "info") status = CmdInfo(args);
+  else if (command == "measures") status = CmdMeasures(args);
   else Fail("unknown command: " + command + " (try `warp_cli help`)");
   if (profile) PrintProfile(obs::CountersSince(before));
   return status;
