@@ -1,0 +1,290 @@
+// Serving throughput: per-query round-trips vs pipelined batches vs a
+// warm result cache.
+//
+// Four cases over the same synthetic random-walk dataset and query set
+// (in-process, no sockets — the wire adds parsing, not compute):
+//
+//   serial      one orchestrator calls QueryEngine::Run per query; the
+//               pure library baseline, no serving machinery at all;
+//   unbatched   C client threads, ONE query per Batcher::Execute — every
+//               query pays a full submit/dispatch/wake round-trip;
+//   batched     the same C clients submit their whole query slice in one
+//               Execute, the way the server drains a connection's
+//               pipelined lines: the group commits as one engine batch
+//               and fans out as a single flattened (request, chunk) work
+//               list;
+//   cached      `batched` again with the ResultCache warm — the upper
+//               bound batching chases.
+//
+// Per-request latency is sampled around each submission and summarized as
+// median / p95 / p99 (the serving percentiles the subsystem exists to
+// control); throughput comes from the aggregate wall clock. The JSON
+// report (warp-bench-v1) carries the serve_* work counters per case.
+//
+// Determinism note: answers are bitwise-identical across all four cases
+// and any --threads; only the latency distribution differs.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/bench_flags.h"
+#include "warp/common/stopwatch.h"
+#include "warp/gen/random_walk.h"
+#include "warp/obs/metrics.h"
+#include "warp/obs/report.h"
+#include "warp/serve/batcher.h"
+#include "warp/serve/dataset_store.h"
+#include "warp/serve/query_engine.h"
+#include "warp/serve/request.h"
+#include "warp/serve/result_cache.h"
+
+namespace warp {
+namespace {
+
+struct CaseResult {
+  TimingSummary latency;
+  double wall_seconds = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  // Default workload: many cheap queries — the regime a serving layer is
+  // for, and the one where per-request round-trip overhead (what batching
+  // removes) is visible next to kernel compute.
+  const size_t series = static_cast<size_t>(flags.GetInt("series", 100));
+  const size_t length = static_cast<size_t>(flags.GetInt("length", 64));
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 1024));
+  const size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
+  // Serving is the one harness whose natural configuration is parallel:
+  // default to all cores (the paper-faithful --threads=1 default elsewhere
+  // would measure the batcher against a serial engine, where coalescing
+  // has nothing to win).
+  const int64_t threads_flag = flags.GetInt("threads", 0);
+  const size_t threads = threads_flag <= 0 ? DefaultThreadCount()
+                                           : static_cast<size_t>(threads_flag);
+  const double window = flags.GetDouble("window", 0.05);
+  const size_t cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 4096));
+  // Each case runs `repeats` times and reports its fastest run: the
+  // shared-machine noise this harness sees is strictly additive, so the
+  // minimum is the least-contaminated estimate of every case.
+  const size_t repeats =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("repeats", 3)));
+  const std::string json_path = bench::JsonFlag(flags);
+  flags.Finalize();
+
+  bench::PrintBanner("serve: throughput",
+                     "per-query round-trips vs pipelined batches vs cache");
+  std::printf("series=%zu length=%zu queries=%zu clients=%zu threads=%zu\n\n",
+              series, length, queries, clients, threads);
+
+  serve::DatasetStore store;
+  store.Register("bench", gen::RandomWalkDataset(series, length, 42),
+                 {static_cast<size_t>(window * static_cast<double>(length) +
+                                      0.5)});
+
+  const Dataset query_set = gen::RandomWalkDataset(queries, length, 4242);
+  std::vector<serve::ServeRequest> requests(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    requests[i].id = static_cast<int64_t>(i);
+    requests[i].op = serve::QueryOp::k1Nn;
+    requests[i].dataset = "bench";
+    requests[i].params.window_fraction = window;
+    requests[i].query = query_set[i].values();
+  }
+
+  obs::BenchReport report("serve: throughput",
+                          "per-request latency and aggregate throughput of "
+                          "the query-serving subsystem");
+  report.AddConfig("series", static_cast<uint64_t>(series));
+  report.AddConfig("length", static_cast<uint64_t>(length));
+  report.AddConfig("queries", static_cast<uint64_t>(queries));
+  report.AddConfig("clients", static_cast<uint64_t>(clients));
+  report.AddConfig("threads", static_cast<uint64_t>(threads));
+  report.AddConfig("window", window);
+  report.AddConfig("cache_capacity", static_cast<uint64_t>(cache_capacity));
+
+  std::vector<std::string> checks;  // Per-case digest of query 0's answer.
+  const auto digest = [](const serve::ServeResponse& response) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%zu:%a",
+                  response.neighbors.empty() ? size_t{0}
+                                             : response.neighbors[0].index,
+                  response.neighbors.empty() ? 0.0
+                                             : response.neighbors[0].distance);
+    return std::string(buffer);
+  };
+
+  serve::ResultCache cache(cache_capacity);
+  serve::QueryEngine engine(&store, &cache, threads);
+  serve::Batcher batcher(&engine);
+
+  // Untimed warmup: pool spin-up, workspace growth, page faults. Cleared
+  // from the cache afterward so every uncached case still computes.
+  {
+    std::vector<serve::ServeRequest> warm(
+        requests.begin(),
+        requests.begin() +
+            static_cast<ptrdiff_t>(std::min<size_t>(8, queries)));
+    std::vector<serve::ServeResponse> responses;
+    batcher.Execute(warm, &responses);
+    cache.Clear();
+  }
+
+  // --- serial: the library baseline. ---
+  CaseResult serial;
+  {
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      std::vector<double> samples;
+      samples.reserve(queries);
+      Stopwatch wall;
+      for (const serve::ServeRequest& request : requests) {
+        Stopwatch watch;
+        const serve::ServeResponse response = engine.Run(request);
+        samples.push_back(watch.ElapsedSeconds());
+        if (checks.empty()) checks.push_back(digest(response));
+      }
+      const double wall_seconds = wall.ElapsedSeconds();
+      if (rep == 0 || wall_seconds < serial.wall_seconds) {
+        serial.wall_seconds = wall_seconds;
+        serial.latency = SummarizeSamples(samples);
+      }
+      cache.Clear();
+    }
+    report.AddCase("serial", serial.latency, obs::CountersSince(before));
+  }
+
+  // Concurrent clients submitting through the batcher. Client c owns
+  // queries c, c+clients, ... With per_submit == 1 every query is its own
+  // round-trip; with per_submit == 0 each client pipelines its whole
+  // slice into one Execute (what the server does with buffered lines).
+  const auto run_clients = [&](size_t per_submit, std::string* first_digest) {
+    CaseResult result;
+    std::vector<std::vector<double>> samples(clients);
+    std::vector<std::string> digests(clients);
+    Stopwatch wall;
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c, per_submit] {
+        std::vector<serve::ServeRequest> slice;
+        for (size_t i = c; i < queries; i += clients) {
+          slice.push_back(requests[i]);
+        }
+        const size_t step = per_submit == 0 ? slice.size() : per_submit;
+        for (size_t at = 0; at < slice.size(); at += step) {
+          const std::vector<serve::ServeRequest> group(
+              slice.begin() + static_cast<ptrdiff_t>(at),
+              slice.begin() + static_cast<ptrdiff_t>(
+                                  std::min(at + step, slice.size())));
+          std::vector<serve::ServeResponse> responses;
+          Stopwatch watch;
+          batcher.Execute(group, &responses);
+          const double elapsed = watch.ElapsedSeconds();
+          // Every query in the group was submitted together and finished
+          // together: each experienced the group's latency.
+          for (size_t g = 0; g < group.size(); ++g) {
+            samples[c].push_back(elapsed);
+            if (group[g].id == 0) digests[c] = digest(responses[g]);
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    result.wall_seconds = wall.ElapsedSeconds();
+    std::vector<double> merged;
+    for (const std::vector<double>& s : samples) {
+      merged.insert(merged.end(), s.begin(), s.end());
+    }
+    result.latency = SummarizeSamples(merged);
+    for (const std::string& d : digests) {
+      if (!d.empty()) *first_digest = d;
+    }
+    return result;
+  };
+
+  // Repeats a client case, keeping the fastest run. `warm_cache` keeps
+  // the cache populated across runs (the cached case); otherwise each run
+  // recomputes from scratch.
+  const auto measure_clients = [&](size_t per_submit, bool warm_cache,
+                                   const std::string& name) {
+    CaseResult best;
+    std::string case_digest;
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const CaseResult result = run_clients(per_submit, &case_digest);
+      if (rep == 0 || result.wall_seconds < best.wall_seconds) best = result;
+      if (!warm_cache) cache.Clear();
+    }
+    report.AddCase(name, best.latency, obs::CountersSince(before));
+    checks.push_back(case_digest);
+    return best;
+  };
+
+  const CaseResult unbatched = measure_clients(1, false, "unbatched");
+  CaseResult batched;
+  CaseResult cached;
+  {
+    // Leave the final batched run's answers in the cache, then re-ask the
+    // same pipelined submissions: every answer is a cache hit.
+    std::string case_digest;
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const CaseResult result = run_clients(0, &case_digest);
+      if (rep == 0 || result.wall_seconds < batched.wall_seconds) {
+        batched = result;
+      }
+      if (rep + 1 < repeats) cache.Clear();
+    }
+    report.AddCase("batched", batched.latency, obs::CountersSince(before));
+    checks.push_back(case_digest);
+
+    before = obs::SnapshotCounters();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const CaseResult result = run_clients(0, &case_digest);
+      if (rep == 0 || result.wall_seconds < cached.wall_seconds) {
+        cached = result;
+      }
+    }
+    report.AddCase("cached", cached.latency, obs::CountersSince(before));
+    checks.push_back(case_digest);
+  }
+
+  for (size_t i = 1; i < checks.size(); ++i) {
+    if (checks[i] != checks[0]) {
+      std::fprintf(stderr, "FATAL: case %zu answer diverged: %s vs %s\n", i,
+                   checks[i].c_str(), checks[0].c_str());
+      return 1;
+    }
+  }
+
+  const auto qps = [&](const CaseResult& r) {
+    return static_cast<double>(queries) / r.wall_seconds;
+  };
+  report.AddConfig("serial_qps", qps(serial));
+  report.AddConfig("unbatched_qps", qps(unbatched));
+  report.AddConfig("batched_qps", qps(batched));
+  report.AddConfig("cached_qps", qps(cached));
+  report.AddConfig("batches_dispatched", batcher.batches_dispatched());
+
+  std::fputs(report.TimingTable().c_str(), stdout);
+  std::fputs(report.CounterTable().c_str(), stdout);
+  std::printf("\nthroughput (queries/s): serial %.1f | unbatched %.1f | "
+              "batched %.1f (%.2fx unbatched) | cached %.1f\n"
+              "batches dispatched: %llu\n",
+              qps(serial), qps(unbatched), qps(batched),
+              qps(batched) / qps(unbatched), qps(cached),
+              static_cast<unsigned long long>(
+                  batcher.batches_dispatched()));
+  report.Finish(json_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace warp
+
+int main(int argc, char** argv) { return warp::Run(argc, argv); }

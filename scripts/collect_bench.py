@@ -36,7 +36,7 @@ SUITE = [
 
 TIMING_KEYS = {
     "repetitions", "mean_s", "stddev_s", "min_s", "max_s",
-    "median_s", "p95_s", "total_s",
+    "median_s", "p95_s", "p99_s", "total_s",
 }
 
 

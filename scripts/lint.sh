@@ -93,6 +93,19 @@ if [ -n "$raw_dp_loops" ]; then
   fail "hand-rolled two-row DP loop in src/warp/core/ — instantiate dp::TwoRowEngine (warp/core/dp_engine.h) instead"
 fi
 
+# --- Convention: sockets only in src/warp/serve/net.* ----------------------
+# The serve subsystem's entire syscall surface lives behind TcpConn /
+# TcpListener (warp/serve/net.h). Raw socket calls anywhere else bypass
+# the loopback-only binding, the line-size cap, and the EINTR handling.
+raw_sockets="$(cpp_sources | grep -v '^src/warp/serve/net\.' \
+    | xargs grep -nE \
+    '[^_[:alnum:]](socket|bind|listen|accept|accept4|connect|recv|send|sendto|recvfrom|setsockopt|getsockname|shutdown)\(|<sys/socket\.h>|<netinet/|<arpa/inet\.h>' \
+    | grep -vE ':[0-9]+: *(//|\*)' || true)"
+if [ -n "$raw_sockets" ]; then
+  echo "$raw_sockets" >&2
+  fail "raw socket syscall outside src/warp/serve/net.* — go through TcpConn/TcpListener (warp/serve/net.h)"
+fi
+
 # --- Convention: include guards, no #pragma once ---------------------------
 pragma_once="$(cpp_sources | xargs grep -ln '#pragma once' || true)"
 if [ -n "$pragma_once" ]; then

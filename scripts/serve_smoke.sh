@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Loopback serving smoke test (CI job `serve-smoke`).
+#
+# Starts warp_serve on a kernel-assigned port with a generated dataset,
+# drives a scripted mix of control ops and pipelined queries through
+# `warp_cli query`, and asserts:
+#   * the server comes up and answers ping/info/stats;
+#   * query answers are deterministic (the same request twice, one cold
+#     and one from the result cache, yields byte-identical responses);
+#   * pipelined lines each get exactly one response, in order;
+#   * `shutdown` stops the server with exit code 0 (clean shutdown).
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+SERVE="$BUILD_DIR/tools/warp_serve"
+CLI="$BUILD_DIR/tools/warp_cli"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+fail() {
+  echo "SMOKE FAIL: $*" >&2
+  [ -f "$WORK/server.log" ] && sed 's/^/  server: /' "$WORK/server.log" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+[ -x "$SERVE" ] || fail "$SERVE not built (run cmake --build $BUILD_DIR first)"
+[ -x "$CLI" ] || fail "$CLI not built"
+
+# --- Start the server on a kernel-assigned port -----------------------------
+"$SERVE" --gen=smoke=40,64 --threads=2 --cache=128 > "$WORK/server.log" &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/server.log" 2> /dev/null)"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2> /dev/null || fail "server exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never printed its listening line"
+echo "smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# --- A pipelined mix: control ops + queries, with a repeated query ----------
+QUERY='[0.1, 0.7, 1.3, 0.9, 0.2, -0.4, -1.1, -0.6, 0.3, 1.0]'
+{
+  echo '{"id": 1, "op": "ping"}'
+  echo '{"id": 2, "op": "info", "dataset": "smoke"}'
+  echo '{"id": 3, "op": "1nn", "dataset": "smoke", "query": '"$QUERY"'}'
+  echo '{"id": 4, "op": "knn", "dataset": "smoke", "k": 3, "query": '"$QUERY"'}'
+  echo '{"id": 3, "op": "1nn", "dataset": "smoke", "query": '"$QUERY"'}'
+  echo '{"id": 5, "op": "stats"}'
+} > "$WORK/requests.txt"
+
+"$CLI" query --port="$PORT" < "$WORK/requests.txt" > "$WORK/responses.txt" \
+    || fail "warp_cli query exited nonzero"
+
+LINES="$(wc -l < "$WORK/responses.txt")"
+[ "$LINES" -eq 6 ] || fail "expected 6 response lines, got $LINES"
+
+grep -q '"id":1,"ok":true' "$WORK/responses.txt" || fail "ping not ok"
+grep -q '"dataset":"smoke","size":40,"length":64' "$WORK/responses.txt" \
+    || fail "info wrong: $(sed -n 2p "$WORK/responses.txt")"
+grep -q '"serve_requests"' "$WORK/responses.txt" || fail "stats missing counters"
+
+# Determinism: the repeated 1nn request (lines 3 and 5; the second is a
+# result-cache hit) must produce byte-identical responses.
+FIRST="$(sed -n 3p "$WORK/responses.txt")"
+REPEAT="$(sed -n 5p "$WORK/responses.txt")"
+echo "$FIRST" | grep -q '"ok":true' || fail "1nn failed: $FIRST"
+[ "$FIRST" = "$REPEAT" ] || fail "cold vs cached 1nn diverged:
+  cold:   $FIRST
+  cached: $REPEAT"
+
+# And a fresh connection recomputing the same query must agree too.
+echo '{"id": 3, "op": "1nn", "dataset": "smoke", "query": '"$QUERY"'}' \
+    | "$CLI" query --port="$PORT" > "$WORK/again.txt" \
+    || fail "second connection failed"
+[ "$FIRST" = "$(cat "$WORK/again.txt")" ] \
+    || fail "answers differ across connections"
+
+# --- Clean shutdown ---------------------------------------------------------
+echo '{"id": 99, "op": "shutdown"}' | "$CLI" query --port="$PORT" \
+    > "$WORK/shutdown.txt" || fail "shutdown request failed"
+grep -q '"ok":true' "$WORK/shutdown.txt" || fail "shutdown not acked"
+
+wait "$SERVER_PID"
+CODE=$?
+[ "$CODE" -eq 0 ] || fail "server exited $CODE after shutdown"
+
+rm -rf "$WORK"
+echo "smoke: all serving checks passed"

@@ -12,10 +12,10 @@ namespace warp {
 std::string TimingSummary::ToString() const {
   char buffer[160];
   std::snprintf(buffer, sizeof(buffer),
-                "%.3f ms (std %.3f, min %.3f, med %.3f, p95 %.3f, max %.3f, "
-                "n=%d)",
+                "%.3f ms (std %.3f, min %.3f, med %.3f, p95 %.3f, p99 %.3f, "
+                "max %.3f, n=%d)",
                 mean * 1e3, stddev * 1e3, min * 1e3, median * 1e3, p95 * 1e3,
-                max * 1e3, repetitions);
+                p99 * 1e3, max * 1e3, repetitions);
   return buffer;
 }
 
@@ -46,6 +46,7 @@ TimingSummary SummarizeSamples(const std::vector<double>& samples) {
   summary.stddev = std::sqrt(variance);
   summary.median = Median(samples);
   summary.p95 = Percentile(samples, 95.0);
+  summary.p99 = Percentile(samples, 99.0);
   return summary;
 }
 
@@ -61,6 +62,7 @@ TimingSummary PerOpSummary(double total_seconds, int64_t ops) {
   summary.max = per_op;
   summary.median = per_op;
   summary.p95 = per_op;
+  summary.p99 = per_op;
   summary.total = total_seconds;
   return summary;
 }

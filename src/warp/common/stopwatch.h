@@ -31,8 +31,9 @@ class Stopwatch {
 };
 
 // Summary of a repeated timing measurement, all in seconds. Per-run
-// samples are retained so order statistics (median, p95) survive — means
-// alone hide the scheduler-noise tail that dominates close comparisons.
+// samples are retained so order statistics (median, p95, p99) survive —
+// means alone hide the scheduler-noise tail that dominates close
+// comparisons and serving-latency SLOs.
 struct TimingSummary {
   int repetitions = 0;
   double mean = 0.0;
@@ -41,6 +42,7 @@ struct TimingSummary {
   double max = 0.0;
   double median = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double total = 0.0;
   std::vector<double> samples;  // One entry per repetition, run order.
 
@@ -48,10 +50,11 @@ struct TimingSummary {
   double min_millis() const { return min * 1e3; }
   double median_millis() const { return median * 1e3; }
   double p95_millis() const { return p95 * 1e3; }
+  double p99_millis() const { return p99 * 1e3; }
   std::string ToString() const;
 };
 
-// Builds a TimingSummary (including median/p95) from per-run samples.
+// Builds a TimingSummary (including median/p95/p99) from per-run samples.
 TimingSummary SummarizeSamples(const std::vector<double>& samples);
 
 // Summary for a measurement that timed `ops` operations in one aggregate

@@ -78,7 +78,15 @@ namespace obs {
   X(kPoolTasks, "pool_tasks")                             \
   X(kPoolChunks, "pool_chunks")                           \
   X(kPoolParallelFors, "pool_parallel_fors")              \
-  X(kPoolQueueWaitNanos, "pool_queue_wait_nanos")
+  X(kPoolQueueWaitNanos, "pool_queue_wait_nanos")         \
+  /* Query-serving subsystem (serve/). */                 \
+  X(kServeRequests, "serve_requests")                     \
+  X(kServeBatches, "serve_batches")                       \
+  X(kServeBatchedQueries, "serve_batched_queries")        \
+  X(kServeCacheHits, "serve_cache_hits")                  \
+  X(kServeCacheMisses, "serve_cache_misses")              \
+  X(kServeCacheEvictions, "serve_cache_evictions")        \
+  X(kServeDeadlineExceeded, "serve_deadline_exceeded")
 
 enum class Counter : uint32_t {
 #define WARP_OBS_DECLARE_ENUM(name, json_name) name,

@@ -38,6 +38,8 @@ void WriteTimingObject(JsonWriter& writer, const TimingSummary& timing) {
       .Double(timing.median)
       .Key("p95_s")
       .Double(timing.p95)
+      .Key("p99_s")
+      .Double(timing.p99)
       .Key("total_s")
       .Double(timing.total)
       .EndObject();
@@ -129,13 +131,14 @@ std::string BenchReport::CounterTable() const {
 
 std::string BenchReport::TimingTable() const {
   TablePrinter table({"case", "mean ms", "std ms", "min ms", "med ms",
-                      "p95 ms", "max ms", "n"});
+                      "p95 ms", "p99 ms", "max ms", "n"});
   for (const BenchCase& c : cases_) {
     table.AddRow({c.name, TablePrinter::FormatDouble(c.timing.mean * 1e3),
                   TablePrinter::FormatDouble(c.timing.stddev * 1e3),
                   TablePrinter::FormatDouble(c.timing.min * 1e3),
                   TablePrinter::FormatDouble(c.timing.median * 1e3),
                   TablePrinter::FormatDouble(c.timing.p95 * 1e3),
+                  TablePrinter::FormatDouble(c.timing.p99 * 1e3),
                   TablePrinter::FormatDouble(c.timing.max * 1e3),
                   std::to_string(c.timing.repetitions)});
   }

@@ -1,0 +1,86 @@
+#include "warp/serve/batcher.h"
+
+#include <utility>
+
+namespace warp {
+namespace serve {
+
+Batcher::Batcher(QueryEngine* engine)
+    : engine_(engine), dispatcher_([this] { DispatchLoop(); }) {}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  dispatcher_.join();
+}
+
+void Batcher::Execute(const std::vector<ServeRequest>& requests,
+                      std::vector<ServeResponse>* responses) {
+  if (requests.empty()) {
+    responses->clear();
+    return;
+  }
+  Submission submission;
+  submission.requests = &requests;
+  submission.responses = responses;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(&submission);
+  }
+  pending_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mutex_);
+  submission.cv.wait(lock, [&] { return submission.done; });
+}
+
+uint64_t Batcher::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+void Batcher::DispatchLoop() {
+  while (true) {
+    std::vector<Submission*> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and fully drained.
+      batch.assign(pending_.begin(), pending_.end());
+      pending_.clear();
+      ++batches_;
+    }
+
+    // Flatten every pending submission into one engine batch.
+    std::vector<ServeRequest> requests;
+    for (const Submission* s : batch) {
+      requests.insert(requests.end(), s->requests->begin(),
+                      s->requests->end());
+    }
+    std::vector<ServeResponse> responses;
+    engine_->RunBatch(requests, &responses);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      size_t offset = 0;
+      for (Submission* s : batch) {
+        const size_t count = s->requests->size();
+        s->responses->assign(
+            std::make_move_iterator(responses.begin() +
+                                    static_cast<ptrdiff_t>(offset)),
+            std::make_move_iterator(responses.begin() +
+                                    static_cast<ptrdiff_t>(offset + count)));
+        offset += count;
+        s->done = true;
+        // Notify while holding the lock: the submitter frees the
+        // Submission (stack storage) the moment it observes done, which
+        // it cannot do before we release the mutex.
+        s->cv.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace warp

@@ -1,0 +1,72 @@
+// Request batching: coalesces concurrent queries into engine batches.
+//
+// Connection handlers (one per client) block in Execute(); a single
+// dispatcher thread drains EVERY submission pending at that moment into
+// one QueryEngine::RunBatch call. Queries that arrive while a batch is in
+// flight pile up and form the next batch — the classic group-commit
+// shape. The engine groups each batch by dataset, so concurrent clients
+// hammering the same dataset share its snapshot resolution and fan out
+// over one ParallelFor instead of queueing pool round-trips per request.
+//
+// The dispatcher is the engine's single orchestrator: Execute() never
+// touches the engine from the submitting thread, so the ThreadPool's
+// one-orchestrator contract holds no matter how many connections submit.
+
+#ifndef WARP_SERVE_BATCHER_H_
+#define WARP_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "warp/serve/query_engine.h"
+#include "warp/serve/request.h"
+
+namespace warp {
+namespace serve {
+
+class Batcher {
+ public:
+  // `engine` must outlive the batcher. Starts the dispatcher thread.
+  explicit Batcher(QueryEngine* engine);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // Answers `requests` in order; blocks until every response is ready.
+  // Thread-safe; concurrent callers coalesce into shared batches.
+  void Execute(const std::vector<ServeRequest>& requests,
+               std::vector<ServeResponse>* responses);
+
+  // Batches dispatched so far (for tests and the bench).
+  uint64_t batches_dispatched() const;
+
+ private:
+  struct Submission {
+    const std::vector<ServeRequest>* requests = nullptr;
+    std::vector<ServeResponse>* responses = nullptr;
+    // Per-submission signal (not one shared cv) so completing a batch
+    // wakes exactly its submitters, not every connection in the house.
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  void DispatchLoop();
+
+  QueryEngine* const engine_;
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;  // Signals the dispatcher.
+  std::deque<Submission*> pending_;
+  uint64_t batches_ = 0;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_BATCHER_H_

@@ -1,0 +1,84 @@
+#include "warp/serve/dataset_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "warp/common/assert.h"
+
+namespace warp {
+namespace serve {
+
+const std::vector<Envelope>* StoredDataset::EnvelopesForBand(
+    size_t band) const {
+  for (size_t i = 0; i < bands.size(); ++i) {
+    if (bands[i] == band) return &envelopes[i];
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const StoredDataset> DatasetStore::Register(
+    const std::string& name, Dataset dataset, std::vector<size_t> bands) {
+  WARP_CHECK_MSG(!dataset.empty(), "cannot register an empty dataset");
+  auto stored = std::make_shared<StoredDataset>();
+  stored->name = name;
+  dataset.ZNormalizeAll();
+  stored->uniform_length = dataset.UniformLength();
+  stored->data = std::move(dataset);
+
+  const size_t count = stored->data.size();
+  stored->head.reserve(count);
+  stored->tail.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const TimeSeries& s = stored->data[i];
+    WARP_CHECK_MSG(!s.empty(), "cannot index an empty series");
+    stored->head.push_back(s[0]);
+    stored->tail.push_back(s[s.size() - 1]);
+  }
+
+  std::sort(bands.begin(), bands.end());
+  bands.erase(std::unique(bands.begin(), bands.end()), bands.end());
+  if (stored->uniform_length > 0) {
+    for (const size_t band : bands) {
+      std::vector<Envelope> per_series;
+      per_series.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        per_series.push_back(ComputeEnvelope(stored->data[i].view(), band));
+      }
+      stored->bands.push_back(band);
+      stored->envelopes.push_back(std::move(per_series));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stored->epoch = next_epoch_++;
+  datasets_[name] = stored;
+  return stored;
+}
+
+std::shared_ptr<const StoredDataset> DatasetStore::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+bool DatasetStore::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.erase(name) != 0;
+}
+
+std::vector<std::string> DatasetStore::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) names.push_back(name);
+  return names;
+}
+
+uint64_t DatasetStore::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_epoch_;
+}
+
+}  // namespace serve
+}  // namespace warp

@@ -1,0 +1,98 @@
+// Name-keyed registry of served datasets with a precomputed LB index.
+//
+// The serving argument of the paper (and of Rakthanmanon et al.'s UCR
+// suite): when the same reference set answers many queries, every piece
+// of per-candidate work that does not depend on the query should be done
+// ONCE, at load time. A StoredDataset therefore holds z-normalized copies
+// of the series plus:
+//
+//   * per-series LB_Keogh envelopes at each registered band width, so the
+//     candidate-side Keogh bound costs zero envelope builds per query;
+//   * LB_Kim head/tail caches (first/last point of every series packed in
+//     two flat arrays), so the first cascade rung touches 16 bytes per
+//     candidate instead of paging in whole series.
+//
+// Stores hand out std::shared_ptr<const StoredDataset>, so workers read
+// the index lock-free while a concurrent re-registration swaps in a new
+// epoch; the old snapshot stays valid until its last reader drops it.
+// Every (re-)registration bumps a store-wide epoch that is part of the
+// result-cache key — answers cached against a replaced dataset can never
+// be served again.
+
+#ifndef WARP_SERVE_DATASET_STORE_H_
+#define WARP_SERVE_DATASET_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "warp/core/envelope.h"
+#include "warp/ts/dataset.h"
+
+namespace warp {
+namespace serve {
+
+// An immutable, fully indexed dataset snapshot.
+struct StoredDataset {
+  std::string name;
+  uint64_t epoch = 0;         // Store-wide, bumped per (re-)registration.
+  Dataset data;               // Z-normalized copies.
+  size_t uniform_length = 0;  // 0 when series lengths differ.
+
+  // Envelope index: bands_[i] is the half-width (in cells) of
+  // envelopes_[i], one Envelope per series, same order as `data`.
+  // Only built for uniform-length datasets (the 1-NN setting).
+  std::vector<size_t> bands;
+  std::vector<std::vector<Envelope>> envelopes;
+
+  // LB_Kim endpoint caches: head[i] / tail[i] are series i's first / last
+  // value.
+  std::vector<double> head;
+  std::vector<double> tail;
+
+  // The envelopes for `band`, or nullptr if that band is not indexed.
+  const std::vector<Envelope>* EnvelopesForBand(size_t band) const;
+};
+
+class DatasetStore {
+ public:
+  DatasetStore() = default;
+
+  DatasetStore(const DatasetStore&) = delete;
+  DatasetStore& operator=(const DatasetStore&) = delete;
+
+  // Registers (or replaces) `name`, z-normalizing every series and
+  // building the LB index at each band in `bands` (deduplicated;
+  // ignored for non-uniform-length datasets). Returns the stored
+  // snapshot. Thread-safe.
+  std::shared_ptr<const StoredDataset> Register(const std::string& name,
+                                                Dataset dataset,
+                                                std::vector<size_t> bands);
+
+  // The current snapshot for `name`, or nullptr if unknown.
+  std::shared_ptr<const StoredDataset> Get(const std::string& name) const;
+
+  // Removes `name`; returns false if it was not present. Outstanding
+  // snapshots stay valid.
+  bool Drop(const std::string& name);
+
+  // Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+  // The epoch the next registration will get (== number of registrations
+  // so far + 1).
+  uint64_t CurrentEpoch() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t next_epoch_ = 1;
+  std::map<std::string, std::shared_ptr<const StoredDataset>> datasets_;
+};
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_DATASET_STORE_H_

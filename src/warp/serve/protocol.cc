@@ -1,0 +1,195 @@
+#include "warp/serve/protocol.h"
+
+#include <cmath>
+
+#include "warp/obs/json_writer.h"
+#include "warp/serve/wire.h"
+
+namespace warp {
+namespace serve {
+
+namespace {
+
+bool ReadSizeT(const JsonValue& object, const std::string& key,
+               size_t* value, std::string* error) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) return true;  // Optional; keep default.
+  if (!member->is_number() || member->AsNumber() < 0 ||
+      std::floor(member->AsNumber()) != member->AsNumber()) {
+    *error = "'" + key + "' must be a non-negative integer";
+    return false;
+  }
+  *value = static_cast<size_t>(member->AsNumber());
+  return true;
+}
+
+}  // namespace
+
+bool ParseRequestLine(const std::string& line, ParsedLine* out,
+                      std::string* error) {
+  JsonValue root;
+  if (!ParseJson(line, &root, error)) {
+    *error = "malformed JSON: " + *error;
+    return false;
+  }
+  if (!root.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  out->id = static_cast<int64_t>(root.NumberOr("id", 0.0));
+  out->request.id = out->id;
+
+  const std::string op = root.StringOr("op", "");
+  if (op.empty()) {
+    *error = "request missing 'op'";
+    return false;
+  }
+
+  // Control operations.
+  if (op == "ping") { out->control = ControlOp::kPing; return true; }
+  if (op == "stats") { out->control = ControlOp::kStats; return true; }
+  if (op == "shutdown") { out->control = ControlOp::kShutdown; return true; }
+  if (op == "info" || op == "load") {
+    out->control = op == "info" ? ControlOp::kInfo : ControlOp::kLoad;
+    out->dataset = root.StringOr("dataset", "");
+    if (out->dataset.empty()) {
+      *error = "'" + op + "' requires 'dataset'";
+      return false;
+    }
+    if (op == "load") {
+      out->path = root.StringOr("path", "");
+      if (out->path.empty()) {
+        *error = "'load' requires 'path'";
+        return false;
+      }
+      if (const JsonValue* bands = root.Find("bands")) {
+        if (!bands->is_array()) {
+          *error = "'bands' must be an array of window fractions";
+          return false;
+        }
+        for (const JsonValue& band : bands->AsArray()) {
+          if (!band.is_number() || band.AsNumber() < 0) {
+            *error = "'bands' entries must be non-negative numbers";
+            return false;
+          }
+          out->band_fractions.push_back(band.AsNumber());
+        }
+      }
+    }
+    return true;
+  }
+
+  // Engine queries.
+  out->control = ControlOp::kNone;
+  ServeRequest& request = out->request;
+  if (!ParseQueryOp(op, &request.op)) {
+    *error = "unknown op: '" + op + "'";
+    return false;
+  }
+  request.dataset = root.StringOr("dataset", "");
+  if (request.dataset.empty()) {
+    *error = "query missing 'dataset'";
+    return false;
+  }
+  request.measure = root.StringOr("measure", "cdtw");
+
+  MeasureParams& params = request.params;
+  params.window_fraction = root.NumberOr("window", params.window_fraction);
+  if (const JsonValue* band = root.Find("band")) {
+    if (!band->is_number() || band->AsNumber() < 0) {
+      *error = "'band' must be a non-negative cell count";
+      return false;
+    }
+    params.band_cells = static_cast<long>(band->AsNumber());
+  }
+  const std::string cost = root.StringOr("cost", "squared");
+  if (cost == "squared") {
+    params.cost = CostKind::kSquared;
+  } else if (cost == "absolute") {
+    params.cost = CostKind::kAbsolute;
+  } else {
+    *error = "unknown cost: '" + cost + "'";
+    return false;
+  }
+  params.wdtw_g = root.NumberOr("g", params.wdtw_g);
+  params.wdtw_full_band = root.BoolOr("full_band", params.wdtw_full_band);
+  params.adtw_omega = root.NumberOr("omega", params.adtw_omega);
+  params.adtw_ratio = root.NumberOr("ratio", params.adtw_ratio);
+  params.lcss_epsilon = root.NumberOr("epsilon", params.lcss_epsilon);
+  params.erp_gap = root.NumberOr("gap", params.erp_gap);
+  params.msm_cost = root.NumberOr("c", params.msm_cost);
+  if (!ReadSizeT(root, "radius", &params.fastdtw_radius, error)) return false;
+
+  if (!ReadSizeT(root, "k", &request.k, error)) return false;
+  if (!ReadSizeT(root, "index", &request.index, error)) return false;
+  request.threshold = root.NumberOr("threshold", request.threshold);
+  request.deadline_ms = root.NumberOr("deadline_ms", request.deadline_ms);
+  request.znormalize = root.BoolOr("znorm", request.znormalize);
+
+  const JsonValue* query = root.Find("query");
+  if (query == nullptr || !query->is_array()) {
+    *error = "query ops require a 'query' array of numbers";
+    return false;
+  }
+  request.query.reserve(query->AsArray().size());
+  for (const JsonValue& v : query->AsArray()) {
+    if (!v.is_number()) {
+      *error = "'query' entries must be numbers";
+      return false;
+    }
+    request.query.push_back(v.AsNumber());
+  }
+  return true;
+}
+
+std::string FormatResponse(const ServeResponse& response) {
+  obs::JsonWriter writer;
+  writer.BeginObject()
+      .Key("id").Int(response.id)
+      .Key("ok").Bool(response.ok);
+  if (!response.ok) {
+    writer.Key("error").String(response.error).EndObject();
+    return writer.TakeOutput();
+  }
+  writer.Key("op").String(QueryOpName(response.op));
+  writer.Key("partial").Bool(response.partial);
+  writer.Key("scanned").Uint(response.scanned);
+  writer.Key("total").Uint(response.total);
+  switch (response.op) {
+    case QueryOp::k1Nn:
+    case QueryOp::kKnn:
+    case QueryOp::kRange:
+      writer.Key("neighbors").BeginArray();
+      for (const Neighbor& n : response.neighbors) {
+        writer.BeginObject()
+            .Key("index").Uint(n.index)
+            .Key("label").Int(n.label)
+            .Key("distance").Double(n.distance)
+            .EndObject();
+      }
+      writer.EndArray();
+      break;
+    case QueryOp::kDist:
+      writer.Key("distance").Double(response.distance);
+      break;
+    case QueryOp::kSubsequence:
+      writer.Key("position").Uint(response.position);
+      writer.Key("distance").Double(response.distance);
+      break;
+  }
+  writer.EndObject();
+  return writer.TakeOutput();
+}
+
+std::string FormatErrorLine(int64_t id, const std::string& error) {
+  obs::JsonWriter writer;
+  writer.BeginObject()
+      .Key("id").Int(id)
+      .Key("ok").Bool(false)
+      .Key("error").String(error)
+      .EndObject();
+  return writer.TakeOutput();
+}
+
+}  // namespace serve
+}  // namespace warp

@@ -1,0 +1,59 @@
+// The line-delimited JSON wire protocol (docs/SERVING.md).
+//
+// One request object per line in, one response object per line out,
+// matched by the client-chosen `id`. This layer converts between wire
+// lines and the typed structs in warp/serve/request.h; it never touches
+// sockets or the engine. Doubles are emitted with
+// JsonWriter::FormatDouble (shortest round-trip form) and parsed with
+// strtod, so distances survive the wire bit-for-bit — the loopback golden
+// tests compare them with EXPECT_EQ.
+
+#ifndef WARP_SERVE_PROTOCOL_H_
+#define WARP_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "warp/serve/request.h"
+
+namespace warp {
+namespace serve {
+
+// Operations the server answers without the query engine.
+enum class ControlOp {
+  kNone,      // Not a control op: `request` holds a query.
+  kPing,      // Liveness check.
+  kInfo,      // Describe a dataset (size, length, epoch, indexed bands).
+  kStats,     // Serving work counters snapshot.
+  kLoad,      // Load a UCR file into the store.
+  kShutdown,  // Finish open work and exit the serve loop.
+};
+
+// A parsed request line: either a control op or an engine query.
+struct ParsedLine {
+  int64_t id = 0;
+  ControlOp control = ControlOp::kNone;
+  ServeRequest request;          // Valid when control == kNone.
+  std::string dataset;           // info / load.
+  std::string path;              // load.
+  std::vector<double> band_fractions;  // load ("bands" member).
+};
+
+// Parses one wire line. On failure returns false and fills *error with a
+// client-presentable message (*out->id is still filled when the line had
+// a readable id, so the error response can echo it).
+bool ParseRequestLine(const std::string& line, ParsedLine* out,
+                      std::string* error);
+
+// Serializes a query response (ok or error) as one line, no trailing
+// newline.
+std::string FormatResponse(const ServeResponse& response);
+
+// An error response line for requests that never reached the engine.
+std::string FormatErrorLine(int64_t id, const std::string& error);
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_PROTOCOL_H_

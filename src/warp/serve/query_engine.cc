@@ -1,0 +1,579 @@
+#include "warp/serve/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "warp/common/assert.h"
+#include "warp/common/stopwatch.h"
+#include "warp/core/dtw.h"
+#include "warp/core/envelope.h"
+#include "warp/core/lower_bounds.h"
+#include "warp/mining/similarity_search.h"
+#include "warp/obs/metrics.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Candidates per scan chunk. Fixed (never derived from the thread count),
+// so chunk boundaries — and therefore the chunk-order merge — are
+// identical at any parallelism.
+constexpr size_t kScanGrain = 8;
+
+// The endpoint cost LB_Kim is built from; inlined here so the cascade's
+// first rung reads only the store's head/tail caches.
+double PointCost(double a, double b, CostKind kind) {
+  const double d = a - b;
+  return kind == CostKind::kAbsolute ? std::fabs(d) : d * d;
+}
+
+// (distance, index) lexicographic order: the scan's total order. Ties on
+// distance go to the earlier series, matching a serial first-wins scan.
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+// Per-request deadline state shared across scan workers. `expired` is
+// monotone: once set, chunks stop scanning new candidates (their already
+// scanned prefix stays in the merge, so the partial answer is exact over
+// `scanned` candidates).
+struct Deadline {
+  bool enabled = false;
+  double budget_ms = 0.0;
+  Stopwatch watch;
+  std::atomic<bool> expired{false};
+
+  bool Expired() {
+    if (!enabled) return false;
+    if (expired.load(std::memory_order_relaxed)) return true;
+    if (watch.ElapsedMillis() > budget_ms) {
+      expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+// Monotone shared upper bound for cross-chunk pruning. Only ever
+// decreases; pruning tests are STRICT (lb > bound), so a candidate tying
+// the final best is never pruned and the (distance, index) winner is
+// scheduling-independent.
+struct SharedBound {
+  std::atomic<double> value{kInf};
+
+  double Get() const { return value.load(std::memory_order_relaxed); }
+
+  void Lower(double candidate) {
+    double current = value.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !value.compare_exchange_weak(current, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+};
+
+// Chunk-local result accumulator: bounded top-k for 1nn/knn, unbounded
+// match list for range.
+struct ChunkHits {
+  std::vector<Neighbor> hits;  // Sorted by NeighborLess for top-k mode.
+  uint64_t scanned = 0;
+
+  void AddTopK(const Neighbor& n, size_t k) {
+    const auto pos =
+        std::lower_bound(hits.begin(), hits.end(), n, NeighborLess);
+    if (hits.size() == k && pos == hits.end()) return;
+    hits.insert(pos, n);
+    if (hits.size() > k) hits.pop_back();
+  }
+
+  double KthBound(size_t k) const {
+    return hits.size() == k ? hits.back().distance : kInf;
+  }
+};
+
+}  // namespace
+
+struct QueryEngine::Impl {
+  const DatasetStore* store;
+  ResultCache* cache;
+  std::unique_ptr<ThreadPool> pool;  // Null when threads == 1.
+  PerThread<DtwWorkspace> workspaces;
+
+  Impl(const DatasetStore* store_in, ResultCache* cache_in, size_t threads)
+      : store(store_in),
+        cache(cache_in),
+        pool(ResolveThreadCount(threads) > 1
+                 ? std::make_unique<ThreadPool>(ResolveThreadCount(threads))
+                 : nullptr),
+        workspaces(pool ? pool->size() : 1) {}
+
+  size_t Threads() const { return pool ? pool->size() : 1; }
+
+  // How a scan executes: on `pool` with per-worker workspaces, or inline
+  // on the calling thread pinned to workspace slot `fixed_worker`.
+  struct ExecContext {
+    ThreadPool* pool = nullptr;
+    size_t fixed_worker = 0;
+  };
+
+  DtwWorkspace& WorkspaceFor(const ExecContext& ctx, size_t worker) {
+    return workspaces[ctx.pool != nullptr ? worker : ctx.fixed_worker];
+  }
+
+  // One scan request decomposed for chunk-level execution: Prepare (once,
+  // serial — z-norm, query envelope, registry resolution), ScanRange (any
+  // worker, any order, any interleaving with other plans' chunks), Merge
+  // (once, serial, fixed chunk order). The decomposition is what lets
+  // RunBatch flatten a whole group of requests into one (request, chunk)
+  // work list without changing any answer: chunk boundaries and merge
+  // order never depend on scheduling.
+  struct ScanPlan {
+    size_t slot = 0;  // Batch response index (RunBatch bookkeeping).
+    const ServeRequest* request = nullptr;
+    const StoredDataset* stored = nullptr;
+    std::string cache_key;
+
+    std::vector<double> query;
+    bool cascade = false;
+    bool is_range = false;
+    size_t k = 1;
+    size_t band = 0;
+    Envelope query_envelope;
+    const std::vector<Envelope>* candidate_envelopes = nullptr;
+    SeriesMeasure measure;  // Brute-force path only.
+
+    Deadline deadline;
+    SharedBound shared;  // 1nn cross-chunk bound; unused for knn/range.
+    std::vector<ChunkHits> chunks;
+  };
+
+  static ServeResponse ErrorResponse(const ServeRequest& request,
+                                     std::string message) {
+    ServeResponse response;
+    response.id = request.id;
+    response.op = request.op;
+    response.ok = false;
+    response.error = std::move(message);
+    return response;
+  }
+
+  // Request-wide validation shared by Run and RunBatch. Returns true and
+  // fills *snapshot on success, else fills *failure.
+  bool Resolve(const ServeRequest& request,
+               std::shared_ptr<const StoredDataset>* snapshot,
+               ServeResponse* failure) {
+    if (!IsRegisteredMeasure(request.measure)) {
+      *failure = ErrorResponse(request, "unknown measure: " + request.measure +
+                                            " (expected one of " +
+                                            RegisteredMeasureNames() + ")");
+      return false;
+    }
+    *snapshot = store->Get(request.dataset);
+    if (*snapshot == nullptr) {
+      *failure = ErrorResponse(request,
+                               "unknown dataset: " + request.dataset);
+      return false;
+    }
+    if (request.query.empty()) {
+      *failure = ErrorResponse(request, "request has no query values");
+      return false;
+    }
+    for (const double v : request.query) {
+      if (!std::isfinite(v)) {
+        *failure = ErrorResponse(request, "query contains a non-finite value");
+        return false;
+      }
+    }
+    if ((request.op == QueryOp::kDist ||
+         request.op == QueryOp::kSubsequence) &&
+        request.index >= (*snapshot)->data.size()) {
+      *failure = ErrorResponse(
+          request, "series index " + std::to_string(request.index) +
+                       " out of range (dataset has " +
+                       std::to_string((*snapshot)->data.size()) + " series)");
+      return false;
+    }
+    if (request.op == QueryOp::kKnn && request.k == 0) {
+      *failure = ErrorResponse(request, "knn requires k >= 1");
+      return false;
+    }
+    if (request.op == QueryOp::kRange && !std::isfinite(request.threshold)) {
+      *failure = ErrorResponse(request, "range requires a finite threshold");
+      return false;
+    }
+    return true;
+  }
+
+  // The Sakoe–Chiba half-width this request resolves to against a series
+  // of length `other`, mirroring the measure registry's rule.
+  static size_t ResolveBand(const ServeRequest& request, size_t other) {
+    if (request.params.band_cells >= 0) {
+      return static_cast<size_t>(request.params.band_cells);
+    }
+    const size_t longer = std::max(request.query.size(), other);
+    const long band = std::lround(request.params.window_fraction *
+                                  static_cast<double>(longer));
+    return band < 0 ? 0 : static_cast<size_t>(band);
+  }
+
+  static bool IsScanOp(QueryOp op) {
+    return op == QueryOp::k1Nn || op == QueryOp::kKnn ||
+           op == QueryOp::kRange;
+  }
+
+  ServeResponse Execute(const ServeRequest& request,
+                        const StoredDataset& stored, const ExecContext& ctx) {
+    switch (request.op) {
+      case QueryOp::kDist:
+        return ExecuteDist(request, stored);
+      case QueryOp::kSubsequence:
+        return ExecuteSubsequence(request, stored);
+      case QueryOp::k1Nn:
+      case QueryOp::kKnn:
+      case QueryOp::kRange:
+        return ExecuteScan(request, stored, ctx);
+    }
+    return ErrorResponse(request, "unhandled operation");
+  }
+
+  ServeResponse ExecuteDist(const ServeRequest& request,
+                            const StoredDataset& stored) {
+    const std::vector<double> query = PrepareQuery(request);
+    const SeriesMeasure measure =
+        MakeMeasure(request.measure, request.params);
+    ServeResponse response;
+    response.id = request.id;
+    response.op = request.op;
+    response.ok = true;
+    response.scanned = response.total = 1;
+    response.distance = measure(query, stored.data[request.index].view());
+    return response;
+  }
+
+  ServeResponse ExecuteSubsequence(const ServeRequest& request,
+                                   const StoredDataset& stored) {
+    const std::vector<double> query = PrepareQuery(request);
+    const TimeSeries& haystack = stored.data[request.index];
+    if (haystack.size() < query.size()) {
+      return ErrorResponse(request,
+                           "query longer than target series " +
+                               std::to_string(request.index));
+    }
+    const size_t band = ResolveBand(request, query.size());
+    const SubsequenceMatch match = FindBestMatch(
+        haystack.view(), query, band, request.params.cost, nullptr);
+    ServeResponse response;
+    response.id = request.id;
+    response.op = request.op;
+    response.ok = true;
+    response.scanned = response.total = haystack.size() - query.size() + 1;
+    response.position = match.position;
+    response.distance = match.distance;
+    return response;
+  }
+
+  std::vector<double> PrepareQuery(const ServeRequest& request) {
+    if (!request.znormalize) return request.query;
+    return ZNormalized(request.query);
+  }
+
+  std::unique_ptr<ScanPlan> PrepareScan(const ServeRequest& request,
+                                        const StoredDataset& stored) {
+    auto plan = std::make_unique<ScanPlan>();
+    plan->request = &request;
+    plan->stored = &stored;
+    plan->query = PrepareQuery(request);
+    plan->k = request.op == QueryOp::kKnn ? request.k : 1;
+    plan->is_range = request.op == QueryOp::kRange;
+
+    // Exact-cDTW cascade only applies in the equal-length 1-NN setting;
+    // everything else scans brute-force through the registry closure.
+    plan->cascade = request.measure == "cdtw" && stored.uniform_length > 0 &&
+                    plan->query.size() == stored.uniform_length;
+    plan->band = ResolveBand(request, stored.uniform_length > 0
+                                          ? stored.uniform_length
+                                          : plan->query.size());
+    if (plan->cascade) {
+      plan->query_envelope = ComputeEnvelope(plan->query, plan->band);
+      plan->candidate_envelopes = stored.EnvelopesForBand(plan->band);
+    } else {
+      plan->measure = MakeMeasure(request.measure, request.params);
+    }
+
+    if (request.deadline_ms > 0.0) {
+      plan->deadline.enabled = true;
+      plan->deadline.budget_ms = request.deadline_ms;
+    }
+    plan->chunks.resize(ChunkCount(0, stored.data.size(), kScanGrain));
+    return plan;
+  }
+
+  // Scans candidates [begin, end) — one chunk — into the plan's per-chunk
+  // accumulator. Safe to run concurrently with any other chunk of any
+  // plan; `workspace` must be exclusive to the caller.
+  void ScanRange(ScanPlan& plan, size_t begin, size_t end,
+                 DtwWorkspace& workspace) {
+    ChunkHits& out = plan.chunks[begin / kScanGrain];
+    const ServeRequest& request = *plan.request;
+    const StoredDataset& stored = *plan.stored;
+    const std::vector<double>& query = plan.query;
+    const CostKind cost = request.params.cost;
+    for (size_t i = begin; i < end; ++i) {
+      if (plan.deadline.Expired()) return;
+      ++out.scanned;
+      WARP_COUNT(obs::Counter::kCascadeCandidates);
+      // The pruning threshold: anything with distance strictly above it
+      // cannot enter the answer. Range queries use the fixed request
+      // threshold; 1nn combines the shared bound with the chunk-local
+      // best; knn uses the chunk-local k-th best.
+      const double bound =
+          plan.is_range ? request.threshold
+                        : std::min(plan.shared.Get(), out.KthBound(plan.k));
+      double distance;
+      if (plan.cascade) {
+        const std::span<const double> candidate = stored.data[i].view();
+        WARP_COUNT(obs::Counter::kLbKimCalls);
+        if (query.size() == 1) {
+          distance = PointCost(query[0], stored.head[i], cost);
+        } else {
+          const double kim =
+              PointCost(query[0], stored.head[i], cost) +
+              PointCost(query[query.size() - 1], stored.tail[i], cost);
+          if (kim > bound) {
+            WARP_COUNT(obs::Counter::kLbKimKills);
+            continue;
+          }
+          if (plan.candidate_envelopes != nullptr &&
+              LbKeogh((*plan.candidate_envelopes)[i], query, cost, bound) >
+                  bound) {
+            WARP_COUNT(obs::Counter::kLbKeoghKills);
+            continue;
+          }
+          if (LbKeogh(plan.query_envelope, candidate, cost, bound) > bound) {
+            WARP_COUNT(obs::Counter::kLbKeoghKills);
+            continue;
+          }
+          distance = CdtwDistanceAbandoning(query, candidate, plan.band,
+                                            bound, cost, &workspace);
+          if (distance == kInf) {
+            WARP_COUNT(obs::Counter::kCascadeEarlyAbandons);
+            continue;
+          }
+          WARP_COUNT(obs::Counter::kCascadeFullDtw);
+        }
+      } else {
+        distance = plan.measure(query, stored.data[i].view());
+      }
+      if (plan.is_range) {
+        if (distance <= request.threshold) {
+          out.hits.push_back({i, stored.data[i].label(), distance});
+        }
+      } else {
+        out.AddTopK({i, stored.data[i].label(), distance}, plan.k);
+        if (plan.k == 1) plan.shared.Lower(distance);
+      }
+    }
+  }
+
+  // Chunk-order merge on the calling thread: deterministic at any thread
+  // count and identical between the candidate-parallel and flattened
+  // batch paths.
+  ServeResponse MergeScan(ScanPlan& plan) {
+    const ServeRequest& request = *plan.request;
+    ServeResponse response;
+    response.id = request.id;
+    response.op = request.op;
+    response.ok = true;
+    response.total = plan.stored->data.size();
+    for (const ChunkHits& chunk : plan.chunks) {
+      response.scanned += chunk.scanned;
+    }
+    response.partial = response.scanned < response.total;
+    if (response.partial) {
+      WARP_COUNT(obs::Counter::kServeDeadlineExceeded);
+    }
+    if (plan.is_range) {
+      for (ChunkHits& chunk : plan.chunks) {
+        response.neighbors.insert(response.neighbors.end(),
+                                  chunk.hits.begin(), chunk.hits.end());
+      }
+    } else {
+      ChunkHits merged;
+      for (const ChunkHits& chunk : plan.chunks) {
+        for (const Neighbor& n : chunk.hits) merged.AddTopK(n, plan.k);
+      }
+      response.neighbors = std::move(merged.hits);
+    }
+    return response;
+  }
+
+  ServeResponse ExecuteScan(const ServeRequest& request,
+                            const StoredDataset& stored,
+                            const ExecContext& ctx) {
+    const std::unique_ptr<ScanPlan> plan = PrepareScan(request, stored);
+    ParallelFor(ctx.pool, 0, stored.data.size(), kScanGrain,
+                [&](size_t begin, size_t end, size_t worker) {
+                  ScanRange(*plan, begin, end, WorkspaceFor(ctx, worker));
+                });
+    return MergeScan(*plan);
+  }
+
+  ServeResponse RunOne(const ServeRequest& request,
+                       const std::shared_ptr<const StoredDataset>& snapshot,
+                       const ExecContext& ctx) {
+    const std::string key = CacheKey(request, snapshot->epoch);
+    ServeResponse response;
+    if (cache != nullptr && cache->Lookup(key, &response)) {
+      response.id = request.id;
+      return response;
+    }
+    response = Execute(request, *snapshot, ctx);
+    if (cache != nullptr) cache->Insert(key, response);
+    return response;
+  }
+};
+
+QueryEngine::QueryEngine(const DatasetStore* store, ResultCache* cache,
+                         size_t threads)
+    : impl_(std::make_unique<Impl>(store, cache, threads)) {
+  WARP_CHECK(store != nullptr);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+size_t QueryEngine::threads() const { return impl_->Threads(); }
+
+ServeResponse QueryEngine::Run(const ServeRequest& request) {
+  WARP_COUNT(obs::Counter::kServeRequests);
+  std::shared_ptr<const StoredDataset> snapshot;
+  ServeResponse failure;
+  if (!impl_->Resolve(request, &snapshot, &failure)) return failure;
+  Impl::ExecContext ctx;
+  ctx.pool = impl_->pool.get();
+  return impl_->RunOne(request, snapshot, ctx);
+}
+
+void QueryEngine::RunBatch(const std::vector<ServeRequest>& requests,
+                           std::vector<ServeResponse>* responses) {
+  responses->assign(requests.size(), ServeResponse{});
+
+  // Group request indexes by dataset, first-appearance order, so each
+  // group resolves its snapshot once and scans it back to back (shared
+  // index, warm cache lines across the group's queries).
+  std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    WARP_COUNT(obs::Counter::kServeRequests);
+    bool found = false;
+    for (auto& [name, members] : groups) {
+      if (name == requests[i].dataset) {
+        members.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.push_back({requests[i].dataset, {i}});
+  }
+
+  for (const auto& [name, members] : groups) {
+    WARP_COUNT(obs::Counter::kServeBatches);
+    WARP_COUNT_ADD(obs::Counter::kServeBatchedQueries, members.size());
+    // Validate each member against the snapshot it resolved — a
+    // concurrent re-registration mid-group must not let a request
+    // validated against one epoch execute against another.
+    std::vector<std::pair<size_t, std::shared_ptr<const StoredDataset>>>
+        runnable;
+    for (const size_t i : members) {
+      std::shared_ptr<const StoredDataset> snap;
+      ServeResponse failure;
+      if (!impl_->Resolve(requests[i], &snap, &failure)) {
+        (*responses)[i] = std::move(failure);
+        continue;
+      }
+      runnable.emplace_back(i, std::move(snap));
+    }
+    if (runnable.empty()) continue;
+
+    if (impl_->pool == nullptr) {
+      Impl::ExecContext ctx;  // Serial engine: scan inline, slot 0.
+      for (const auto& [r, snap] : runnable) {
+        (*responses)[r] = impl_->RunOne(requests[r], snap, ctx);
+      }
+      continue;
+    }
+
+    // Pooled path: answer cache hits and single-series ops inline, build
+    // a ScanPlan per uncached scan, then flatten every plan's chunks into
+    // ONE work list — the pool stays saturated regardless of how the
+    // batch divides into requests (a batch of 2 big scans and 30 tiny
+    // ones fans out as well as 32 equal ones). Chunk boundaries, merges,
+    // and pruning rules are exactly those of the single-request path, so
+    // every response is bitwise-identical to Run() on its own.
+    std::vector<std::unique_ptr<Impl::ScanPlan>> plans;
+    for (const auto& [r, snap] : runnable) {
+      const ServeRequest& request = requests[r];
+      const std::string key = CacheKey(request, snap->epoch);
+      ServeResponse hit;
+      if (impl_->cache != nullptr && impl_->cache->Lookup(key, &hit)) {
+        hit.id = request.id;
+        (*responses)[r] = std::move(hit);
+        continue;
+      }
+      if (Impl::IsScanOp(request.op)) {
+        std::unique_ptr<Impl::ScanPlan> plan =
+            impl_->PrepareScan(request, *snap);
+        plan->slot = r;
+        plan->cache_key = key;
+        plans.push_back(std::move(plan));
+      } else {
+        Impl::ExecContext ctx;
+        ctx.pool = impl_->pool.get();
+        ServeResponse response = impl_->Execute(request, *snap, ctx);
+        if (impl_->cache != nullptr) {
+          impl_->cache->Insert(key, response);
+        }
+        (*responses)[r] = std::move(response);
+      }
+    }
+    if (plans.empty()) continue;
+
+    struct Unit {
+      Impl::ScanPlan* plan;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<Unit> units;
+    for (const std::unique_ptr<Impl::ScanPlan>& plan : plans) {
+      const size_t count = plan->stored->data.size();
+      for (size_t begin = 0; begin < count; begin += kScanGrain) {
+        units.push_back(
+            {plan.get(), begin, std::min(begin + kScanGrain, count)});
+      }
+    }
+    ParallelFor(impl_->pool.get(), 0, units.size(), 1,
+                [&](size_t begin, size_t end, size_t worker) {
+                  for (size_t u = begin; u < end; ++u) {
+                    impl_->ScanRange(*units[u].plan, units[u].begin,
+                                     units[u].end,
+                                     impl_->workspaces[worker]);
+                  }
+                });
+    for (const std::unique_ptr<Impl::ScanPlan>& plan : plans) {
+      ServeResponse response = impl_->MergeScan(*plan);
+      if (impl_->cache != nullptr) {
+        impl_->cache->Insert(plan->cache_key, response);
+      }
+      (*responses)[plan->slot] = std::move(response);
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace warp

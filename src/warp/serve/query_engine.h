@@ -1,0 +1,75 @@
+// Query execution against the dataset store.
+//
+// Resolves a typed ServeRequest (warp/serve/request.h) through the
+// measure registry and answers it from the store's precomputed LB index:
+// for cDTW the per-candidate cascade is
+//
+//   LB_Kim (head/tail cache) -> LB_Keogh(candidate envelope, query)
+//   (precomputed) -> LB_Keogh(query envelope, candidate) (built once per
+//   request) -> early-abandoning cDTW
+//
+// exactly the UCR-suite ordering, with each rung pruned against the
+// current best-so-far. Other registered measures scan brute-force through
+// their registry closure. Scans run on the engine's ThreadPool in
+// fixed-size chunks; per-chunk winners merge on the calling thread by the
+// total order (distance, index), so every answer is bitwise-identical at
+// any thread count — pruning thresholds only decide how much work is
+// skipped, never which candidate wins.
+//
+// Deadlines: a request with deadline_ms > 0 carries a wall-clock budget.
+// When it expires mid-scan the remaining candidates are skipped and the
+// response is flagged `partial` with `scanned`/`total` counts — a
+// degraded-but-honest answer instead of a blocked worker. Partial
+// responses never enter the result cache.
+
+#ifndef WARP_SERVE_QUERY_ENGINE_H_
+#define WARP_SERVE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "warp/common/parallel.h"
+#include "warp/serve/dataset_store.h"
+#include "warp/serve/request.h"
+#include "warp/serve/result_cache.h"
+
+namespace warp {
+namespace serve {
+
+class QueryEngine {
+ public:
+  // `store` must outlive the engine; `cache` may be nullptr (no caching).
+  // threads: 1 = serial on the calling thread, 0 = DefaultThreadCount(),
+  // N = N pool workers.
+  QueryEngine(const DatasetStore* store, ResultCache* cache,
+              size_t threads = 1);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  size_t threads() const;
+
+  // Answers one request (cache probe -> execute -> cache insert). Always
+  // returns a response with the request's id; failures set ok=false and
+  // `error`. Must be called from one orchestrating thread at a time (the
+  // batcher serializes callers).
+  ServeResponse Run(const ServeRequest& request);
+
+  // Answers a batch. Requests are grouped by dataset so each group
+  // resolves its snapshot once; groups with more than one uncached
+  // request fan out request-per-chunk over the pool (each request scans
+  // serially), single requests fan out candidate-chunks. Either path
+  // yields bitwise-identical responses to Run() on each request alone.
+  void RunBatch(const std::vector<ServeRequest>& requests,
+                std::vector<ServeResponse>* responses);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_QUERY_ENGINE_H_

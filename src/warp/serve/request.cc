@@ -1,0 +1,28 @@
+#include "warp/serve/request.h"
+
+namespace warp {
+namespace serve {
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::k1Nn: return "1nn";
+    case QueryOp::kKnn: return "knn";
+    case QueryOp::kRange: return "range";
+    case QueryOp::kDist: return "dist";
+    case QueryOp::kSubsequence: return "subsequence";
+  }
+  return "unknown";
+}
+
+bool ParseQueryOp(const std::string& name, QueryOp* op) {
+  if (name == "1nn") *op = QueryOp::k1Nn;
+  else if (name == "knn") *op = QueryOp::kKnn;
+  else if (name == "range") *op = QueryOp::kRange;
+  else if (name == "dist") *op = QueryOp::kDist;
+  else if (name == "subsequence") *op = QueryOp::kSubsequence;
+  else return false;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace warp

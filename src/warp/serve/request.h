@@ -1,0 +1,80 @@
+// Typed requests and responses for the query-serving subsystem.
+//
+// One struct pair shared by the query engine (execution), the result
+// cache (keying), the protocol layer (JSON <-> struct), and the in-process
+// bench — so a request built from a wire line and one built directly by a
+// test are the same object and provably take the same code path.
+
+#ifndef WARP_SERVE_REQUEST_H_
+#define WARP_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "warp/core/measure.h"
+
+namespace warp {
+namespace serve {
+
+// Query operations the engine executes. The server additionally handles
+// control operations (load/info/stats/ping/shutdown) that never reach the
+// engine; see docs/SERVING.md.
+enum class QueryOp {
+  k1Nn,          // nearest neighbor of `query` in `dataset`
+  kKnn,          // k nearest neighbors
+  kRange,        // all series with distance <= threshold
+  kDist,         // distance between `query` and series `index`
+  kSubsequence,  // best-matching window of series `index` for `query`
+};
+
+// "1nn", "knn", ... — the wire op names.
+const char* QueryOpName(QueryOp op);
+bool ParseQueryOp(const std::string& name, QueryOp* op);
+
+struct ServeRequest {
+  int64_t id = 0;
+  QueryOp op = QueryOp::k1Nn;
+  std::string dataset;
+  std::string measure = "cdtw";
+  MeasureParams params;        // band/window/cost + measure knobs.
+  size_t k = 1;                // knn only.
+  double threshold = 0.0;      // range only.
+  size_t index = 0;            // dist / subsequence target series.
+  std::vector<double> query;   // the query series.
+  bool znormalize = true;      // z-normalize `query` before matching.
+  double deadline_ms = 0.0;    // <= 0: no deadline.
+};
+
+struct Neighbor {
+  size_t index = 0;
+  int label = 0;
+  double distance = 0.0;
+};
+
+struct ServeResponse {
+  int64_t id = 0;
+  bool ok = false;
+  std::string error;
+  QueryOp op = QueryOp::k1Nn;
+
+  // Deadline bookkeeping: `partial` is set when the per-request budget
+  // expired before every candidate was scanned; `scanned` of `total`
+  // candidates were fully considered (the answer is exact over those).
+  bool partial = false;
+  uint64_t scanned = 0;
+  uint64_t total = 0;
+
+  // 1nn / knn / range results, ordered by (distance, index) for knn and
+  // by index for range.
+  std::vector<Neighbor> neighbors;
+
+  // dist / subsequence results.
+  double distance = 0.0;
+  size_t position = 0;
+};
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_REQUEST_H_

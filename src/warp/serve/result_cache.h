@@ -1,0 +1,85 @@
+// Bounded LRU cache of fully computed query answers.
+//
+// Keyed on everything that determines an answer: dataset epoch, operation,
+// measure + every parameter, and a hash of the query values (plus the raw
+// lengths, so hash collisions across different shapes are impossible to
+// confuse; a 64-bit FNV-1a collision within one shape is accepted as
+// negligible against the cost of storing full queries). Because the engine
+// is deterministic at any thread count, a hit is bitwise-identical to
+// recomputation — tests/serve/result_cache_test.cc holds it to that.
+//
+// Partial (deadline-clipped) responses are never inserted: they are not a
+// function of the request alone.
+//
+// Thread-safe; hit/miss/evict totals go to the obs registry
+// (serve_cache_hits / serve_cache_misses / serve_cache_evictions).
+
+#ifndef WARP_SERVE_RESULT_CACHE_H_
+#define WARP_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "warp/serve/request.h"
+
+namespace warp {
+namespace serve {
+
+// The canonical cache key for `request` against dataset `epoch`.
+// Deliberately includes every MeasureParams field (measures ignore the
+// ones they do not read, so two requests differing only in an ignored
+// field cache separately — a small redundancy traded for the guarantee
+// that the key can never alias two different answers).
+std::string CacheKey(const ServeRequest& request, uint64_t epoch);
+
+class ResultCache {
+ public:
+  // capacity == 0 disables caching (every lookup is a miss, nothing is
+  // stored).
+  explicit ResultCache(size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // On hit, copies the cached answer into *response (the caller re-stamps
+  // the response id) and refreshes recency.
+  bool Lookup(const std::string& key, ServeResponse* response);
+
+  // Inserts (or refreshes) `response` under `key`, evicting the least
+  // recently used entries above capacity. Partial or failed responses are
+  // ignored.
+  void Insert(const std::string& key, const ServeResponse& response);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  // Process-lifetime totals for this cache instance (the obs registry
+  // aggregates across instances).
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    ServeResponse response;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,324 @@
+#include "warp/serve/server.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "warp/obs/json_writer.h"
+#include "warp/obs/metrics.h"
+#include "warp/serve/batcher.h"
+#include "warp/serve/net.h"
+#include "warp/serve/protocol.h"
+#include "warp/serve/query_engine.h"
+#include "warp/serve/result_cache.h"
+#include "warp/ts/io.h"
+
+namespace warp {
+namespace serve {
+
+namespace {
+
+// How often the accept loop re-checks the shutdown flag.
+constexpr int kAcceptPollMs = 100;
+
+std::vector<size_t> BandsFromFractions(const std::vector<double>& fractions,
+                                       size_t length) {
+  std::vector<size_t> bands;
+  if (length == 0) return bands;
+  bands.reserve(fractions.size());
+  for (double fraction : fractions) {
+    if (fraction < 0.0) continue;
+    bands.push_back(
+        static_cast<size_t>(std::lround(fraction * static_cast<double>(length))));
+  }
+  return bands;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        cache(options.cache_capacity),
+        engine(&store, options.cache_capacity > 0 ? &cache : nullptr,
+               options.threads),
+        batcher(&engine) {}
+
+  struct Connection {
+    TcpConn conn;
+    std::thread thread;
+  };
+
+  void HandleConnection(Connection* connection);
+  std::string HandleControl(const ParsedLine& parsed);
+
+  ServerOptions options;
+  DatasetStore store;
+  ResultCache cache;
+  QueryEngine engine;
+  Batcher batcher;
+  TcpListener listener;
+  std::atomic<bool> shutdown{false};
+
+  std::mutex conn_mutex;
+  std::vector<std::unique_ptr<Connection>> connections;
+};
+
+std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
+  switch (parsed.control) {
+    case ControlOp::kPing: {
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("ping")
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kInfo: {
+      std::shared_ptr<const StoredDataset> snapshot =
+          store.Get(parsed.dataset);
+      if (snapshot == nullptr) {
+        return FormatErrorLine(parsed.id,
+                               "unknown dataset: '" + parsed.dataset + "'");
+      }
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("info")
+          .Key("dataset").String(snapshot->name)
+          .Key("size").Uint(snapshot->data.size())
+          .Key("length").Uint(snapshot->uniform_length)
+          .Key("epoch").Uint(snapshot->epoch)
+          .Key("bands").BeginArray();
+      for (size_t band : snapshot->bands) writer.Uint(band);
+      writer.EndArray().EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kStats: {
+      const obs::MetricsSnapshot counters = obs::SnapshotCounters();
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("stats")
+          .Key("counters").BeginObject();
+      using obs::Counter;
+      for (Counter counter : {Counter::kServeRequests, Counter::kServeBatches,
+                              Counter::kServeBatchedQueries,
+                              Counter::kServeCacheHits,
+                              Counter::kServeCacheMisses,
+                              Counter::kServeCacheEvictions,
+                              Counter::kServeDeadlineExceeded}) {
+        writer.Key(obs::CounterName(counter)).Uint(counters.Get(counter));
+      }
+      writer.EndObject()
+          .Key("cache").BeginObject()
+          .Key("size").Uint(cache.size())
+          .Key("capacity").Uint(cache.capacity())
+          .Key("hits").Uint(cache.hits())
+          .Key("misses").Uint(cache.misses())
+          .Key("evictions").Uint(cache.evictions())
+          .EndObject()
+          .Key("datasets").BeginArray();
+      for (const std::string& name : store.Names()) writer.String(name);
+      writer.EndArray().EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kLoad: {
+      Dataset dataset;
+      std::string error;
+      if (!LoadUcrFile(parsed.path, &dataset, &error)) {
+        // The ts/io error (missing file, truncated row, non-finite value)
+        // goes back to the client verbatim instead of killing the server.
+        return FormatErrorLine(parsed.id, "load failed: " + error);
+      }
+      const std::vector<double>& fractions = parsed.band_fractions.empty()
+                                                 ? options.band_fractions
+                                                 : parsed.band_fractions;
+      const size_t length = dataset.UniformLength();
+      std::shared_ptr<const StoredDataset> snapshot =
+          store.Register(parsed.dataset, std::move(dataset),
+                         BandsFromFractions(fractions, length));
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("load")
+          .Key("dataset").String(snapshot->name)
+          .Key("size").Uint(snapshot->data.size())
+          .Key("length").Uint(snapshot->uniform_length)
+          .Key("epoch").Uint(snapshot->epoch)
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kShutdown: {
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("shutdown")
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kNone:
+      break;
+  }
+  return FormatErrorLine(parsed.id, "internal: unhandled control op");
+}
+
+void Server::Impl::HandleConnection(Connection* connection) {
+  std::string first;
+  while (!shutdown.load(std::memory_order_relaxed) &&
+         connection->conn.ReadLine(&first)) {
+    // Drain everything the client has already pipelined: those lines form
+    // one batch, which is where the batcher's group commit pays off.
+    std::vector<std::string> lines;
+    lines.push_back(std::move(first));
+    while (connection->conn.HasBufferedLine()) {
+      std::string more;
+      if (!connection->conn.ReadLine(&more)) break;
+      lines.push_back(std::move(more));
+    }
+
+    // Lines take effect strictly in order: runs of consecutive queries
+    // form one engine batch, and a control op (stats, load, shutdown)
+    // flushes the pending batch first so it observes every query that
+    // preceded it on the wire.
+    std::vector<std::string> out(lines.size());
+    std::vector<ServeRequest> queries;
+    std::vector<size_t> query_slot;
+    const auto flush_queries = [&] {
+      if (queries.empty()) return;
+      std::vector<ServeResponse> responses;
+      batcher.Execute(queries, &responses);
+      for (size_t j = 0; j < responses.size(); ++j) {
+        out[query_slot[j]] = FormatResponse(responses[j]);
+      }
+      queries.clear();
+      query_slot.clear();
+    };
+    bool want_shutdown = false;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].empty()) continue;  // Blank lines are keep-alives.
+      ParsedLine parsed;
+      std::string error;
+      if (!ParseRequestLine(lines[i], &parsed, &error)) {
+        out[i] = FormatErrorLine(parsed.id, error);
+      } else if (parsed.control == ControlOp::kNone) {
+        queries.push_back(std::move(parsed.request));
+        query_slot.push_back(i);
+      } else {
+        flush_queries();
+        out[i] = HandleControl(parsed);
+        if (parsed.control == ControlOp::kShutdown) want_shutdown = true;
+      }
+    }
+    flush_queries();
+
+    std::string payload;
+    for (const std::string& response : out) {
+      if (response.empty()) continue;
+      payload += response;
+      payload += '\n';
+    }
+    if (!payload.empty() && !connection->conn.WriteAll(payload)) break;
+    if (want_shutdown) {
+      shutdown.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  connection->conn.ShutdownBoth();
+}
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  RequestShutdown();
+  std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+  for (std::unique_ptr<Impl::Connection>& connection : impl_->connections) {
+    connection->conn.ShutdownBoth();
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void Server::RegisterDataset(const std::string& name, Dataset dataset) {
+  const size_t length = dataset.UniformLength();
+  impl_->store.Register(
+      name, std::move(dataset),
+      BandsFromFractions(impl_->options.band_fractions, length));
+}
+
+bool Server::LoadDataset(const std::string& name, const std::string& path,
+                         const std::vector<double>& band_fractions,
+                         std::string* error) {
+  Dataset dataset;
+  if (!LoadUcrFile(path, &dataset, error)) return false;
+  const std::vector<double>& fractions = band_fractions.empty()
+                                             ? impl_->options.band_fractions
+                                             : band_fractions;
+  const size_t length = dataset.UniformLength();
+  impl_->store.Register(name, std::move(dataset),
+                        BandsFromFractions(fractions, length));
+  return true;
+}
+
+bool Server::Start(std::string* error) {
+  return impl_->listener.Listen(impl_->options.port, error);
+}
+
+int Server::port() const { return impl_->listener.port(); }
+
+void Server::Serve() {
+  while (!impl_->shutdown.load(std::memory_order_relaxed)) {
+    bool timed_out = false;
+    TcpConn conn = impl_->listener.AcceptWithTimeout(kAcceptPollMs, &timed_out);
+    if (!conn.valid()) {
+      if (timed_out) continue;
+      break;  // Listener closed or failed.
+    }
+    auto connection = std::make_unique<Impl::Connection>();
+    connection->conn = std::move(conn);
+    Impl::Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] {
+      impl_->HandleConnection(raw);
+    });
+    std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    impl_->connections.push_back(std::move(connection));
+  }
+
+  impl_->listener.Close();
+  std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+  for (std::unique_ptr<Impl::Connection>& connection : impl_->connections) {
+    connection->conn.ShutdownBoth();
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  impl_->connections.clear();
+}
+
+void Server::RequestShutdown() {
+  impl_->shutdown.store(true, std::memory_order_relaxed);
+}
+
+const DatasetStore& Server::store() const { return impl_->store; }
+
+int RunServer(Server* server) {
+  std::string error;
+  if (!server->Start(&error)) {
+    std::fprintf(stderr, "warp_serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("warp_serve listening on 127.0.0.1:%d\n", server->port());
+  std::fflush(stdout);
+  server->Serve();
+  return 0;
+}
+
+}  // namespace serve
+}  // namespace warp

@@ -1,0 +1,87 @@
+// The loopback TCP query server (docs/SERVING.md).
+//
+// Composition of the serve subsystem: a DatasetStore (shared, read-only
+// snapshots), a ResultCache, a QueryEngine on a ThreadPool, and a Batcher
+// that group-commits concurrent connections into shared engine batches.
+// One thread per connection reads line-delimited JSON requests; lines
+// that are already buffered when a response would be written are drained
+// first and answered as one batch (pipelining IS batching). Control ops
+// (ping / info / stats / load / shutdown) are answered inline by the
+// server without entering the engine.
+//
+// All socket work goes through warp/serve/net.h; this file never issues
+// a raw socket syscall.
+
+#ifndef WARP_SERVE_SERVER_H_
+#define WARP_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "warp/serve/dataset_store.h"
+#include "warp/ts/dataset.h"
+
+namespace warp {
+namespace serve {
+
+struct ServerOptions {
+  uint16_t port = 0;           // 0 = kernel-assigned; see Server::port().
+  size_t threads = 1;          // Query-engine worker threads.
+  size_t cache_capacity = 256; // Result-cache entries; 0 disables caching.
+
+  // Sakoe-Chiba fractions indexed at dataset registration: each becomes a
+  // per-series envelope set at band = round(fraction * length).
+  std::vector<double> band_fractions = {0.05, 0.1};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Z-normalizes, indexes (options.band_fractions), and registers
+  // `dataset` under `name`. Callable before Start() (preloading) or
+  // while serving (the store swaps snapshots atomically).
+  void RegisterDataset(const std::string& name, Dataset dataset);
+
+  // Loads a UCR file and registers it. Returns false and fills *error on
+  // I/O or parse failure (the dataset list is unchanged).
+  bool LoadDataset(const std::string& name, const std::string& path,
+                   const std::vector<double>& band_fractions,
+                   std::string* error);
+
+  // Binds the listener. Returns false and fills *error on failure.
+  bool Start(std::string* error);
+
+  // The bound port (valid after Start(); useful with options.port == 0).
+  int port() const;
+
+  // Accepts and serves connections until RequestShutdown() (from a
+  // connection's `shutdown` op or another thread). Joins every
+  // connection thread before returning.
+  void Serve();
+
+  // Signals Serve() to stop; safe from any thread, idempotent.
+  void RequestShutdown();
+
+  const DatasetStore& store() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience for tools: Start() + Serve(), printing
+// "warp_serve listening on 127.0.0.1:<port>" to stdout first so harnesses
+// can scrape the bound port. Returns a process exit code.
+int RunServer(Server* server);
+
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_SERVER_H_

@@ -1,0 +1,126 @@
+// DatasetStore tests: the precomputed LB index must match what a query
+// would compute from scratch, and epoch/snapshot semantics must hold.
+
+#include "warp/serve/dataset_store.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/core/envelope.h"
+#include "warp/gen/random_walk.h"
+#include "warp/ts/znorm.h"
+
+namespace warp {
+namespace serve {
+namespace {
+
+TEST(DatasetStoreTest, RegisterZNormalizesEverySeries) {
+  const Dataset raw = gen::RandomWalkDataset(6, 32, 7);
+  DatasetStore store;
+  const auto stored = store.Register("d", raw, {});
+  ASSERT_EQ(stored->data.size(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(stored->data[i].values(), ZNormalized(raw[i].values()))
+        << "series " << i;
+  }
+  EXPECT_EQ(stored->uniform_length, 32u);
+}
+
+// The index exists so queries skip per-candidate envelope builds; it is
+// only sound if it equals ComputeEnvelope on the z-normalized series.
+TEST(DatasetStoreTest, EnvelopeIndexMatchesComputeEnvelope) {
+  const Dataset raw = gen::RandomWalkDataset(5, 40, 13);
+  DatasetStore store;
+  const auto stored = store.Register("d", raw, {2, 8});
+  ASSERT_EQ(stored->bands, (std::vector<size_t>{2, 8}));
+  ASSERT_EQ(stored->envelopes.size(), 2u);
+  for (size_t b = 0; b < stored->bands.size(); ++b) {
+    ASSERT_EQ(stored->envelopes[b].size(), raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const Envelope expected =
+          ComputeEnvelope(stored->data[i].values(), stored->bands[b]);
+      EXPECT_EQ(stored->envelopes[b][i].upper, expected.upper);
+      EXPECT_EQ(stored->envelopes[b][i].lower, expected.lower);
+    }
+  }
+}
+
+TEST(DatasetStoreTest, HeadTailCachesMatchEndpoints) {
+  const Dataset raw = gen::RandomWalkDataset(4, 16, 3);
+  DatasetStore store;
+  const auto stored = store.Register("d", raw, {1});
+  ASSERT_EQ(stored->head.size(), raw.size());
+  ASSERT_EQ(stored->tail.size(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(stored->head[i], stored->data[i].values().front());
+    EXPECT_EQ(stored->tail[i], stored->data[i].values().back());
+  }
+}
+
+TEST(DatasetStoreTest, EnvelopesForBandLookup) {
+  DatasetStore store;
+  const auto stored =
+      store.Register("d", gen::RandomWalkDataset(3, 20, 1), {4, 4, 9});
+  EXPECT_EQ(stored->bands, (std::vector<size_t>{4, 9}));  // Deduplicated.
+  EXPECT_NE(stored->EnvelopesForBand(4), nullptr);
+  EXPECT_NE(stored->EnvelopesForBand(9), nullptr);
+  EXPECT_EQ(stored->EnvelopesForBand(5), nullptr);
+}
+
+TEST(DatasetStoreTest, NonUniformDatasetsSkipTheIndex) {
+  Dataset ragged;
+  ragged.Add(TimeSeries({1.0, 2.0, 3.0}, 0));
+  ragged.Add(TimeSeries({1.0, 2.0}, 1));
+  DatasetStore store;
+  const auto stored = store.Register("r", ragged, {1});
+  EXPECT_EQ(stored->uniform_length, 0u);
+  EXPECT_TRUE(stored->envelopes.empty());
+  EXPECT_TRUE(stored->bands.empty());
+  // Endpoint caches are length-independent and still present.
+  EXPECT_EQ(stored->head.size(), 2u);
+}
+
+TEST(DatasetStoreTest, EveryRegistrationBumpsTheEpoch) {
+  DatasetStore store;
+  EXPECT_EQ(store.CurrentEpoch(), 1u);
+  const auto first = store.Register("a", gen::RandomWalkDataset(2, 8, 1), {});
+  const auto second = store.Register("b", gen::RandomWalkDataset(2, 8, 2), {});
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(second->epoch, 2u);
+  // Replacing a name gets a fresh epoch, never a reused one.
+  const auto replaced =
+      store.Register("a", gen::RandomWalkDataset(2, 8, 3), {});
+  EXPECT_EQ(replaced->epoch, 3u);
+  EXPECT_EQ(store.CurrentEpoch(), 4u);
+  EXPECT_EQ(store.Get("a")->epoch, 3u);
+}
+
+TEST(DatasetStoreTest, OutstandingSnapshotsSurviveReplacementAndDrop) {
+  DatasetStore store;
+  const auto old = store.Register("d", gen::RandomWalkDataset(2, 8, 1), {});
+  store.Register("d", gen::RandomWalkDataset(5, 8, 2), {});
+  EXPECT_EQ(old->data.size(), 2u);  // The old snapshot is untouched.
+  EXPECT_EQ(store.Get("d")->data.size(), 5u);
+
+  const auto current = store.Get("d");
+  EXPECT_TRUE(store.Drop("d"));
+  EXPECT_FALSE(store.Drop("d"));
+  EXPECT_EQ(store.Get("d"), nullptr);
+  EXPECT_EQ(current->data.size(), 5u);
+}
+
+TEST(DatasetStoreTest, NamesAreSorted) {
+  DatasetStore store;
+  store.Register("zeta", gen::RandomWalkDataset(1, 4, 1), {});
+  store.Register("alpha", gen::RandomWalkDataset(1, 4, 2), {});
+  store.Register("mid", gen::RandomWalkDataset(1, 4, 3), {});
+  EXPECT_EQ(store.Names(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_EQ(store.Get("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace warp

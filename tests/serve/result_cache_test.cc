@@ -1,0 +1,219 @@
+// ResultCache tests: LRU mechanics, key construction, and the headline
+// guarantee — a cache hit is bitwise-identical to recomputation at any
+// engine thread count.
+
+#include "warp/serve/result_cache.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+#include "warp/serve/dataset_store.h"
+#include "warp/serve/query_engine.h"
+
+namespace warp {
+namespace serve {
+namespace {
+
+std::string Hex(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%a", v);
+  return buffer;
+}
+
+ServeResponse OkResponse(int64_t id, double distance) {
+  ServeResponse response;
+  response.id = id;
+  response.ok = true;
+  response.op = QueryOp::kDist;
+  response.scanned = response.total = 1;
+  response.distance = distance;
+  return response;
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHit) {
+  ResultCache cache(4);
+  ServeResponse out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  cache.Insert("k", OkResponse(1, 0.5));
+  ASSERT_TRUE(cache.Lookup("k", &out));
+  EXPECT_EQ(out.distance, 0.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert("k", OkResponse(1, 0.5));
+  ServeResponse out;
+  EXPECT_FALSE(cache.Lookup("k", &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, PartialAndFailedResponsesAreNeverCached) {
+  ResultCache cache(4);
+  ServeResponse partial = OkResponse(1, 0.5);
+  partial.partial = true;  // Deadline-clipped: not a function of the key.
+  cache.Insert("p", partial);
+
+  ServeResponse failed;
+  failed.ok = false;
+  failed.error = "boom";
+  cache.Insert("f", failed);
+
+  ServeResponse out;
+  EXPECT_FALSE(cache.Lookup("p", &out));
+  EXPECT_FALSE(cache.Lookup("f", &out));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  ResultCache cache(2);
+  cache.Insert("a", OkResponse(1, 1.0));
+  cache.Insert("b", OkResponse(2, 2.0));
+  ServeResponse out;
+  ASSERT_TRUE(cache.Lookup("a", &out));  // Refresh "a": "b" is now LRU.
+  cache.Insert("c", OkResponse(3, 3.0));
+
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out));  // Evicted.
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, InsertRefreshesRecency) {
+  ResultCache cache(2);
+  cache.Insert("a", OkResponse(1, 1.0));
+  cache.Insert("b", OkResponse(2, 2.0));
+  cache.Insert("a", OkResponse(1, 1.5));  // Re-insert: "b" becomes LRU.
+  cache.Insert("c", OkResponse(3, 3.0));
+  ServeResponse out;
+  ASSERT_TRUE(cache.Lookup("a", &out));
+  EXPECT_EQ(out.distance, 1.5);
+  EXPECT_FALSE(cache.Lookup("b", &out));
+}
+
+TEST(ResultCacheTest, KeySeparatesEverythingThatChangesTheAnswer) {
+  ServeRequest request;
+  request.op = QueryOp::k1Nn;
+  request.dataset = "d";
+  request.query = {1.0, 2.0, 3.0};
+
+  const std::string base = CacheKey(request, 1);
+  EXPECT_EQ(CacheKey(request, 1), base);  // Deterministic.
+  EXPECT_NE(CacheKey(request, 2), base);  // Epoch.
+
+  ServeRequest other = request;
+  other.id = 999;  // The id is correlation only, never part of the key.
+  EXPECT_EQ(CacheKey(other, 1), base);
+
+  other = request;
+  other.measure = "msm";
+  EXPECT_NE(CacheKey(other, 1), base);
+  other = request;
+  other.params.window_fraction = 0.2;
+  EXPECT_NE(CacheKey(other, 1), base);
+  other = request;
+  other.query[2] = 3.0000000001;
+  EXPECT_NE(CacheKey(other, 1), base);
+  other = request;
+  other.znormalize = false;
+  EXPECT_NE(CacheKey(other, 1), base);
+  other = request;
+  other.op = QueryOp::kKnn;
+  EXPECT_NE(CacheKey(other, 1), base);
+}
+
+// The satellite guarantee: run a query cold, then again through the
+// cache, at 1, 2, and 8 engine threads — every distance matches the cold
+// run to the last bit (compared as hexfloats so a failure shows the bits).
+TEST(ResultCacheTest, HitsAreBitwiseIdenticalToRecomputation) {
+  DatasetStore store;
+  store.Register("d", gen::RandomWalkDataset(40, 64, 17), {6});
+  const Dataset queries = gen::RandomWalkDataset(5, 64, 99);
+
+  std::vector<ServeRequest> requests;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ServeRequest request;
+    request.id = static_cast<int64_t>(i);
+    request.op = i % 2 == 0 ? QueryOp::k1Nn : QueryOp::kKnn;
+    request.k = 3;
+    request.dataset = "d";
+    request.params.window_fraction = 0.1;
+    request.query = queries[i].values();
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<std::string> reference;  // From the threads=1 cold run.
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ResultCache cache(64);
+    QueryEngine engine(&store, &cache, threads);
+
+    std::vector<std::string> cold;
+    for (const ServeRequest& request : requests) {
+      const ServeResponse response = engine.Run(request);
+      ASSERT_TRUE(response.ok) << response.error;
+      for (const Neighbor& n : response.neighbors) {
+        cold.push_back(std::to_string(n.index) + ":" + Hex(n.distance));
+      }
+    }
+    const uint64_t misses_after_cold = cache.misses();
+    EXPECT_EQ(cache.hits(), 0u);
+
+    std::vector<std::string> warm;
+    for (const ServeRequest& request : requests) {
+      const ServeResponse response = engine.Run(request);
+      ASSERT_TRUE(response.ok) << response.error;
+      EXPECT_EQ(response.id, request.id);  // Hits are re-stamped.
+      for (const Neighbor& n : response.neighbors) {
+        warm.push_back(std::to_string(n.index) + ":" + Hex(n.distance));
+      }
+    }
+    EXPECT_EQ(warm, cold);
+    EXPECT_EQ(cache.hits(), requests.size());
+    EXPECT_EQ(cache.misses(), misses_after_cold);  // No new computes.
+
+    if (reference.empty()) {
+      reference = cold;
+    } else {
+      EXPECT_EQ(cold, reference);  // Thread count never changes answers.
+    }
+  }
+}
+
+// Re-registering a dataset bumps its epoch, so answers cached against the
+// replaced data can never be served again.
+TEST(ResultCacheTest, ReRegistrationInvalidatesCachedAnswers) {
+  DatasetStore store;
+  store.Register("d", gen::RandomWalkDataset(10, 32, 1), {3});
+  ResultCache cache(16);
+  QueryEngine engine(&store, &cache, 1);
+
+  ServeRequest request;
+  request.op = QueryOp::k1Nn;
+  request.dataset = "d";
+  request.query = gen::RandomWalkDataset(1, 32, 5)[0].values();
+
+  const ServeResponse before = engine.Run(request);
+  ASSERT_TRUE(before.ok) << before.error;
+  ASSERT_EQ(engine.Run(request).neighbors[0].distance,
+            before.neighbors[0].distance);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Replace the dataset with different contents under the same name.
+  store.Register("d", gen::RandomWalkDataset(10, 32, 2), {3});
+  const ServeResponse after = engine.Run(request);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(cache.hits(), 1u);  // The stale entry was not served.
+  EXPECT_NE(Hex(after.neighbors[0].distance),
+            Hex(before.neighbors[0].distance));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace warp

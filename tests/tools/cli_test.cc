@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "warp/core/measure.h"
 #include "warp/gen/gesture.h"
+#include "warp/serve/wire.h"
 #include "warp/ts/io.h"
 
 namespace warp {
@@ -154,6 +156,26 @@ TEST_F(CliTest, ClusterEmitsNewickAndCut) {
   EXPECT_EQ(code, 0);
   EXPECT_NE(out.find(';'), std::string::npos);  // Newick terminator.
   EXPECT_NE(out.find('('), std::string::npos);
+}
+
+TEST_F(CliTest, MeasuresJsonListsTheRegistry) {
+  int code = 0;
+  const std::string out = RunCommand(
+      std::string(WARP_CLI_PATH) + " measures --json", &code);
+  EXPECT_EQ(code, 0);
+
+  serve::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(serve::ParseJson(out, &root, &error)) << error << "\n" << out;
+  ASSERT_TRUE(root.is_array());
+  const auto& registry = RegisteredMeasures();
+  ASSERT_EQ(root.AsArray().size(), registry.size());
+  for (size_t i = 0; i < registry.size(); ++i) {
+    EXPECT_EQ(root.AsArray()[i].StringOr("name", ""), registry[i].name);
+    EXPECT_EQ(root.AsArray()[i].BoolOr("exact", !registry[i].exact),
+              registry[i].exact);
+    EXPECT_FALSE(root.AsArray()[i].StringOr("summary", "").empty());
+  }
 }
 
 TEST_F(CliTest, UnknownCommandFails) {

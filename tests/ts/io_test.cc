@@ -112,6 +112,79 @@ TEST_F(IoTest, SkipsBlankLines) {
   EXPECT_EQ(dataset.size(), 2u);
 }
 
+TEST_F(IoTest, TruncatedRowLoadsAsShorterSeries) {
+  // UCR files are whitespace-delimited; a row cut short mid-write still
+  // parses (as a shorter series) and is diagnosable downstream via
+  // UniformLength() == 0 rather than silently padding.
+  const std::string path = TempPath("truncated.tsv");
+  {
+    std::ofstream out(path);
+    out << "1\t2.0\t3.0\t4.0\n";
+    out << "2\t5.0\n";  // Truncated.
+  }
+  Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(LoadUcrFile(path, &dataset, &error)) << error;
+  ASSERT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset[0].size(), 3u);
+  EXPECT_EQ(dataset[1].size(), 1u);
+  EXPECT_EQ(dataset.UniformLength(), 0u);
+}
+
+TEST_F(IoTest, RowEndingInSeparatorIsNotTruncation) {
+  TimeSeries series;
+  std::string error;
+  ASSERT_TRUE(ParseUcrLine("1\t2.0\t3.0\t", &series, &error)) << error;
+  EXPECT_EQ(series.size(), 2u);
+}
+
+TEST_F(IoTest, MixedCaseNonFiniteValuesRejected) {
+  const std::string path = TempPath("nan.tsv");
+  {
+    std::ofstream out(path);
+    out << "1\t2.0\t3.0\n";
+    out << "2\t4.0\tNaN\n";
+    out << "3\t6.0\t7.0\n";
+  }
+  Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadUcrFile(path, &dataset, &error));
+  EXPECT_NE(error.find(":2:"), std::string::npos);  // The offending line.
+  TimeSeries series;
+  EXPECT_FALSE(ParseUcrLine("1\t-INF", &series, &error));
+}
+
+TEST_F(IoTest, WhitespaceOnlyFileFails) {
+  const std::string path = TempPath("whitespace.tsv");
+  {
+    std::ofstream out(path);
+    out << "\n\r\n\n";
+  }
+  Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(LoadUcrFile(path, &dataset, &error));
+  EXPECT_NE(error.find("no series"), std::string::npos);
+}
+
+TEST_F(IoTest, LoadSeriesFileErrorPaths) {
+  TimeSeries series;
+  std::string error;
+  EXPECT_FALSE(LoadSeriesFile("/nonexistent/series.txt", &series, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  const std::string empty = TempPath("empty_series.txt");
+  { std::ofstream out(empty); }
+  EXPECT_FALSE(LoadSeriesFile(empty, &series, &error));
+
+  const std::string garbage = TempPath("garbage_series.txt");
+  {
+    std::ofstream out(garbage);
+    out << "1.0\nbogus\n";
+  }
+  EXPECT_FALSE(LoadSeriesFile(garbage, &series, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
 TEST_F(IoTest, SeriesRoundTrip) {
   const TimeSeries series({0.5, -2.25, 7.0});
   const std::string path = TempPath("series.txt");

@@ -1,0 +1,139 @@
+// Shared implementation of the serve tool entry point.
+//
+// `warp_serve` and `warp_cli serve` are the same server with two front
+// doors; both parse the same flags and call ServeToolMain() from here so
+// the behavior cannot drift. Header-only to keep tools/ free of its own
+// library target.
+//
+//   --port=N        listen port (default 0 = kernel-assigned; the bound
+//                   port is printed on the "listening" line)
+//   --threads=N     query-engine workers (default 1; 0 = all cores)
+//   --cache=N       result-cache capacity in entries (default 256; 0 off)
+//   --bands=F,F     window fractions indexed per dataset (default .05,.1)
+//   --data=NAME=PATH         load a UCR file (repeatable)
+//   --gen=NAME=COUNT,LEN[,SEED]  synthesize a random-walk dataset
+//                   (repeatable; default seed 42)
+
+#ifndef WARP_TOOLS_SERVE_MAIN_H_
+#define WARP_TOOLS_SERVE_MAIN_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "warp/gen/random_walk.h"
+#include "warp/serve/server.h"
+
+namespace warp {
+namespace tools {
+
+using ToolFlags = std::vector<std::pair<std::string, std::string>>;
+
+// Parses --name / --name=value arguments from argv[start..); anything not
+// starting with "--" is ignored (the caller owns positionals).
+inline ToolFlags ParseToolFlags(int argc, char** argv, int start) {
+  ToolFlags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.emplace_back(arg, "true");
+    } else {
+      flags.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+  return flags;
+}
+
+inline std::vector<double> ParseFractionList(const std::string& text) {
+  std::vector<double> fractions;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(start, comma - start);
+    if (!piece.empty()) fractions.push_back(std::strtod(piece.c_str(), nullptr));
+    start = comma + 1;
+  }
+  return fractions;
+}
+
+// Builds, preloads, and runs a server from parsed tool flags. Returns a
+// process exit code.
+inline int ServeToolMain(const ToolFlags& flags) {
+  serve::ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> data_specs;
+  std::vector<std::string> gen_specs;
+  for (const auto& [key, value] : flags) {
+    if (key == "port") {
+      options.port = static_cast<uint16_t>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "threads") {
+      const long n = std::strtol(value.c_str(), nullptr, 10);
+      options.threads = n < 0 ? 0 : static_cast<size_t>(n);
+    } else if (key == "cache") {
+      const long n = std::strtol(value.c_str(), nullptr, 10);
+      options.cache_capacity = n < 0 ? 0 : static_cast<size_t>(n);
+    } else if (key == "bands") {
+      options.band_fractions = ParseFractionList(value);
+    } else if (key == "data") {
+      const size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "warp_serve: --data expects NAME=PATH\n");
+        return 1;
+      }
+      data_specs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (key == "gen") {
+      gen_specs.push_back(value);
+    } else {
+      std::fprintf(stderr, "warp_serve: unknown flag --%s\n", key.c_str());
+      return 1;
+    }
+  }
+
+  serve::Server server(std::move(options));
+  for (const auto& [name, path] : data_specs) {
+    std::string error;
+    if (!server.LoadDataset(name, path, {}, &error)) {
+      std::fprintf(stderr, "warp_serve: %s: %s\n", name.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  for (const std::string& spec : gen_specs) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "warp_serve: --gen expects NAME=COUNT,LEN[,SEED]\n");
+      return 1;
+    }
+    const std::string name = spec.substr(0, eq);
+    char* cursor = nullptr;
+    const std::string numbers = spec.substr(eq + 1);
+    const long count = std::strtol(numbers.c_str(), &cursor, 10);
+    long length = 0;
+    long seed = 42;
+    if (cursor != nullptr && *cursor == ',') {
+      length = std::strtol(cursor + 1, &cursor, 10);
+      if (cursor != nullptr && *cursor == ',') {
+        seed = std::strtol(cursor + 1, nullptr, 10);
+      }
+    }
+    if (count <= 0 || length <= 0) {
+      std::fprintf(stderr, "warp_serve: bad --gen spec '%s'\n", spec.c_str());
+      return 1;
+    }
+    server.RegisterDataset(
+        name, gen::RandomWalkDataset(static_cast<size_t>(count),
+                                     static_cast<size_t>(length),
+                                     static_cast<uint64_t>(seed)));
+  }
+  return serve::RunServer(&server);
+}
+
+}  // namespace tools
+}  // namespace warp
+
+#endif  // WARP_TOOLS_SERVE_MAIN_H_

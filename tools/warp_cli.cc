@@ -12,9 +12,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "serve_main.h"
 #include "warp/common/statistics.h"
 #include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
@@ -31,7 +33,9 @@
 #include "warp/mining/nn_classifier.h"
 #include "warp/mining/similarity_search.h"
 #include "warp/mining/window_search.h"
+#include "warp/obs/json_writer.h"
 #include "warp/obs/metrics.h"
+#include "warp/serve/net.h"
 #include "warp/ts/io.h"
 #include "warp/ts/znorm.h"
 
@@ -79,6 +83,21 @@ COMMANDS
 
   measures            List every registered measure with a one-line
                       summary (the registry in warp/core/measure.h).
+    --json            machine-readable JSON array instead of the table
+
+  serve               Run the loopback query server (docs/SERVING.md).
+                      Same flags as warp_serve: --port --threads --cache
+                      --bands --data=NAME=PATH --gen=NAME=COUNT,LEN[,SEED]
+
+  query               Talk to a running server.
+    --port=N          server port (required; scrape the listening line)
+    --op=OP           1nn | knn | range | dist | subsequence | ping |
+                      info | stats | load | shutdown. Omit --op to pipe
+                      raw request lines from stdin (pipelined lines are
+                      answered as one server batch).
+    --dataset=NAME    target dataset; --query-file=PATH query series
+    --measure=M --window=F --band=N --k=N --index=N --threshold=F
+    --deadline-ms=F --znorm=BOOL --id=N --path=P (for --op=load)
 
 GLOBAL FLAGS
   --profile           After the command, print the work-counter report
@@ -356,11 +375,99 @@ int CmdInfo(const Args& args) {
 }
 
 int CmdMeasures(const Args& args) {
-  (void)args;
+  if (args.Has("json")) {
+    obs::JsonWriter writer;
+    writer.BeginArray();
+    for (const MeasureInfo& info : RegisteredMeasures()) {
+      writer.BeginObject()
+          .Key("name").String(info.name)
+          .Key("exact").Bool(info.exact)
+          .Key("summary").String(info.summary)
+          .EndObject();
+    }
+    writer.EndArray();
+    std::printf("%s\n", writer.TakeOutput().c_str());
+    return 0;
+  }
   for (const MeasureInfo& info : RegisteredMeasures()) {
     std::printf("%-12s %-11s %s\n", info.name.c_str(),
                 info.exact ? "exact" : "approximate", info.summary.c_str());
   }
+  return 0;
+}
+
+// Talks to a running warp_serve instance over loopback TCP. Two modes:
+// with --op, builds one request line from flags and prints the response;
+// without, forwards stdin request lines verbatim (sent as one write, so a
+// multi-line file exercises the server's pipeline batching) and prints
+// one response line per non-empty request line.
+int CmdQuery(const Args& args) {
+  const long port = args.FlagInt("port", 0);
+  if (port <= 0) Fail("query needs --port=N (scrape warp_serve's listening line)");
+  std::string error;
+  serve::TcpConn conn =
+      serve::ConnectLoopback(static_cast<int>(port), &error);
+  if (!conn.valid()) Fail(error);
+
+  if (!args.Has("op")) {
+    std::string payload;
+    std::string line;
+    size_t expected = 0;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) ++expected;
+      payload += line;
+      payload += '\n';
+    }
+    if (expected == 0) Fail("no request lines on stdin (or pass --op)");
+    if (!conn.WriteAll(payload)) Fail("write to server failed");
+    for (size_t i = 0; i < expected; ++i) {
+      if (!conn.ReadLine(&line)) Fail("server closed before all responses");
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }
+
+  obs::JsonWriter writer;
+  writer.BeginObject()
+      .Key("id").Int(args.FlagInt("id", 1))
+      .Key("op").String(args.Flag("op", ""));
+  if (args.Has("dataset")) {
+    writer.Key("dataset").String(args.Flag("dataset", ""));
+  }
+  if (args.Has("path")) writer.Key("path").String(args.Flag("path", ""));
+  if (args.Has("measure")) {
+    writer.Key("measure").String(args.Flag("measure", ""));
+  }
+  if (args.Has("window")) {
+    writer.Key("window").Double(args.FlagDouble("window", 0.0));
+  }
+  if (args.Has("band")) writer.Key("band").Int(args.FlagInt("band", 0));
+  if (args.Has("cost")) writer.Key("cost").String(args.Flag("cost", ""));
+  if (args.Has("k")) writer.Key("k").Int(args.FlagInt("k", 1));
+  if (args.Has("index")) writer.Key("index").Int(args.FlagInt("index", 0));
+  if (args.Has("threshold")) {
+    writer.Key("threshold").Double(args.FlagDouble("threshold", 0.0));
+  }
+  if (args.Has("deadline-ms")) {
+    writer.Key("deadline_ms").Double(args.FlagDouble("deadline-ms", 0.0));
+  }
+  if (args.Has("znorm")) {
+    writer.Key("znorm").Bool(args.Flag("znorm", "true") != "false");
+  }
+  if (args.Has("query-file")) {
+    const TimeSeries query = LoadSeriesOrDie(args.Flag("query-file", ""));
+    writer.Key("query").BeginArray();
+    for (double value : query.values()) writer.Double(value);
+    writer.EndArray();
+  }
+  writer.EndObject();
+
+  std::string request = writer.TakeOutput();
+  request += '\n';
+  if (!conn.WriteAll(request)) Fail("write to server failed");
+  std::string response;
+  if (!conn.ReadLine(&response)) Fail("server closed without responding");
+  std::printf("%s\n", response.c_str());
   return 0;
 }
 
@@ -400,6 +507,8 @@ int Main(int argc, char** argv) {
   else if (command == "cluster") status = CmdCluster(args);
   else if (command == "info") status = CmdInfo(args);
   else if (command == "measures") status = CmdMeasures(args);
+  else if (command == "query") status = CmdQuery(args);
+  else if (command == "serve") status = tools::ServeToolMain(args.flags);
   else Fail("unknown command: " + command + " (try `warp_cli help`)");
   if (profile) PrintProfile(obs::CountersSince(before));
   return status;

@@ -1,0 +1,31 @@
+// warp_serve — the loopback query server as a standalone binary.
+//
+//   warp_serve --gen=rw=200,128 --threads=4
+//   warp_serve --data=train=datasets/GunPoint_TRAIN.tsv --port=7070
+//
+// Prints "warp_serve listening on 127.0.0.1:<port>" once bound, then
+// serves line-delimited JSON requests until a client sends
+// {"op":"shutdown"}. Protocol: docs/SERVING.md. Flags: tools/serve_main.h
+// (shared with `warp_cli serve`).
+
+#include <cstdio>
+#include <cstring>
+
+#include "serve_main.h"
+
+int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "help") == 0 ||
+                   std::strcmp(argv[1], "--help") == 0)) {
+    std::fputs(
+        "warp_serve — loopback DTW query server (docs/SERVING.md)\n"
+        "  --port=N                 listen port (default 0 = auto)\n"
+        "  --threads=N              engine workers (default 1; 0 = cores)\n"
+        "  --cache=N                result-cache entries (default 256)\n"
+        "  --bands=F,F              indexed window fractions (default .05,.1)\n"
+        "  --data=NAME=PATH         serve a UCR file (repeatable)\n"
+        "  --gen=NAME=COUNT,LEN[,SEED]  serve a synthetic random-walk set\n",
+        stdout);
+    return 0;
+  }
+  return warp::tools::ServeToolMain(warp::tools::ParseToolFlags(argc, argv, 1));
+}
