@@ -116,6 +116,7 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("band-percent", 10));
   const int reps = static_cast<int>(flags.GetInt("reps", 200));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -37,6 +37,7 @@ int Main(int argc, char** argv) {
   const int pairs = static_cast<int>(flags.GetInt("pairs", 30));
   const size_t length = static_cast<size_t>(flags.GetInt("length", 300));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

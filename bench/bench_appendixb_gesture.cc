@@ -61,6 +61,7 @@ int Main(int argc, char** argv) {
   options.warp_fraction = flags.GetDouble("warp", 0.08);
   options.noise_stddev = flags.GetDouble("noise", 0.15);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 555));
+  SimdFlag(flags);
   flags.Finalize();
   report.AddConfig("warp", options.warp_fraction);
   report.AddConfig("noise", options.noise_stddev);

@@ -38,6 +38,7 @@ int Main(int argc, char** argv) {
   const bool skip_reference = flags.GetBool("skip-reference", false);
   const bool ref_r40 = flags.GetBool("ref-r40", false);
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -58,6 +58,7 @@ int Main(int argc, char** argv) {
   const int max_setting = static_cast<int>(flags.GetInt("max", 20));
   const size_t threads = ThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

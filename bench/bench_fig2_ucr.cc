@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
   const int bins_w = static_cast<int>(flags.GetInt("bins-w", 11));
   const int bins_len = static_cast<int>(flags.GetInt("bins-len", 15));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

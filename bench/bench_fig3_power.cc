@@ -54,6 +54,7 @@ int Main(int argc, char** argv) {
   const size_t length = static_cast<size_t>(flags.GetInt("length", 450));
   const size_t shift = static_cast<size_t>(flags.GetInt("shift", 153));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

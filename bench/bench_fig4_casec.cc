@@ -41,6 +41,7 @@ int Main(int argc, char** argv) {
   const int step = static_cast<int>(flags.GetInt("step", 8));
   const int max_setting = static_cast<int>(flags.GetInt("max", 40));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -36,6 +36,7 @@ int Main(int argc, char** argv) {
   const double max_seconds = flags.GetDouble("max-seconds", 64.0);
   const bool skip_reference = flags.GetBool("skip-reference", false);
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -44,6 +44,7 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("haystack", 200000));
   const size_t query_len = static_cast<size_t>(flags.GetInt("query", 128));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -14,6 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "warp/core/lower_bounds.h"
 #include "warp/gen/random_walk.h"
 #include "warp/mining/matrix_profile.h"
+#include "warp/simd/dispatch.h"
 
 namespace warp {
 namespace {
@@ -46,7 +50,12 @@ void BM_FullDtw(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDtw)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
-void BM_Cdtw(benchmark::State& state) {
+// The SIMD A/B pairs (docs/SIMD.md): each vectorized kernel runs once
+// under the process-wide --simd mode (auto unless overridden) and once
+// pinned to the scalar path, so a single run reports the speedup. The
+// *Scalar twins share the measurement body with their primaries.
+
+void RunCdtw(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t w_percent = static_cast<size_t>(state.range(1));
   const auto x = MakeWalk(n, 3);
@@ -60,12 +69,20 @@ void BM_Cdtw(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n * (2 * band + 1)));
 }
+
+void BM_Cdtw(benchmark::State& state) { RunCdtw(state); }
 BENCHMARK(BM_Cdtw)
     ->Args({128, 5})
     ->Args({128, 10})
     ->Args({945, 4})
     ->Args({945, 20})
     ->Args({24000, 1});
+
+void BM_CdtwScalar(benchmark::State& state) {
+  simd::ScopedSimdMode scalar(simd::SimdMode::kOff);
+  RunCdtw(state);
+}
+BENCHMARK(BM_CdtwScalar)->Args({945, 4})->Args({945, 20})->Args({24000, 1});
 
 void BM_FastDtw(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -120,29 +137,77 @@ void BM_MatrixProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_MatrixProfile)->Arg(2000)->Arg(8000);
 
-void BM_Envelope(benchmark::State& state) {
+// Second arg is the band: narrow bands take the doubling SIMD sweep
+// under --simd=auto, bands past kEnvelopeAutoMaxBand fall back to the
+// deque (see docs/SIMD.md), so the pairs below cover both sides of the
+// gate.
+void RunEnvelope(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const size_t band = static_cast<size_t>(state.range(1));
   const auto x = MakeWalk(n, 7);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ComputeEnvelope(x, n / 10));
+    benchmark::DoNotOptimize(ComputeEnvelope(x, band));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_Envelope)->Arg(128)->Arg(1024)->Arg(16384);
 
-void BM_LbKeogh(benchmark::State& state) {
+void BM_Envelope(benchmark::State& state) { RunEnvelope(state); }
+BENCHMARK(BM_Envelope)
+    ->Args({128, 12})
+    ->Args({1024, 16})
+    ->Args({1024, 102})
+    ->Args({16384, 16})
+    ->Args({16384, 1638});
+
+void BM_EnvelopeScalar(benchmark::State& state) {
+  simd::ScopedSimdMode scalar(simd::SimdMode::kOff);
+  RunEnvelope(state);
+}
+BENCHMARK(BM_EnvelopeScalar)
+    ->Args({1024, 16})
+    ->Args({1024, 102})
+    ->Args({16384, 16})
+    ->Args({16384, 1638});
+
+// `tight` clamps the candidate into the query tube — the cascade's
+// surviving-candidate shape, where the SIMD block skip does all the
+// work. The default independent walk wanders far outside the tube, so
+// it exercises the dirty-streak bail instead (near-scalar cost).
+void RunLbKeogh(benchmark::State& state, bool tight) {
   const size_t n = static_cast<size_t>(state.range(0));
   const auto q = MakeWalk(n, 8);
-  const auto c = MakeWalk(n, 9);
+  auto c = MakeWalk(n, 9);
   const Envelope env = ComputeEnvelope(q, n / 20);
+  if (tight) {
+    for (size_t i = 0; i < n; ++i) {
+      c[i] = std::clamp(c[i], env.lower[i], env.upper[i]);
+    }
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(LbKeogh(env, c));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
+
+void BM_LbKeogh(benchmark::State& state) { RunLbKeogh(state, false); }
 BENCHMARK(BM_LbKeogh)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_LbKeoghScalar(benchmark::State& state) {
+  simd::ScopedSimdMode scalar(simd::SimdMode::kOff);
+  RunLbKeogh(state, false);
+}
+BENCHMARK(BM_LbKeoghScalar)->Arg(1024)->Arg(16384);
+
+void BM_LbKeoghTight(benchmark::State& state) { RunLbKeogh(state, true); }
+BENCHMARK(BM_LbKeoghTight)->Arg(1024)->Arg(16384);
+
+void BM_LbKeoghTightScalar(benchmark::State& state) {
+  simd::ScopedSimdMode scalar(simd::SimdMode::kOff);
+  RunLbKeogh(state, true);
+}
+BENCHMARK(BM_LbKeoghTightScalar)->Arg(1024)->Arg(16384);
 
 // The ratio the paper turns on: exact banded DTW vs FastDTW at matched
 // "serviceable approximation" settings (w = 20%, r = 10; see Fig. 1).
@@ -172,7 +237,8 @@ BENCHMARK(BM_HeadToHead_FastDtw10)->Arg(128)->Arg(450)->Arg(945)->Arg(4000);
 }  // namespace warp
 
 // Hand-rolled main instead of BENCHMARK_MAIN(): rewrite --json=<path>
-// into the native output flags, pass everything else through.
+// into the native output flags, consume --simd=<mode> ourselves (the
+// google-benchmark parser would reject it), pass everything else through.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 0; i < argc; ++i) {
@@ -180,6 +246,15 @@ int main(int argc, char** argv) {
     if (std::strncmp(arg, "--json=", 7) == 0) {
       args.push_back(std::string("--benchmark_out=") + (arg + 7));
       args.push_back("--benchmark_out_format=json");
+    } else if (std::strncmp(arg, "--simd=", 7) == 0) {
+      warp::simd::SimdMode mode;
+      if (!warp::simd::ParseSimdMode(arg + 7, &mode)) {
+        std::fprintf(stderr,
+                     "error: invalid --simd=%s (expected on, off, or auto)\n",
+                     arg + 7);
+        return 2;
+      }
+      warp::simd::SetSimdMode(mode);
     } else {
       args.push_back(arg);
     }

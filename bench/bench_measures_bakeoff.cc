@@ -25,6 +25,7 @@
 #include "warp/mining/nn_classifier.h"
 #include "warp/obs/metrics.h"
 #include "warp/obs/report.h"
+#include "warp/simd/dispatch.h"
 #include "warp/ts/znorm.h"
 
 namespace warp {
@@ -80,10 +81,17 @@ std::vector<MeasureSpec> MakeMeasures(size_t length) {
 }
 
 void RunDomain(obs::BenchReport& report, const char* domain,
-               const Dataset& train, const Dataset& test, size_t length) {
+               const Dataset& train, const Dataset& test, size_t length,
+               simd::SimdMode simd_mode) {
+  // SIMD A/B (docs/SIMD.md): unless the run is already pinned scalar,
+  // every measure is timed twice — once under the requested mode
+  // (primary row) and once pinned to the scalar paths ("<name>/scalar"
+  // in the JSON) — so one run reports the vectorization speedup.
+  const bool ab_scalar = simd_mode != simd::SimdMode::kOff;
   std::printf("\n%s (%zu train / %zu test, N=%zu):\n", domain, train.size(),
               test.size(), length);
-  TablePrinter table({"measure", "accuracy (%)", "time (s)", "kind"});
+  TablePrinter table({"measure", "accuracy (%)", "time (s)", "scalar (s)",
+                      "simd speedup", "kind"});
   for (const MeasureSpec& spec : MakeMeasures(length)) {
     const obs::MetricsSnapshot before = obs::SnapshotCounters();
     const ClassificationStats stats =
@@ -91,10 +99,25 @@ void RunDomain(obs::BenchReport& report, const char* domain,
     report.AddCase(std::string(domain) + "/" + spec.name,
                    SummarizeSamples({stats.seconds}),
                    obs::CountersSince(before));
+    std::string scalar_text = "-";
+    std::string speedup_text = "-";
+    if (ab_scalar) {
+      const simd::ScopedSimdMode off(simd::SimdMode::kOff);
+      const obs::MetricsSnapshot scalar_before = obs::SnapshotCounters();
+      const ClassificationStats scalar_stats =
+          Evaluate1Nn(train, test, spec.measure);
+      report.AddCase(std::string(domain) + "/" + spec.name + "/scalar",
+                     SummarizeSamples({scalar_stats.seconds}),
+                     obs::CountersSince(scalar_before));
+      scalar_text = TablePrinter::FormatDouble(scalar_stats.seconds, 2);
+      speedup_text =
+          TablePrinter::FormatDouble(scalar_stats.seconds / stats.seconds, 2) +
+          "x";
+    }
     table.AddRow({spec.name,
                   TablePrinter::FormatDouble(stats.accuracy * 100.0, 1),
-                  TablePrinter::FormatDouble(stats.seconds, 2),
-                  spec.exact ? "exact" : "approximate"});
+                  TablePrinter::FormatDouble(stats.seconds, 2), scalar_text,
+                  speedup_text, spec.exact ? "exact" : "approximate"});
   }
   table.Print();
 }
@@ -109,6 +132,7 @@ int Main(int argc, char** argv) {
   const double warp = flags.GetDouble("warp", 0.1);
   const double noise = flags.GetDouble("noise", 0.45);
   const std::string json_path = JsonFlag(flags);
+  const simd::SimdMode simd_mode = SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(
@@ -119,6 +143,8 @@ int Main(int argc, char** argv) {
   report.AddConfig("classes", classes);
   report.AddConfig("warp", warp);
   report.AddConfig("noise", noise);
+  report.AddConfig("simd", simd::SimdModeName(simd_mode));
+  report.AddConfig("simd_backend", simd::SimdBackendName());
 
   PrintBanner("Bake-off",
               "1-NN accuracy and time for every measure in the suite "
@@ -140,7 +166,8 @@ int Main(int argc, char** argv) {
     (i % pool_per_class < per_class_train ? gesture_train : gesture_test)
         .Add(gesture_pool[i]);
   }
-  RunDomain(report, "Gestures", gesture_train, gesture_test, length);
+  RunDomain(report, "Gestures", gesture_train, gesture_test, length,
+            simd_mode);
 
   // Domain 2: ECG beats (normal vs PVC).
   gen::EcgOptions ecg_options;
@@ -152,7 +179,7 @@ int Main(int argc, char** argv) {
   const auto [ecg_train, ecg_test] = ecg_pool.StratifiedSplit(
       static_cast<double>(per_class_train) /
       static_cast<double>(per_class_train + per_class_test));
-  RunDomain(report, "ECG beats", ecg_train, ecg_test, length);
+  RunDomain(report, "ECG beats", ecg_train, ecg_test, length, simd_mode);
 
   std::printf(
       "\nReading guide: the elastic measures cluster at the top on warped "

@@ -74,6 +74,7 @@ int Run(int argc, char** argv) {
   const size_t repeats =
       std::max<size_t>(1, static_cast<size_t>(flags.GetInt("repeats", 3)));
   const std::string json_path = bench::JsonFlag(flags);
+  bench::SimdFlag(flags);
   flags.Finalize();
 
   bench::PrintBanner("serve: throughput",

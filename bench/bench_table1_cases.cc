@@ -43,6 +43,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int reps = static_cast<int>(flags.GetInt("reps", 5));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -47,6 +47,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 20));
   const std::string json_path = JsonFlag(flags);
+  SimdFlag(flags);
   flags.Finalize();
 
   obs::BenchReport report(

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "warp/common/parallel.h"
+#include "warp/simd/dispatch.h"
 
 namespace warp {
 namespace bench {
@@ -115,6 +116,23 @@ inline size_t ThreadsFlag(Flags& flags) {
 // warp-bench-v1 report (docs/OBSERVABILITY.md); empty means console only.
 inline std::string JsonFlag(Flags& flags) {
   return flags.GetString("json", "");
+}
+
+// Shared --simd=on|off|auto flag (docs/SIMD.md). Installs the parsed
+// mode process-wide and returns it; anything else is a hard usage error
+// (exit 2), matching the harness convention that typos never silently
+// run a default configuration.
+inline simd::SimdMode SimdFlag(Flags& flags) {
+  const std::string text = flags.GetString("simd", "auto");
+  simd::SimdMode mode;
+  if (!simd::ParseSimdMode(text, &mode)) {
+    std::fprintf(stderr,
+                 "error: invalid --simd=%s (expected on, off, or auto)\n",
+                 text.c_str());
+    std::exit(2);
+  }
+  simd::SetSimdMode(mode);
+  return mode;
 }
 
 // Standard experiment banner so every harness's output is self-describing.

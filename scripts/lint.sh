@@ -106,6 +106,19 @@ if [ -n "$raw_sockets" ]; then
   fail "raw socket syscall outside src/warp/serve/net.* — go through TcpConn/TcpListener (warp/serve/net.h)"
 fi
 
+# --- Convention: intrinsics only in src/warp/simd/ --------------------------
+# All architecture-specific SIMD lives behind the vdouble wrapper
+# (warp/simd/vdouble.h). Raw <immintrin.h>/<arm_neon.h> anywhere else
+# bypasses the scalar fallback, the runtime --simd dispatch, and the
+# determinism contract (docs/SIMD.md).
+raw_intrinsics="$(cpp_sources | grep -v '^src/warp/simd/' \
+    | xargs grep -nE '<immintrin\.h>|<arm_neon\.h>|<x86intrin\.h>|<emmintrin\.h>|<smmintrin\.h>' \
+    | grep -vE ':[0-9]+: *(//|\*)' || true)"
+if [ -n "$raw_intrinsics" ]; then
+  echo "$raw_intrinsics" >&2
+  fail "raw SIMD intrinsics header outside src/warp/simd/ — go through vdouble (warp/simd/vdouble.h)"
+fi
+
 # --- Convention: include guards, no #pragma once ---------------------------
 pragma_once="$(cpp_sources | xargs grep -ln '#pragma once' || true)"
 if [ -n "$pragma_once" ]; then

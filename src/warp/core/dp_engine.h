@@ -48,6 +48,8 @@
 #include "warp/core/warping_path.h"
 #include "warp/core/window.h"
 #include "warp/obs/metrics.h"
+#include "warp/simd/dispatch.h"
+#include "warp/simd/dp_simd.h"
 #include "warp/ts/multi_series.h"
 
 namespace warp {
@@ -61,6 +63,17 @@ struct DtwWorkspace {
   std::vector<double> prev;
   std::vector<double> cur;
 
+  // Wavefront scratch (dp::TryWavefront): three rotating anti-diagonal
+  // buffers plus padded copies of x and reversed y, all padded by
+  // simd::kWavePad so overhanging vector steps stay in bounds; the top/
+  // left gap-prefix arrays are only sized when a policy needs boundary
+  // values (ERP).
+  std::vector<double> wave_diag[3];
+  std::vector<double> wave_x;
+  std::vector<double> wave_y_rev;
+  std::vector<double> wave_top;
+  std::vector<double> wave_left;
+
   void PrepareRows(size_t cols) {
     if (cols > prev.capacity() || cols > cur.capacity()) {
       WARP_COUNT(obs::Counter::kWorkspaceAllocs);
@@ -68,6 +81,28 @@ struct DtwWorkspace {
     constexpr double kInf = std::numeric_limits<double>::infinity();
     prev.assign(cols, kInf);
     cur.assign(cols, kInf);
+  }
+
+  void PrepareWave(size_t rows, size_t cols, bool boundaries) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const size_t diag_len = rows + simd::kWavePad;
+    const size_t y_len = cols + simd::kWavePad;
+    bool grows = diag_len > wave_diag[0].capacity() ||
+                 diag_len > wave_diag[1].capacity() ||
+                 diag_len > wave_diag[2].capacity() ||
+                 diag_len > wave_x.capacity() || y_len > wave_y_rev.capacity();
+    if (boundaries) {
+      grows = grows || cols > wave_top.capacity() ||
+              rows > wave_left.capacity();
+    }
+    if (grows) WARP_COUNT(obs::Counter::kWorkspaceAllocs);
+    for (std::vector<double>& d : wave_diag) d.assign(diag_len, kInf);
+    wave_x.assign(diag_len, 0.0);
+    wave_y_rev.assign(y_len, 0.0);
+    if (boundaries) {
+      wave_top.assign(cols, 0.0);
+      wave_left.assign(rows, 0.0);
+    }
   }
 };
 
@@ -415,6 +450,151 @@ struct BandPruner {
 };
 
 // ---------------------------------------------------------------------------
+// SIMD wavefront eligibility.
+//
+// A policy is wavefront-eligible when its recurrence vectorizes across an
+// anti-diagonal with exactly the scalar per-cell operations (bitwise
+// contract, see warp/simd/dp_simd.h): the plain min-plus family over a
+// 1-D series cost (DTW/cDTW/DDTW), its amerced variant (ADTW), and ERP.
+// Everything else — WDTW's per-cell weight lookup, LCSS's band-gated max,
+// MSM's three-way move costs, multichannel costs, free-ends reads of the
+// whole last row — keeps the row engine.
+
+template <typename Policy>
+struct WaveSpec {
+  static constexpr bool kEligible = false;
+};
+
+template <typename Cost>
+struct WaveSpec<MinPlusPolicy<SeriesCellCost<Cost>>> {
+  static constexpr bool kEligible = true;
+  static constexpr bool kErp = false;
+  static constexpr bool kAmerced = false;
+  using CostFn = Cost;
+  static const double* X(const MinPlusPolicy<SeriesCellCost<Cost>>& p) {
+    return p.cost.x;
+  }
+  static const double* Y(const MinPlusPolicy<SeriesCellCost<Cost>>& p) {
+    return p.cost.y;
+  }
+  static double Omega(const MinPlusPolicy<SeriesCellCost<Cost>>&) {
+    return 0.0;
+  }
+};
+
+template <typename Cost>
+struct WaveSpec<AdtwPolicy<SeriesCellCost<Cost>>> {
+  static constexpr bool kEligible = true;
+  static constexpr bool kErp = false;
+  static constexpr bool kAmerced = true;
+  using CostFn = Cost;
+  static const double* X(const AdtwPolicy<SeriesCellCost<Cost>>& p) {
+    return p.cost.x;
+  }
+  static const double* Y(const AdtwPolicy<SeriesCellCost<Cost>>& p) {
+    return p.cost.y;
+  }
+  static double Omega(const AdtwPolicy<SeriesCellCost<Cost>>& p) {
+    return p.omega;
+  }
+};
+
+template <>
+struct WaveSpec<ErpPolicy> {
+  static constexpr bool kEligible = true;
+  static constexpr bool kErp = true;
+  static const double* X(const ErpPolicy& p) { return p.x; }
+  static const double* Y(const ErpPolicy& p) { return p.y; }
+};
+
+// Runs the wavefront sweep instead of the row engine when the policy,
+// geometry, and runtime dispatch all allow it. Returns true (result in
+// *result) on success; false means "use the row engine" and touches
+// nothing. Geometry: a square Sakoe–Chiba band (n == m, any band), or
+// unequal lengths with a band wide enough that every row is full
+// (BandRowRange degenerates to FullRowRange exactly when band >= m - 1).
+// Early abandoning is row-structured (a row minimum is not a diagonal
+// minimum), so abandoning calls never come here; pruning likewise.
+template <typename Policy>
+bool TryWavefront(size_t n, size_t m, size_t band, const Policy& policy,
+                  DtwWorkspace* workspace, const EngineCounters& counters,
+                  double* result) {
+  if constexpr (!WaveSpec<Policy>::kEligible) {
+    (void)n;
+    (void)m;
+    (void)band;
+    (void)policy;
+    (void)workspace;
+    (void)counters;
+    (void)result;
+    return false;
+  } else {
+    using Spec = WaveSpec<Policy>;
+    if (n == 0 || m == 0) return false;
+    size_t width;
+    int64_t wave_band;
+    if (n == m) {
+      width = band < n ? std::min(2 * band + 1, n) : n;
+      wave_band = static_cast<int64_t>(std::min(band, 2 * (n + m)));
+    } else {
+      if (band < m - 1) return false;
+      width = std::min(n, m);
+      wave_band = static_cast<int64_t>(2 * (n + m));
+    }
+    if (!simd::WavefrontEligible(width)) return false;
+
+    DtwWorkspace local;
+    DtwWorkspace* ws = workspace != nullptr ? workspace : &local;
+    ws->PrepareWave(n, m, Spec::kErp);
+    const double* x = Spec::X(policy);
+    const double* y = Spec::Y(policy);
+    double* xp = ws->wave_x.data();
+    double* yr = ws->wave_y_rev.data();
+    for (size_t i = 0; i < n; ++i) xp[i] = x[i];
+    for (size_t k = 0; k < m; ++k) yr[k] = y[m - 1 - k];
+    double* b0 = ws->wave_diag[0].data() + 1;
+    double* b1 = ws->wave_diag[1].data() + 1;
+    double* b2 = ws->wave_diag[2].data() + 1;
+
+    simd::WaveStats stats;
+    double value;
+    if constexpr (Spec::kErp) {
+      // Gap prefixes in exactly ErpPolicy's sequential accumulation
+      // order (InitTopRow / LeftBoundary), so the injected boundary
+      // values are bitwise the row engine's.
+      double* top = ws->wave_top.data();
+      double* lft = ws->wave_left.data();
+      double acc = 0.0;
+      for (size_t j = 0; j < m; ++j) {
+        acc += std::fabs(y[j] - policy.gap);
+        top[j] = acc;
+      }
+      acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += std::fabs(x[i] - policy.gap);
+        lft[i] = acc;
+      }
+      value = simd::WaveErp(xp, static_cast<int64_t>(n), yr,
+                            static_cast<int64_t>(m), policy.gap, top, lft, b0,
+                            b1, b2, &stats);
+    } else {
+      value = simd::WaveMinPlus<typename Spec::CostFn, Spec::kAmerced>(
+          xp, static_cast<int64_t>(n), yr, static_cast<int64_t>(m), wave_band,
+          Spec::Omega(policy), b0, b1, b2, &stats);
+    }
+
+    // The wavefront visits exactly the row engine's band cells (the same
+    // set, enumerated by diagonals instead of rows).
+    if (counters.cells_out != nullptr) *counters.cells_out = stats.cells;
+    CountMaybe(counters.cells, stats.cells);
+    WARP_COUNT_ADD(obs::Counter::kSimdBlocks, stats.blocks);
+    WARP_COUNT_ADD(obs::Counter::kSimdScalarTail, stats.tail);
+    *result = value;
+    return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // The distance-only engine.
 //
 // Rows are visited in order; `row_range(i)` yields the inclusive column
@@ -543,6 +723,12 @@ double BandedTwoRowEngine(size_t n, size_t m, size_t band, Policy policy,
                           double abandon_above = kInf,
                           DtwWorkspace* workspace = nullptr,
                           const EngineCounters& counters = {}) {
+  if (abandon_above == kInf) {
+    double wave_result;
+    if (TryWavefront(n, m, band, policy, workspace, counters, &wave_result)) {
+      return wave_result;
+    }
+  }
   if (n == m) {
     return TwoRowEngine(n, m, SquareBandRowRange{band, m - 1},
                         std::move(policy), abandon_above, workspace, counters);

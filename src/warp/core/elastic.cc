@@ -34,11 +34,16 @@ double ErpDistance(std::span<const double> x, std::span<const double> y,
   // Boundaries are gap prefix sums — D(i, -1) accumulates |x[0..i] - g|
   // across rows inside the (stateful) policy, D(-1, j) is the top-row
   // prefix of |y[0..j] - g|; interior is the three-way edit recurrence on
-  // L1 costs.
-  return dp::TwoRowEngine(x.size(), y.size(),
-                          dp::FullRowRange{y.size() - 1},
-                          dp::ErpPolicy{x.data(), y.data(), gap_value},
-                          dp::kInf, workspace);
+  // L1 costs. The SIMD wavefront injects the same prefixes through its
+  // boundary sentinels, so both paths agree bitwise (docs/SIMD.md).
+  dp::ErpPolicy policy{x.data(), y.data(), gap_value};
+  double wave_result;
+  if (dp::TryWavefront(x.size(), y.size(), std::max(x.size(), y.size()),
+                       policy, workspace, {}, &wave_result)) {
+    return wave_result;
+  }
+  return dp::TwoRowEngine(x.size(), y.size(), dp::FullRowRange{y.size() - 1},
+                          policy, dp::kInf, workspace);
 }
 
 double MsmDistance(std::span<const double> x, std::span<const double> y,

@@ -1,11 +1,84 @@
 #include "warp/core/envelope.h"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
 #include "warp/common/assert.h"
 #include "warp/obs/metrics.h"
+#include "warp/simd/dispatch.h"
+#include "warp/simd/vdouble.h"
 
 namespace warp {
+
+namespace {
+
+// Sliding-window extrema by doubling: B_{p+1}[i] = op(B_p[i], B_p[i+2^p])
+// covers a window twice as wide, and a k-wide window is op of two
+// (possibly overlapping) 2^P-wide windows, so the whole envelope is
+// log2(k) branch-free elementwise passes — vector-friendly where the
+// monotonic deque is serial and branchy. Max/min are idempotent, so the
+// overlap is exact, and they are selections (no arithmetic), so every
+// output equals an input element — the same value the deque produces.
+// The one divergence: a window holding both +0.0 and -0.0 may select
+// either; they compare equal, which is all downstream LB sums observe.
+//
+// The input sits in a scratch array padded by `band` identity elements
+// (-inf for max, +inf for min) per side, which makes the clamped edge
+// windows fall out of the same unclamped formula, plus kLanes slack so
+// every intermediate pass can run full overhanging vectors (garbage
+// propagates only into slots no valid output ever reads).
+template <bool kIsMax>
+void SlidingExtrema(const double* values, size_t n, size_t band,
+                    std::vector<double>& scratch_a,
+                    std::vector<double>& scratch_b, double* out) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double identity = kIsMax ? -kInf : kInf;
+  const size_t k = 2 * band + 1;
+  const size_t padded = n + 2 * band;
+  scratch_a.assign(padded + simd::kLanes, identity);
+  scratch_b.assign(padded + simd::kLanes, identity);
+  std::copy(values, values + n, scratch_a.data() + band);
+
+  const auto op = [](simd::vdouble a, simd::vdouble b) {
+    if constexpr (kIsMax) {
+      return MaxPreferFirst(a, b);
+    } else {
+      return MinPreferFirst(a, b);
+    }
+  };
+
+  double* src = scratch_a.data();
+  double* dst = scratch_b.data();
+  size_t width = 1;
+  while (2 * width <= k) {
+    const size_t count = padded - 2 * width + 1;
+    for (size_t i = 0; i < count; i += simd::kLanes) {
+      op(simd::vdouble::Load(src + i), simd::vdouble::Load(src + i + width))
+          .Store(dst + i);
+      WARP_COUNT(obs::Counter::kSimdBlocks);
+    }
+    std::swap(src, dst);
+    width *= 2;
+  }
+  // src[i] now covers [i, i + width); out[i] is the window [i, i + k) of
+  // the padded array, i.e. the clamped [i - band, i + band] of values.
+  const size_t shift = k - width;
+  size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    op(simd::vdouble::Load(src + i), simd::vdouble::Load(src + i + shift))
+        .Store(out + i);
+    WARP_COUNT(obs::Counter::kSimdBlocks);
+  }
+  if (i < n) {
+    const size_t rest = n - i;
+    op(simd::vdouble::Load(src + i), simd::vdouble::Load(src + i + shift))
+        .StoreMasked(out + i, rest);
+    WARP_COUNT_ADD(obs::Counter::kSimdScalarTail, rest);
+  }
+}
+
+}  // namespace
 
 Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
   WARP_CHECK(!values.empty());
@@ -16,38 +89,51 @@ Envelope ComputeEnvelope(std::span<const double> values, size_t band) {
   env.upper.resize(n);
   env.lower.resize(n);
 
-  // Monotonic deques of indices: max_deque's values are decreasing,
-  // min_deque's increasing. Each index enters and leaves each deque at
-  // most once, so the whole pass is O(n).
-  std::vector<size_t> max_deque;
-  std::vector<size_t> min_deque;
-  size_t max_head = 0;
-  size_t min_head = 0;
+  // A band beyond n-1 clamps to the same all-of-array windows; capping
+  // it keeps the scratch arrays O(n).
+  const size_t eff_band = std::min(band, n - 1);
+  if (simd::EnvelopeEligible(eff_band)) {
+    std::vector<double> scratch_a;
+    std::vector<double> scratch_b;
+    SlidingExtrema<true>(values.data(), n, eff_band, scratch_a, scratch_b,
+                         env.upper.data());
+    SlidingExtrema<false>(values.data(), n, eff_band, scratch_a, scratch_b,
+                          env.lower.data());
+  } else {
+    // Monotonic deques of indices: max_deque's values are decreasing,
+    // min_deque's increasing. Each index enters and leaves each deque at
+    // most once, so the whole pass is O(n).
+    std::vector<size_t> max_deque;
+    std::vector<size_t> min_deque;
+    size_t max_head = 0;
+    size_t min_head = 0;
 
-  auto push = [&](size_t idx) {
-    while (max_deque.size() > max_head &&
-           values[max_deque.back()] <= values[idx]) {
-      max_deque.pop_back();
-    }
-    max_deque.push_back(idx);
-    while (min_deque.size() > min_head &&
-           values[min_deque.back()] >= values[idx]) {
-      min_deque.pop_back();
-    }
-    min_deque.push_back(idx);
-  };
+    auto push = [&](size_t idx) {
+      while (max_deque.size() > max_head &&
+             values[max_deque.back()] <= values[idx]) {
+        max_deque.pop_back();
+      }
+      max_deque.push_back(idx);
+      while (min_deque.size() > min_head &&
+             values[min_deque.back()] >= values[idx]) {
+        min_deque.pop_back();
+      }
+      min_deque.push_back(idx);
+    };
 
-  // The window for output i is [i - band, i + band] clamped; indices are
-  // pushed as they come into reach and heads advance as they fall out.
-  size_t next_to_push = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const size_t window_end = std::min(n - 1, i + band);
-    while (next_to_push <= window_end) push(next_to_push++);
-    const size_t window_start = i > band ? i - band : 0;
-    while (max_deque[max_head] < window_start) ++max_head;
-    while (min_deque[min_head] < window_start) ++min_head;
-    env.upper[i] = values[max_deque[max_head]];
-    env.lower[i] = values[min_deque[min_head]];
+    // The window for output i is [i - band, i + band] clamped; indices
+    // are pushed as they come into reach and heads advance as they fall
+    // out.
+    size_t next_to_push = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t window_end = std::min(n - 1, i + band);
+      while (next_to_push <= window_end) push(next_to_push++);
+      const size_t window_start = i > band ? i - band : 0;
+      while (max_deque[max_head] < window_start) ++max_head;
+      while (min_deque[min_head] < window_start) ++min_head;
+      env.upper[i] = values[max_deque[max_head]];
+      env.lower[i] = values[min_deque[min_head]];
+    }
   }
 #ifndef NDEBUG
   // Debug-build oracle hook: the tube must contain the series itself —

@@ -4,6 +4,8 @@
 
 #include "warp/common/assert.h"
 #include "warp/obs/metrics.h"
+#include "warp/simd/dispatch.h"
+#include "warp/simd/vdouble.h"
 
 namespace warp {
 
@@ -29,16 +31,59 @@ double LbKeogh(const Envelope& query_envelope,
                  "envelope upper/lower lengths must match");
   WARP_COUNT(obs::Counter::kLbKeoghCalls);
   return WithCost(cost, [&](auto c) {
+    const double* values = candidate.data();
+    const double* upper = query_envelope.upper.data();
+    const double* lower = query_envelope.lower.data();
+    const size_t n = candidate.size();
     double sum = 0.0;
-    for (size_t i = 0; i < candidate.size(); ++i) {
-      const double v = candidate[i];
-      WARP_DCHECK(query_envelope.lower[i] <= query_envelope.upper[i]);
-      if (v > query_envelope.upper[i]) {
-        sum += c(v, query_envelope.upper[i]);
-      } else if (v < query_envelope.lower[i]) {
-        sum += c(v, query_envelope.lower[i]);
+    size_t i = 0;
+    // One scalar step, shared by the in-block excursion sweep and the
+    // tail so every sum update keeps its immediate abandon check.
+    const auto step = [&](size_t idx) {
+      const double v = values[idx];
+      WARP_DCHECK(lower[idx] <= upper[idx]);
+      if (v > upper[idx]) {
+        sum += c(v, upper[idx]);
+      } else if (v < lower[idx]) {
+        sum += c(v, lower[idx]);
       }
-      if (sum > abandon_above) return sum;
+      return sum > abandon_above;
+    };
+    // Vector skip: a block whose elements all sit inside the tube adds
+    // nothing, so one AnyOutside test replaces kLanes element branches.
+    // Skipping its abandon checks is exact — sum only changes at
+    // excursion elements, and those always run the scalar step (with its
+    // check), so sum <= abandon_above holds on entry to any clean block.
+    // The >= 0 guard keeps the degenerate bound-below-zero case (scalar
+    // returns at element 0) on the reference path.
+    if (simd::SimdActive() && abandon_above >= 0.0) {
+      // A candidate that keeps leaving the tube pays the vector probe on
+      // every block and still does all the scalar work, so a run of
+      // consecutive dirty blocks drops the rest of the series to the
+      // plain scalar loop (a clean block resets the run). The probe only
+      // affects which loop runs, never a value, so this stays bitwise.
+      constexpr int kDirtyStreakBail = 8;
+      int dirty_streak = 0;
+      while (i + simd::kLanes <= n && dirty_streak < kDirtyStreakBail) {
+        const simd::vdouble v = simd::vdouble::Load(values + i);
+        const simd::vdouble lo = simd::vdouble::Load(lower + i);
+        const simd::vdouble hi = simd::vdouble::Load(upper + i);
+        if (!AnyOutside(v, lo, hi)) {
+          WARP_COUNT(obs::Counter::kSimdBlocks);
+          dirty_streak = 0;
+          i += simd::kLanes;
+          continue;
+        }
+        ++dirty_streak;
+        const size_t end = i + simd::kLanes;
+        for (; i < end; ++i) {
+          if (step(i)) return sum;
+        }
+      }
+      WARP_COUNT_ADD(obs::Counter::kSimdScalarTail, n - i);
+    }
+    for (; i < n; ++i) {
+      if (step(i)) return sum;
     }
     return sum;
   });

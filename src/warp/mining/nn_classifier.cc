@@ -14,6 +14,8 @@
 #include "warp/core/dtw.h"
 #include "warp/core/lower_bounds.h"
 #include "warp/obs/metrics.h"
+#include "warp/simd/batch.h"
+#include "warp/simd/dispatch.h"
 
 namespace warp {
 
@@ -203,10 +205,35 @@ AcceleratedNnClassifier::AcceleratedNnClassifier(const Dataset& train,
   WARP_CHECK_MSG(length_ > 0,
                  "accelerated classifier requires uniform-length series");
   train_envelopes_.reserve(train_.size());
+  heads_.reserve(train_.size());
+  tails_.reserve(train_.size());
   for (const TimeSeries& series : train_.series()) {
     train_envelopes_.push_back(ComputeEnvelope(series.view(), band_));
+    heads_.push_back(series.view().front());
+    tails_.push_back(series.view().back());
   }
 }
+
+namespace {
+
+// Lane-parallel LB_Kim over every candidate. The values do not depend on
+// the running best-so-far, so hoisting them out of the scan changes no
+// prune decision; LbKimFl's 1x1 special case keeps length-1 sets on the
+// scalar call. Returns true when the cache was filled.
+bool BatchKimBounds(std::span<const double> query, size_t length,
+                    const std::vector<double>& heads,
+                    const std::vector<double>& tails, CostKind cost,
+                    std::vector<double>* cache) {
+  if (!simd::SimdActive() || length < 2) return false;
+  cache->resize(heads.size());
+  WithCost(cost, [&](auto c) {
+    simd::LbKimBatch<decltype(c)>(query.front(), query.back(), heads.data(),
+                                  tails.data(), heads.size(), cache->data());
+  });
+  return true;
+}
+
+}  // namespace
 
 Prediction AcceleratedNnClassifier::Classify(
     std::span<const double> query, ClassificationStats* stats) const {
@@ -222,6 +249,9 @@ Prediction AcceleratedNnClassifier::Classify(
   WARP_CHECK_MSG(query.size() == length_,
                  "query length must match the training set");
   const Envelope query_envelope = ComputeEnvelope(query, band_);
+  std::vector<double> kim_cache;
+  const bool batched_kim =
+      BatchKimBounds(query, length_, heads_, tails_, cost_, &kim_cache);
 
   Prediction best;
   best.distance = kInf;
@@ -230,8 +260,16 @@ Prediction AcceleratedNnClassifier::Classify(
     WARP_COUNT(obs::Counter::kCascadeCandidates);
     const std::span<const double> candidate = train_[i].view();
 
-    // Rung 1: constant-time LB_Kim.
-    if (LbKimFl(query, candidate, cost_) >= best.distance) {
+    // Rung 1: constant-time LB_Kim (batched per block when SIMD is on;
+    // the per-candidate call counter is kept either way).
+    double kim;
+    if (batched_kim) {
+      WARP_COUNT(obs::Counter::kLbKimCalls);
+      kim = kim_cache[i];
+    } else {
+      kim = LbKimFl(query, candidate, cost_);
+    }
+    if (kim >= best.distance) {
       if (stats != nullptr) ++stats->pruned_by_kim;
       WARP_COUNT(obs::Counter::kLbKimKills);
       continue;
@@ -277,6 +315,9 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
                  "query length must match the training set");
   WARP_CHECK(k >= 1 && k <= train_.size());
   const Envelope query_envelope = ComputeEnvelope(query, band_);
+  std::vector<double> kim_cache;
+  const bool batched_kim =
+      BatchKimBounds(query, length_, heads_, tails_, cost_, &kim_cache);
 
   KBest kbest(k);
   static thread_local DtwWorkspace buffer;
@@ -286,7 +327,14 @@ Prediction AcceleratedNnClassifier::ClassifyKnn(
     const std::span<const double> candidate = train_[i].view();
     const double threshold = kbest.PruneThreshold();
 
-    if (LbKimFl(query, candidate, cost_) >= threshold) {
+    double kim;
+    if (batched_kim) {
+      WARP_COUNT(obs::Counter::kLbKimCalls);
+      kim = kim_cache[i];
+    } else {
+      kim = LbKimFl(query, candidate, cost_);
+    }
+    if (kim >= threshold) {
       if (stats != nullptr) ++stats->pruned_by_kim;
       WARP_COUNT(obs::Counter::kLbKimKills);
       continue;

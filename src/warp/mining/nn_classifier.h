@@ -130,6 +130,11 @@ class AcceleratedNnClassifier {
   CostKind cost_;
   size_t length_;
   std::vector<Envelope> train_envelopes_;
+  // Contiguous first/last elements of every training series, so the
+  // cascade's LB_Kim rung can be evaluated for whole candidate blocks in
+  // vector lanes (warp/simd/batch.h).
+  std::vector<double> heads_;
+  std::vector<double> tails_;
 };
 
 }  // namespace warp

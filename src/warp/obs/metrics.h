@@ -86,7 +86,10 @@ namespace obs {
   X(kServeCacheHits, "serve_cache_hits")                  \
   X(kServeCacheMisses, "serve_cache_misses")              \
   X(kServeCacheEvictions, "serve_cache_evictions")        \
-  X(kServeDeadlineExceeded, "serve_deadline_exceeded")
+  X(kServeDeadlineExceeded, "serve_deadline_exceeded")     \
+  /* SIMD kernels (warp/simd/). */                         \
+  X(kSimdBlocks, "simd_blocks")                            \
+  X(kSimdScalarTail, "simd_scalar_tail")
 
 enum class Counter : uint32_t {
 #define WARP_OBS_DECLARE_ENUM(name, json_name) name,

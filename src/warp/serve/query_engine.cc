@@ -1,6 +1,7 @@
 #include "warp/serve/query_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -13,6 +14,8 @@
 #include "warp/core/lower_bounds.h"
 #include "warp/mining/similarity_search.h"
 #include "warp/obs/metrics.h"
+#include "warp/simd/batch.h"
+#include "warp/simd/dispatch.h"
 #include "warp/ts/znorm.h"
 
 namespace warp {
@@ -326,6 +329,22 @@ struct QueryEngine::Impl {
     const StoredDataset& stored = *plan.stored;
     const std::vector<double>& query = plan.query;
     const CostKind cost = request.params.cost;
+    // Rung-1 LB_Kim for the whole chunk in vector lanes, off the store's
+    // contiguous head/tail caches. The values are independent of the
+    // running bound, so hoisting them changes no kill decision, and the
+    // per-candidate call counting below (including its interaction with
+    // deadline expiry) is untouched.
+    WARP_DCHECK(end - begin <= kScanGrain);
+    std::array<double, kScanGrain> kim_cache;
+    const bool batched_kim = plan.cascade && query.size() >= 2 &&
+                             end > begin && simd::SimdActive();
+    if (batched_kim) {
+      WithCost(cost, [&](auto c) {
+        simd::LbKimBatch<decltype(c)>(
+            query.front(), query.back(), stored.head.data() + begin,
+            stored.tail.data() + begin, end - begin, kim_cache.data());
+      });
+    }
     for (size_t i = begin; i < end; ++i) {
       if (plan.deadline.Expired()) return;
       ++out.scanned;
@@ -345,8 +364,11 @@ struct QueryEngine::Impl {
           distance = PointCost(query[0], stored.head[i], cost);
         } else {
           const double kim =
-              PointCost(query[0], stored.head[i], cost) +
-              PointCost(query[query.size() - 1], stored.tail[i], cost);
+              batched_kim
+                  ? kim_cache[i - begin]
+                  : PointCost(query[0], stored.head[i], cost) +
+                        PointCost(query[query.size() - 1], stored.tail[i],
+                                  cost);
           if (kim > bound) {
             WARP_COUNT(obs::Counter::kLbKimKills);
             continue;

@@ -1,0 +1,63 @@
+// Lane-parallel candidate batches for the 1-NN cascade's first rung.
+//
+// LB_Kim(first/last) for candidate i is
+//   cost(q_first, head[i]) + cost(q_last, tail[i])
+// — no dependence on the running best-so-far bound, so a block of
+// candidates can be evaluated in vector lanes before the sequential
+// kill loop consumes the values one by one with fresh bounds. Each lane
+// performs exactly the scalar evaluation (two cost applications, one
+// add, in that order), so the cached values are bitwise identical to
+// computing them inline, and every downstream prune decision — and
+// therefore every counter and stat — is unchanged.
+
+#ifndef WARP_SIMD_BATCH_H_
+#define WARP_SIMD_BATCH_H_
+
+#include <cstddef>
+
+#include "warp/core/cost.h"
+#include "warp/obs/metrics.h"
+#include "warp/simd/vdouble.h"
+
+namespace warp {
+namespace simd {
+
+// Fills out[0, count) with cost(q_first, heads[i]) + cost(q_last,
+// tails[i]). heads/tails/out must not alias.
+template <typename Cost>
+void LbKimBatch(double q_first, double q_last, const double* heads,
+                const double* tails, size_t count, double* out) {
+  const vdouble qf = vdouble::Broadcast(q_first);
+  const vdouble ql = vdouble::Broadcast(q_last);
+  auto kernel = [&](vdouble head, vdouble tail) {
+    vdouble front;
+    vdouble back;
+    if constexpr (Cost::kKind == CostKind::kSquared) {
+      const vdouble df = qf - head;
+      const vdouble db = ql - tail;
+      front = df * df;
+      back = db * db;
+    } else {
+      front = Abs(qf - head);
+      back = Abs(ql - tail);
+    }
+    return front + back;
+  };
+  size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    kernel(vdouble::Load(heads + i), vdouble::Load(tails + i)).Store(out + i);
+    WARP_COUNT(obs::Counter::kSimdBlocks);
+  }
+  if (i < count) {
+    const size_t rest = count - i;
+    kernel(vdouble::LoadMasked(heads + i, rest),
+           vdouble::LoadMasked(tails + i, rest))
+        .StoreMasked(out + i, rest);
+    WARP_COUNT_ADD(obs::Counter::kSimdScalarTail, rest);
+  }
+}
+
+}  // namespace simd
+}  // namespace warp
+
+#endif  // WARP_SIMD_BATCH_H_

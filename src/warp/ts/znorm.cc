@@ -1,6 +1,9 @@
 #include "warp/ts/znorm.h"
 
 #include "warp/common/assert.h"
+#include "warp/obs/metrics.h"
+#include "warp/simd/dispatch.h"
+#include "warp/simd/vdouble.h"
 
 namespace warp {
 
@@ -27,8 +30,24 @@ void ZNormalizeInPlace(std::span<double> values, double min_stddev) {
     for (double& v : values) v = 0.0;
     return;
   }
+  // The mean/stddev reduction above stays scalar (vectorizing it would
+  // re-associate the sums and move the result). The scale pass below is
+  // per-element — one subtract, one multiply, no cross-lane data flow —
+  // so its vector form is bitwise identical to the scalar loop.
   const double inv = 1.0 / ms.stddev;
-  for (double& v : values) v = (v - ms.mean) * inv;
+  double* p = values.data();
+  const size_t n = values.size();
+  size_t i = 0;
+  if (simd::SimdActive()) {
+    const simd::vdouble mean_v = simd::vdouble::Broadcast(ms.mean);
+    const simd::vdouble inv_v = simd::vdouble::Broadcast(inv);
+    for (; i + simd::kLanes <= n; i += simd::kLanes) {
+      ((simd::vdouble::Load(p + i) - mean_v) * inv_v).Store(p + i);
+      WARP_COUNT(obs::Counter::kSimdBlocks);
+    }
+    WARP_COUNT_ADD(obs::Counter::kSimdScalarTail, n - i);
+  }
+  for (; i < n; ++i) p[i] = (p[i] - ms.mean) * inv;
 }
 
 std::vector<double> ZNormalized(std::span<const double> values,

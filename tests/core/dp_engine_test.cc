@@ -103,8 +103,13 @@ TEST(DpEngineWorkspaceTest, AllocsFlatAcrossRepeatedCallsOnOneWorkspace) {
   const std::vector<double> x = gen::RandomWalk(96, rng);
   const std::vector<double> y = gen::RandomWalk(96, rng);
 
+  // Warm up every scratch path the loop exercises: the banded and full
+  // calls may run the SIMD wavefront (wave buffers), the pruned call
+  // always runs the row engine (row buffers).
   DtwWorkspace workspace;
-  (void)CdtwDistance(x, y, 10, CostKind::kSquared, &workspace);  // Warm up.
+  (void)CdtwDistance(x, y, 10, CostKind::kSquared, &workspace);
+  (void)DtwDistance(x, y, CostKind::kSquared, nullptr, &workspace);
+  (void)PrunedCdtwDistance(x, y, 10, CostKind::kSquared, -1.0, &workspace);
 
   const obs::MetricsSnapshot before = obs::SnapshotCounters();
   for (int i = 0; i < 50; ++i) {

@@ -13,6 +13,8 @@
 //   --data=NAME=PATH         load a UCR file (repeatable)
 //   --gen=NAME=COUNT,LEN[,SEED]  synthesize a random-walk dataset
 //                   (repeatable; default seed 42)
+//   --simd=MODE     SIMD kernel dispatch: on | off | auto (default auto;
+//                   docs/SIMD.md)
 
 #ifndef WARP_TOOLS_SERVE_MAIN_H_
 #define WARP_TOOLS_SERVE_MAIN_H_
@@ -25,6 +27,7 @@
 
 #include "warp/gen/random_walk.h"
 #include "warp/serve/server.h"
+#include "warp/simd/dispatch.h"
 
 namespace warp {
 namespace tools {
@@ -88,6 +91,16 @@ inline int ServeToolMain(const ToolFlags& flags) {
       data_specs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (key == "gen") {
       gen_specs.push_back(value);
+    } else if (key == "simd") {
+      simd::SimdMode mode;
+      if (!simd::ParseSimdMode(value, &mode)) {
+        std::fprintf(stderr,
+                     "warp_serve: invalid --simd=%s (expected on, off, or "
+                     "auto)\n",
+                     value.c_str());
+        return 2;
+      }
+      simd::SetSimdMode(mode);
     } else {
       std::fprintf(stderr, "warp_serve: unknown flag --%s\n", key.c_str());
       return 1;

@@ -36,6 +36,7 @@
 #include "warp/obs/json_writer.h"
 #include "warp/obs/metrics.h"
 #include "warp/serve/net.h"
+#include "warp/simd/dispatch.h"
 #include "warp/ts/io.h"
 #include "warp/ts/znorm.h"
 
@@ -104,6 +105,10 @@ GLOBAL FLAGS
                       (cells computed, bound calls, cascade outcomes) to
                       stderr. Requires a -DWARP_PROFILE=ON build (the
                       default); see docs/OBSERVABILITY.md.
+  --simd=MODE         SIMD kernel dispatch: on | off | auto (default
+                      auto = use vector paths when the CPU supports the
+                      compiled backend; see docs/SIMD.md). Results are
+                      identical in every mode.
 )";
 
 struct Args {
@@ -497,6 +502,17 @@ int Main(int argc, char** argv) {
     return argc < 2 ? 1 : 0;
   }
   const Args args = Parse(argc, argv);
+  if (args.Has("simd")) {
+    simd::SimdMode mode;
+    const std::string text = args.Flag("simd", "auto");
+    if (!simd::ParseSimdMode(text, &mode)) {
+      std::fprintf(stderr,
+                   "warp_cli: invalid --simd=%s (expected on, off, or auto)\n",
+                   text.c_str());
+      return 2;
+    }
+    simd::SetSimdMode(mode);
+  }
   const bool profile = args.Has("profile");
   const obs::MetricsSnapshot before = obs::SnapshotCounters();
   const std::string command = argv[1];
