@@ -26,7 +26,7 @@
 #include "warp/core/lower_bounds.h"
 #include "warp/gen/gesture.h"
 #include "warp/gen/random_walk.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {
@@ -115,6 +115,7 @@ int Main(int argc, char** argv) {
   const size_t band_percent =
       static_cast<size_t>(flags.GetInt("band-percent", 10));
   const int reps = static_cast<int>(flags.GetInt("reps", 200));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -122,6 +123,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "Ablations",
       "Cascade rungs, bound tightness, buffer reuse, band fast path");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("length", static_cast<int64_t>(length));
   report.AddConfig("train", static_cast<int64_t>(train_size));
   report.AddConfig("test", static_cast<int64_t>(test_size));

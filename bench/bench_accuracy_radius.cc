@@ -19,7 +19,7 @@
 #include "warp/common/statistics.h"
 #include "warp/common/stopwatch.h"
 #include "warp/common/table_printer.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 #include "warp/core/approx_error.h"
 #include "warp/core/dtw.h"
@@ -36,6 +36,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int pairs = static_cast<int>(flags.GetInt("pairs", 30));
   const size_t length = static_cast<size_t>(flags.GetInt("length", 300));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -43,6 +44,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "Fig. 1(a) annotations",
       "FastDTW approximation error vs radius on three data families");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("pairs", pairs);
   report.AddConfig("length", static_cast<int64_t>(length));
 

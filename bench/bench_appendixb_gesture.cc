@@ -23,7 +23,7 @@
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/gesture.h"
 #include "warp/mining/nn_classifier.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {
@@ -39,11 +39,13 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("train", 6));
   const size_t per_class_test = static_cast<size_t>(flags.GetInt("test", 4));
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 30));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
 
   obs::BenchReport report(
       "E9 / Appendix B",
       "Multichannel gesture 1-NN: FastDTW_30 vs exact DTW");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("channels", static_cast<int64_t>(channels));
   report.AddConfig("length", static_cast<int64_t>(length));
   report.AddConfig("classes", classes);

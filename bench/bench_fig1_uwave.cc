@@ -40,7 +40,7 @@
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/gesture.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {

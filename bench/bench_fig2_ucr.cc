@@ -16,7 +16,7 @@
 #include "harness/bench_flags.h"
 #include "warp/common/statistics.h"
 #include "warp/common/stopwatch.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 #include "warp/ucr/ucr_metadata.h"
 
@@ -28,6 +28,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int bins_w = static_cast<int>(flags.GetInt("bins-w", 11));
   const int bins_len = static_cast<int>(flags.GetInt("bins-len", 15));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -35,6 +36,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E2 / Fig. 2",
       "UCR-2018 archive: optimal-window and length distributions");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("bins_w", bins_w);
   report.AddConfig("bins_len", bins_len);
 

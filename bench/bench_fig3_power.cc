@@ -19,7 +19,7 @@
 #include "warp/common/stopwatch.h"
 #include "warp/core/dtw.h"
 #include "warp/gen/power_demand.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {
@@ -53,6 +53,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t length = static_cast<size_t>(flags.GetInt("length", 450));
   const size_t shift = static_cast<size_t>(flags.GetInt("shift", 153));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -60,6 +61,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E4 / Fig. 3",
       "Power-demand motivating example: W estimate from the alignment");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("length", static_cast<int64_t>(length));
   report.AddConfig("shift", static_cast<int64_t>(shift));
 

@@ -24,7 +24,7 @@
 #include "warp/core/fastdtw.h"
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/random_walk.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {
@@ -40,6 +40,7 @@ int Main(int argc, char** argv) {
   const size_t length = static_cast<size_t>(flags.GetInt("length", 450));
   const int step = static_cast<int>(flags.GetInt("step", 8));
   const int max_setting = static_cast<int>(flags.GetInt("max", 40));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -47,6 +48,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E5 / Fig. 4",
       "All-pairs time (Case C): FastDTW_r vs cDTW_w, r and w in 0..40");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("exemplars", static_cast<int64_t>(exemplars));
   report.AddConfig("ref_exemplars", static_cast<int64_t>(ref_exemplars));
   report.AddConfig("total", static_cast<int64_t>(total));

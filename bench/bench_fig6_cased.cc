@@ -35,6 +35,7 @@ int Main(int argc, char** argv) {
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 40));
   const double max_seconds = flags.GetDouble("max-seconds", 64.0);
   const bool skip_reference = flags.GetBool("skip-reference", false);
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -42,6 +43,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E6 / Figs. 5-6",
       "Fall alignment (Case D): cDTW_100 vs FastDTW_40 as L grows");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("reps", reps);
   report.AddConfig("ref_reps", ref_reps);
   report.AddConfig("radius", static_cast<int64_t>(radius));

@@ -27,7 +27,7 @@
 #include "warp/core/fastdtw_reference.h"
 #include "warp/gen/random_walk.h"
 #include "warp/mining/similarity_search.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 
 namespace warp {
@@ -43,6 +43,7 @@ int Main(int argc, char** argv) {
   const size_t haystack_len =
       static_cast<size_t>(flags.GetInt("haystack", 200000));
   const size_t query_len = static_cast<size_t>(flags.GetInt("query", 128));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -50,6 +51,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E8 / Section 3.4 footnote 2",
       "Trillion-point projection: FastDTW_10 at N=128 vs cDTW_5 search");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("reps", reps);
   report.AddConfig("haystack", static_cast<int64_t>(haystack_len));
   report.AddConfig("query", static_cast<int64_t>(query_len));

@@ -33,7 +33,7 @@
 #include "harness/bench_flags.h"
 #include "warp/common/stopwatch.h"
 #include "warp/gen/random_walk.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 #include "warp/serve/batcher.h"
 #include "warp/serve/dataset_store.h"

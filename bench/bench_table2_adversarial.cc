@@ -23,7 +23,7 @@
 #include "warp/core/fastdtw.h"
 #include "warp/gen/adversarial.h"
 #include "warp/mining/hierarchical_clustering.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 #include "warp/ts/paa.h"
 
@@ -46,6 +46,7 @@ double MeanPathDirection(const WarpingPath& path) {
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t radius = static_cast<size_t>(flags.GetInt("radius", 20));
+  const size_t threads = SingleCoreThreadsFlag(flags);
   const std::string json_path = JsonFlag(flags);
   SimdFlag(flags);
   flags.Finalize();
@@ -53,6 +54,7 @@ int Main(int argc, char** argv) {
   obs::BenchReport report(
       "E7 / Table 2 + Figs. 7-8",
       "Adversarial triple: Full DTW vs FastDTW distance matrices");
+  report.AddConfig("threads", static_cast<int64_t>(threads));
   report.AddConfig("radius", static_cast<int64_t>(radius));
 
   PrintBanner("E7 / Table 2 + Figs. 7-8",

@@ -112,6 +112,22 @@ inline size_t ThreadsFlag(Flags& flags) {
   return value <= 0 ? DefaultThreadCount() : static_cast<size_t>(value);
 }
 
+// Shared --threads handling for the harnesses that measure single-core by
+// design (the paper's configuration). The flag is accepted and recorded in
+// the report config so flag surfaces stay uniform across every bench
+// binary, but a value above 1 prints a note instead of silently changing
+// nothing — the harness convention is that flags never no-op quietly.
+inline size_t SingleCoreThreadsFlag(Flags& flags) {
+  const size_t threads = ThreadsFlag(flags);
+  if (threads > 1) {
+    std::fprintf(stderr,
+                 "note: single-core harness; --threads=%zu is recorded in "
+                 "the report but does not parallelize the measurement\n",
+                 threads);
+  }
+  return threads;
+}
+
 // Shared --json=<path> flag: destination for the machine-readable
 // warp-bench-v1 report (docs/OBSERVABILITY.md); empty means console only.
 inline std::string JsonFlag(Flags& flags) {

@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
-# Repository lint driver: convention checks (always), clang-format and
-# clang-tidy (when the tools are installed).
+# Repository lint driver.
 #
-# Conventions enforced unconditionally (pure grep, no tool deps):
-#   * no raw assert()            — invariants go through WARP_CHECK/WARP_DCHECK
-#   * no std::rand/srand/mt19937/random_device — all randomness flows
-#     through warp::Rng with explicit seeds (see CONTRIBUTING.md)
-#   * no #pragma once            — headers use project include guards
-#   * include guards match path  — e.g. src/warp/core/dtw.h uses WARP_CORE_DTW_H_
-#   * no std::chrono in src/ outside common/stopwatch* and obs/ — timing
-#     flows through warp::Stopwatch so the observability layer sees it
+# The convention checks that used to live here as grep pipelines are now
+# compiled rules in the warp_lint analyzer (src/warp/lintkit/, CLI in
+# tools/warp_lint.cc): token-level rules that a trailing comment or a
+# string literal can no longer trip, plus cross-file project invariants
+# (module layering DAG, include order, counter/measure registry
+# cross-references, bench flag wiring, test registration). The full rule
+# list, suppression-pragma syntax, and JSON schema are documented in
+# docs/STATIC_ANALYSIS.md; `warp_lint --list-rules` prints the rules.
 #
-# Tool-backed checks:
-#   * clang-format --dry-run -Werror over all tracked C++ sources
-#   * clang-tidy (config in .clang-tidy) over src/warp, warnings as errors
+# This script:
+#   1. builds warp_lint (Release) if no binary is available,
+#   2. runs it over the repository, writing a warp-lint-v1 JSON report,
+#   3. runs clang-format and clang-tidy when the tools are installed.
 #
-# Missing tools are reported loudly and skipped, because the analysis
-# container ships only g++; set LINT_STRICT=1 (CI does) to turn a missing
-# tool into a failure instead.
+# Missing clang tools are reported loudly and skipped, because the
+# analysis container ships only g++; set LINT_STRICT=1 (CI does) to turn
+# a missing tool into a failure instead. warp_lint itself has no
+# dependencies beyond the toolchain, so it always runs.
+#
+# Environment:
+#   WARP_LINT_BIN   use this warp_lint binary instead of building one
+#   LINT_BUILD_DIR  build directory for warp_lint (default: build-lint)
+#   LINT_JSON       where to write the JSON report
+#                   (default: $LINT_BUILD_DIR/warp_lint_report.json)
+#   LINT_STRICT     1 = missing clang tools fail the run (CI sets this)
 #
 # Usage: scripts/lint.sh [--fix]   (--fix lets clang-format rewrite files)
 set -u
@@ -28,6 +36,8 @@ cd "$ROOT"
 FIX=0
 [ "${1:-}" = "--fix" ] && FIX=1
 STRICT="${LINT_STRICT:-0}"
+LINT_BUILD_DIR="${LINT_BUILD_DIR:-build-lint}"
+LINT_JSON="${LINT_JSON:-$LINT_BUILD_DIR/warp_lint_report.json}"
 failures=0
 
 fail() {
@@ -45,98 +55,38 @@ skip_tool() {
 }
 
 cpp_sources() {
-  git ls-files '*.cc' '*.h'
+  git ls-files '*.cc' '*.h' | grep -v '/lint_fixtures/'
 }
 
-# --- Convention: no raw assert() -------------------------------------------
-# [^_[:alnum:]] before "assert(" excludes static_assert and the WARP_*
-# macro definitions' internal_assert namespace.
-raw_asserts="$(cpp_sources | xargs grep -nE '(^|[^_[:alnum:]])assert\(' \
-    | grep -v 'static_assert' || true)"
-if [ -n "$raw_asserts" ]; then
-  echo "$raw_asserts" >&2
-  fail "raw assert() found — use WARP_CHECK/WARP_DCHECK (warp/common/assert.h)"
+# --- warp_lint: convention + project-invariant analyzer ---------------------
+WARP_LINT="${WARP_LINT_BIN:-}"
+if [ -z "$WARP_LINT" ]; then
+  # Reuse an existing build of the tool when one is lying around.
+  for candidate in "$LINT_BUILD_DIR/tools/warp_lint" build/tools/warp_lint; do
+    if [ -x "$candidate" ]; then
+      WARP_LINT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$WARP_LINT" ]; then
+  echo "lint: building warp_lint in $LINT_BUILD_DIR ..." >&2
+  cmake -B "$LINT_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DWARP_BUILD_BENCHMARKS=OFF -DWARP_BUILD_EXAMPLES=OFF > /dev/null \
+    || fail "could not configure $LINT_BUILD_DIR for warp_lint"
+  cmake --build "$LINT_BUILD_DIR" --target warp_lint -j"$(nproc)" > /dev/null \
+    || fail "could not build warp_lint"
+  WARP_LINT="$LINT_BUILD_DIR/tools/warp_lint"
 fi
 
-# --- Convention: seeded randomness only ------------------------------------
-banned_random="$(cpp_sources | grep '^src/' | xargs grep -nE \
-    'std::rand\b|[^_[:alnum:]]srand\(|[^_[:alnum:]]rand\(\)|std::random_device|std::mt19937' \
-    | grep -vE ':[0-9]+: *(//|\*)' || true)"
-if [ -n "$banned_random" ]; then
-  echo "$banned_random" >&2
-  fail "platform RNG found in src/ — all randomness must flow through warp::Rng"
-fi
-
-# --- Convention: timing flows through warp::Stopwatch ----------------------
-# Raw std::chrono in library code bypasses the observability layer and
-# invites nondeterministic timing-dependent behavior. Only the Stopwatch
-# implementation and the obs/ subsystem may touch the clock directly.
-banned_chrono="$(cpp_sources | grep '^src/' \
-    | grep -vE '^src/warp/(common/stopwatch|obs/)' \
-    | xargs grep -nE 'std::chrono|<chrono>' \
-    | grep -vE ':[0-9]+: *(//|\*)' || true)"
-if [ -n "$banned_chrono" ]; then
-  echo "$banned_chrono" >&2
-  fail "std::chrono found in src/ — time through warp::Stopwatch (warp/common/stopwatch.h)"
-fi
-
-# --- Convention: DP loops run on the shared engine --------------------------
-# A `std::vector<double> prev(` declaration in src/warp/core/ is the
-# telltale of a hand-rolled two-row DP loop. All banded/two-row dynamic
-# programming belongs in dp_engine.h (policies + TwoRowEngine); kernels
-# are thin instantiations. See DESIGN.md "One banded-DP engine".
-raw_dp_loops="$(cpp_sources | grep '^src/warp/core/' \
-    | grep -v 'src/warp/core/dp_engine.h' \
-    | xargs grep -nE 'std::vector<double> prev\(' || true)"
-if [ -n "$raw_dp_loops" ]; then
-  echo "$raw_dp_loops" >&2
-  fail "hand-rolled two-row DP loop in src/warp/core/ — instantiate dp::TwoRowEngine (warp/core/dp_engine.h) instead"
-fi
-
-# --- Convention: sockets only in src/warp/serve/net.* ----------------------
-# The serve subsystem's entire syscall surface lives behind TcpConn /
-# TcpListener (warp/serve/net.h). Raw socket calls anywhere else bypass
-# the loopback-only binding, the line-size cap, and the EINTR handling.
-raw_sockets="$(cpp_sources | grep -v '^src/warp/serve/net\.' \
-    | xargs grep -nE \
-    '[^_[:alnum:]](socket|bind|listen|accept|accept4|connect|recv|send|sendto|recvfrom|setsockopt|getsockname|shutdown)\(|<sys/socket\.h>|<netinet/|<arpa/inet\.h>' \
-    | grep -vE ':[0-9]+: *(//|\*)' || true)"
-if [ -n "$raw_sockets" ]; then
-  echo "$raw_sockets" >&2
-  fail "raw socket syscall outside src/warp/serve/net.* — go through TcpConn/TcpListener (warp/serve/net.h)"
-fi
-
-# --- Convention: intrinsics only in src/warp/simd/ --------------------------
-# All architecture-specific SIMD lives behind the vdouble wrapper
-# (warp/simd/vdouble.h). Raw <immintrin.h>/<arm_neon.h> anywhere else
-# bypasses the scalar fallback, the runtime --simd dispatch, and the
-# determinism contract (docs/SIMD.md).
-raw_intrinsics="$(cpp_sources | grep -v '^src/warp/simd/' \
-    | xargs grep -nE '<immintrin\.h>|<arm_neon\.h>|<x86intrin\.h>|<emmintrin\.h>|<smmintrin\.h>' \
-    | grep -vE ':[0-9]+: *(//|\*)' || true)"
-if [ -n "$raw_intrinsics" ]; then
-  echo "$raw_intrinsics" >&2
-  fail "raw SIMD intrinsics header outside src/warp/simd/ — go through vdouble (warp/simd/vdouble.h)"
-fi
-
-# --- Convention: include guards, no #pragma once ---------------------------
-pragma_once="$(cpp_sources | xargs grep -ln '#pragma once' || true)"
-if [ -n "$pragma_once" ]; then
-  echo "$pragma_once" >&2
-  fail "#pragma once found — use WARP_..._H_ include guards"
-fi
-
-while IFS= read -r header; do
-  case "$header" in
-    src/warp/*) rel="${header#src/warp/}" ;;
-    *)          rel="$header" ;;
-  esac
-  guard="WARP_$(echo "$rel" | tr '[:lower:]/.' '[:upper:]__')_"
-  if ! grep -q "#ifndef $guard" "$header" || \
-     ! grep -q "#define $guard" "$header"; then
-    fail "$header: missing or misnamed include guard (expected $guard)"
+if [ -x "$WARP_LINT" ]; then
+  mkdir -p "$(dirname "$LINT_JSON")"
+  if ! "$WARP_LINT" --root="$ROOT" --json="$LINT_JSON"; then
+    fail "warp_lint reported findings (see above; JSON report: $LINT_JSON)"
   fi
-done < <(git ls-files '*.h')
+else
+  fail "no warp_lint binary available"
+fi
 
 # --- clang-format ----------------------------------------------------------
 if command -v clang-format > /dev/null 2>&1; then

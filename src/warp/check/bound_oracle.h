@@ -24,7 +24,7 @@
 #include <span>
 #include <string>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 
 namespace warp {
 namespace check {

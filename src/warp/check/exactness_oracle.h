@@ -19,7 +19,7 @@
 #include <span>
 #include <string>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/ts/dataset.h"
 
 namespace warp {

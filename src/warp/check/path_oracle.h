@@ -20,7 +20,7 @@
 #include <span>
 #include <string>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/warping_path.h"
 #include "warp/core/window.h"
 

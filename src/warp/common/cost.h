@@ -6,8 +6,8 @@
 // nothing at runtime; public entry points take the CostKind enum and
 // dispatch once per call.
 
-#ifndef WARP_CORE_COST_H_
-#define WARP_CORE_COST_H_
+#ifndef WARP_COMMON_COST_H_
+#define WARP_COMMON_COST_H_
 
 #include <cmath>
 #include <cstdint>
@@ -46,4 +46,4 @@ decltype(auto) WithCost(CostKind kind, Fn&& fn) {
 
 }  // namespace warp
 
-#endif  // WARP_CORE_COST_H_
+#endif  // WARP_COMMON_COST_H_

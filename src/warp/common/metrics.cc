@@ -1,4 +1,4 @@
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 #include <mutex>
 #include <vector>

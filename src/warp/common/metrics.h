@@ -23,9 +23,16 @@
 //
 // Counting never changes algorithm results: outputs are bitwise identical
 // with profiling on, off, and at 1/2/8 threads (tests/obs/metrics_test.cc).
+//
+// Layering note: this file lives in warp/common/ (not warp/obs/) because
+// the counter slab is layer-0 infrastructure — the thread pool in
+// warp/common/parallel.cc bumps pool counters, and common sits below obs
+// in the module DAG (docs/STATIC_ANALYSIS.md). The namespace stays
+// warp::obs: counters are observability data, and the obs subsystem
+// (report/trace/json) builds its snapshots on top of this registry.
 
-#ifndef WARP_OBS_METRICS_H_
-#define WARP_OBS_METRICS_H_
+#ifndef WARP_COMMON_METRICS_H_
+#define WARP_COMMON_METRICS_H_
 
 #include <array>
 #include <atomic>
@@ -167,4 +174,4 @@ void ResetCounters();
   ::warp::obs::AddCount((counter), static_cast<uint64_t>(amount))
 #define WARP_COUNT(counter) WARP_COUNT_ADD(counter, 1)
 
-#endif  // WARP_OBS_METRICS_H_
+#endif  // WARP_COMMON_METRICS_H_

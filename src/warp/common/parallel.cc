@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "warp/common/stopwatch.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 

@@ -47,7 +47,7 @@
 #include "warp/common/assert.h"
 #include "warp/core/warping_path.h"
 #include "warp/core/window.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/dispatch.h"
 #include "warp/simd/dp_simd.h"
 #include "warp/ts/multi_series.h"

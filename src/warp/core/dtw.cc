@@ -6,7 +6,7 @@
 
 #include "warp/common/assert.h"
 #include "warp/core/dp_engine.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 

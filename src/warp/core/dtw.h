@@ -23,7 +23,7 @@
 #include <span>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/dp_engine.h"
 #include "warp/core/warping_path.h"
 #include "warp/core/window.h"

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "warp/common/assert.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/dispatch.h"
 #include "warp/simd/vdouble.h"
 

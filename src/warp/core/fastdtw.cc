@@ -4,7 +4,7 @@
 
 #include "warp/common/assert.h"
 #include "warp/core/fastdtw_common.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/ts/paa.h"
 
 namespace warp {

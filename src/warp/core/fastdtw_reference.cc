@@ -11,7 +11,7 @@
 #include "warp/core/dp_engine.h"
 #include "warp/core/fastdtw_common.h"
 #include "warp/core/window.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/ts/paa.h"
 
 namespace warp {

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "warp/common/assert.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/dispatch.h"
 #include "warp/simd/vdouble.h"
 

@@ -16,7 +16,7 @@
 #include <limits>
 #include <span>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/envelope.h"
 
 namespace warp {

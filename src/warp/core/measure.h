@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/distance_matrix.h"
 
 namespace warp {

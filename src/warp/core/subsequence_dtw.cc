@@ -3,7 +3,7 @@
 #include "warp/common/assert.h"
 #include "warp/core/dp_engine.h"
 #include "warp/core/window.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 

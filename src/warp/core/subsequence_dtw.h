@@ -15,7 +15,7 @@
 #include <span>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/warping_path.h"
 
 namespace warp {

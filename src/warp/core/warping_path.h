@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "warp/common/assert.h"
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 
 namespace warp {
 

@@ -1,0 +1,261 @@
+#include "warp/lintkit/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "warp/lintkit/lexer.h"
+#include "warp/lintkit/project_rules.h"
+#include "warp/lintkit/rules_util.h"
+#include "warp/lintkit/token_rules.h"
+
+namespace warp {
+namespace lintkit {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kRoots[] = {"src", "tools", "tests", "bench",
+                                  "examples"};
+constexpr const char* kFixtureDirName = "lint_fixtures";
+constexpr const char* kPragmaRule = "pragma-hygiene";
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp";
+}
+
+// Root-relative, '/'-separated path.
+std::string RelativePath(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+bool UnderFixtureDir(const fs::path& relative) {
+  for (const fs::path& part : relative) {
+    if (part.string() == kFixtureDirName) return true;
+  }
+  return false;
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<RuleStatus> BuildRuleList() {
+  std::vector<RuleStatus> rules;
+  for (const TokenRule& rule : TokenRules()) {
+    rules.push_back({rule.id, rule.summary, /*cross_file=*/false,
+                     /*enabled=*/true});
+  }
+  for (const ProjectRule& rule : ProjectRules()) {
+    rules.push_back({rule.id, rule.summary, /*cross_file=*/true,
+                     /*enabled=*/true});
+  }
+  rules.push_back({kPragmaRule,
+                   "allow() pragmas are well-formed, explained, name known "
+                   "rules, and suppress something",
+                   /*cross_file=*/true, /*enabled=*/true});
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<RuleStatus>& AllRules() {
+  static const std::vector<RuleStatus> rules = BuildRuleList();
+  return rules;
+}
+
+bool IsKnownRule(const std::string& id) {
+  for (const RuleStatus& rule : AllRules()) {
+    if (rule.id == id) return true;
+  }
+  return false;
+}
+
+AnalyzerResult RunAnalyzer(const AnalyzerConfig& config) {
+  AnalyzerResult result;
+  const std::set<std::string> disabled(config.disabled_rules.begin(),
+                                       config.disabled_rules.end());
+  for (const std::string& id : disabled) {
+    if (!IsKnownRule(id)) {
+      result.errors.push_back("unknown rule in disable list: " + id);
+    }
+  }
+
+  const fs::path root(config.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    result.errors.push_back("root is not a directory: " + config.root);
+    return result;
+  }
+
+  // Discover and lex, in sorted order so runs are deterministic.
+  std::vector<std::string> paths;
+  bool any_root = false;
+  for (const char* subdir : kRoots) {
+    const fs::path dir = root / subdir;
+    if (!fs::is_directory(dir, ec)) continue;
+    any_root = true;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      if (!HasLintableExtension(it->path())) continue;
+      const std::string rel = RelativePath(it->path(), root);
+      if (UnderFixtureDir(rel)) continue;
+      paths.push_back(rel);
+    }
+  }
+  if (!any_root) {
+    result.errors.push_back(
+        "no source roots (src/tools/tests/bench/examples) under: " +
+        config.root);
+    return result;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<LexedFile> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    files.push_back(LexFile(rel, ReadFileOrEmpty(root / rel)));
+  }
+  result.files_scanned = files.size();
+
+  // Run the rules.
+  std::vector<Finding> raw;
+  for (const TokenRule& rule : TokenRules()) {
+    if (disabled.count(rule.id) != 0) continue;
+    for (const LexedFile& file : files) rule.run(file, &raw);
+  }
+  ProjectContext context;
+  context.files = &files;
+  context.tests_cmake = ReadFileOrEmpty(root / "tests" / "CMakeLists.txt");
+  for (const ProjectRule& rule : ProjectRules()) {
+    if (disabled.count(rule.id) != 0) continue;
+    rule.run(context, &raw);
+  }
+
+  // Apply suppressions. pragma_used[file][i] marks pragma i of that file
+  // as having suppressed at least one finding.
+  std::vector<std::vector<bool>> pragma_used(files.size());
+  for (size_t f = 0; f < files.size(); ++f) {
+    pragma_used[f].assign(files[f].pragmas.size(), false);
+  }
+  auto file_index = [&files](const std::string& path) -> size_t {
+    for (size_t f = 0; f < files.size(); ++f) {
+      if (files[f].path == path) return f;
+    }
+    return files.size();
+  };
+
+  for (Finding& finding : raw) {
+    bool suppressed = false;
+    const size_t f = file_index(finding.file);
+    if (f < files.size() && finding.line > 0) {
+      const std::vector<AllowPragma>& pragmas = files[f].pragmas;
+      for (size_t p = 0; p < pragmas.size(); ++p) {
+        const AllowPragma& pragma = pragmas[p];
+        if (pragma.malformed || pragma.reason.empty()) continue;
+        const bool covers =
+            finding.line == pragma.line ||
+            (pragma.covers_next && finding.line == pragma.line + 1);
+        if (!covers) continue;
+        if (std::find(pragma.rules.begin(), pragma.rules.end(),
+                      finding.rule) == pragma.rules.end()) {
+          continue;
+        }
+        SuppressedFinding entry;
+        entry.finding = finding;
+        entry.reason = pragma.reason;
+        entry.pragma_line = pragma.line;
+        result.suppressed.push_back(std::move(entry));
+        pragma_used[f][p] = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) result.findings.push_back(std::move(finding));
+  }
+
+  // Pragma hygiene: every allow() must be well-formed, explained, name
+  // known enabled rules, and earn its keep by suppressing something.
+  if (disabled.count(kPragmaRule) == 0) {
+    for (size_t f = 0; f < files.size(); ++f) {
+      const std::vector<AllowPragma>& pragmas = files[f].pragmas;
+      for (size_t p = 0; p < pragmas.size(); ++p) {
+        const AllowPragma& pragma = pragmas[p];
+        Finding finding;
+        finding.rule = kPragmaRule;
+        finding.file = files[f].path;
+        finding.line = pragma.line;
+        finding.col = 1;
+        if (pragma.malformed) {
+          finding.message =
+              "malformed warp-lint pragma — expected "
+              "\"warp-lint: allow(<rule>[, <rule>...]): <reason>\"";
+          result.findings.push_back(std::move(finding));
+          continue;
+        }
+        bool names_disabled_rule = false;
+        for (const std::string& rule : pragma.rules) {
+          if (!IsKnownRule(rule)) {
+            Finding unknown = finding;
+            unknown.message = "allow() names unknown rule '" + rule + "'";
+            result.findings.push_back(std::move(unknown));
+          } else if (disabled.count(rule) != 0) {
+            names_disabled_rule = true;
+          }
+        }
+        if (pragma.reason.empty()) {
+          finding.message =
+              "unexplained allow() pragma — append \": <reason>\"";
+          result.findings.push_back(std::move(finding));
+          continue;
+        }
+        if (!pragma_used[f][p] && !names_disabled_rule) {
+          finding.message =
+              "allow() pragma suppresses nothing — remove it or fix the "
+              "rule list";
+          result.findings.push_back(std::move(finding));
+        }
+      }
+    }
+  }
+
+  SortFindings(&result.findings);
+  std::sort(result.suppressed.begin(), result.suppressed.end(),
+            [](const SuppressedFinding& a, const SuppressedFinding& b) {
+              return std::tie(a.finding.file, a.finding.line, a.finding.rule) <
+                     std::tie(b.finding.file, b.finding.line, b.finding.rule);
+            });
+  return result;
+}
+
+std::string ResultToJson(const AnalyzerConfig& config,
+                         const AnalyzerResult& result) {
+  const std::set<std::string> disabled(config.disabled_rules.begin(),
+                                       config.disabled_rules.end());
+  LintDocument doc;
+  doc.root = config.root;
+  doc.files_scanned = result.files_scanned;
+  doc.rules = AllRules();
+  for (RuleStatus& rule : doc.rules) {
+    rule.enabled = disabled.count(rule.id) == 0;
+  }
+  doc.findings = result.findings;
+  doc.suppressed = result.suppressed;
+  doc.errors = result.errors;
+  return ToJson(doc);
+}
+
+}  // namespace lintkit
+}  // namespace warp

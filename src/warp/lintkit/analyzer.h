@@ -1,0 +1,58 @@
+// The analyzer: file discovery, rule execution, pragma suppression, and
+// assembly of the warp-lint-v1 document.
+//
+// RunAnalyzer walks the five source roots (src, tools, tests, bench,
+// examples) under config.root, lexes every .cc/.h/.cpp file, runs the
+// enabled token rules per file and the project rules over the whole
+// tree, then applies the allow() suppression pragmas collected by the
+// lexer (syntax in docs/STATIC_ANALYSIS.md).
+// Directories named "lint_fixtures" are skipped: fixture corpora are
+// deliberately-broken mini-repos that only the lint unit test analyzes,
+// by pointing a second analyzer run at the fixture directory as root.
+//
+// Pragma hygiene is itself a rule ("pragma-hygiene"): malformed pragmas,
+// pragmas naming unknown rules, pragmas with no reason ("unexplained"),
+// and pragmas that suppress nothing are all findings — an allow() can
+// never rot silently.
+
+#ifndef WARP_LINTKIT_ANALYZER_H_
+#define WARP_LINTKIT_ANALYZER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "warp/lintkit/diagnostics.h"
+
+namespace warp {
+namespace lintkit {
+
+struct AnalyzerConfig {
+  std::string root = ".";  // Repository root.
+  std::vector<std::string> disabled_rules;
+};
+
+// Identity of every rule the analyzer knows (token + project +
+// pragma-hygiene), in canonical order.
+const std::vector<RuleStatus>& AllRules();
+bool IsKnownRule(const std::string& id);
+
+struct AnalyzerResult {
+  std::vector<Finding> findings;  // Post-suppression, sorted.
+  std::vector<SuppressedFinding> suppressed;
+  std::vector<std::string> errors;  // Configuration / IO failures.
+  size_t files_scanned = 0;
+
+  bool clean() const { return findings.empty() && errors.empty(); }
+};
+
+AnalyzerResult RunAnalyzer(const AnalyzerConfig& config);
+
+// The warp-lint-v1 JSON document for one run.
+std::string ResultToJson(const AnalyzerConfig& config,
+                         const AnalyzerResult& result);
+
+}  // namespace lintkit
+}  // namespace warp
+
+#endif  // WARP_LINTKIT_ANALYZER_H_

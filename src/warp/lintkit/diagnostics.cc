@@ -1,0 +1,92 @@
+#include "warp/lintkit/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "warp/obs/json_writer.h"
+
+namespace warp {
+namespace lintkit {
+
+namespace {
+
+auto FindingKey(const Finding& f) {
+  return std::tie(f.file, f.line, f.col, f.rule, f.message);
+}
+
+void WriteFinding(obs::JsonWriter& json, const Finding& finding) {
+  json.BeginObject();
+  json.Key("rule").String(finding.rule);
+  json.Key("file").String(finding.file);
+  json.Key("line").Uint(finding.line);
+  json.Key("col").Uint(finding.col);
+  json.Key("message").String(finding.message);
+  json.EndObject();
+}
+
+}  // namespace
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return FindingKey(a) < FindingKey(b);
+            });
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::string out = finding.file;
+  if (finding.line > 0) {
+    out.append(":").append(std::to_string(finding.line));
+    if (finding.col > 0) out.append(":").append(std::to_string(finding.col));
+  }
+  out.append(": [").append(finding.rule).append("] ").append(finding.message);
+  return out;
+}
+
+std::string ToJson(const LintDocument& doc) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").String("warp-lint-v1");
+  json.Key("root").String(doc.root);
+  json.Key("files_scanned").Uint(doc.files_scanned);
+  json.Key("clean").Bool(doc.findings.empty() && doc.errors.empty());
+
+  json.Key("rules").BeginArray();
+  for (const RuleStatus& rule : doc.rules) {
+    json.BeginObject();
+    json.Key("id").String(rule.id);
+    json.Key("summary").String(rule.summary);
+    json.Key("cross_file").Bool(rule.cross_file);
+    json.Key("enabled").Bool(rule.enabled);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("findings").BeginArray();
+  for (const Finding& finding : doc.findings) WriteFinding(json, finding);
+  json.EndArray();
+
+  json.Key("suppressed").BeginArray();
+  for (const SuppressedFinding& entry : doc.suppressed) {
+    json.BeginObject();
+    json.Key("rule").String(entry.finding.rule);
+    json.Key("file").String(entry.finding.file);
+    json.Key("line").Uint(entry.finding.line);
+    json.Key("col").Uint(entry.finding.col);
+    json.Key("message").String(entry.finding.message);
+    json.Key("reason").String(entry.reason);
+    json.Key("pragma_line").Uint(entry.pragma_line);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("errors").BeginArray();
+  for (const std::string& error : doc.errors) json.String(error);
+  json.EndArray();
+
+  json.EndObject();
+  return json.TakeOutput();
+}
+
+}  // namespace lintkit
+}  // namespace warp

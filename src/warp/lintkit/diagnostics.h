@@ -1,0 +1,64 @@
+// Findings, suppression records, and the warp-lint-v1 JSON document.
+//
+// A Finding is one rule violation at one source location. The analyzer
+// collects raw findings from every rule, applies the allow-pragma
+// suppressions recorded by the lexer, and keeps both sides: surviving
+// findings (what fails the build) and suppressed ones (auditable in the
+// JSON document, so an allow() can never hide a class of violations
+// silently). docs/STATIC_ANALYSIS.md documents the JSON schema.
+
+#ifndef WARP_LINTKIT_DIAGNOSTICS_H_
+#define WARP_LINTKIT_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace warp {
+namespace lintkit {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  size_t line = 0;  // 0 = whole-file / cross-file finding with no anchor.
+  size_t col = 0;
+  std::string message;
+};
+
+struct SuppressedFinding {
+  Finding finding;
+  std::string reason;       // The pragma's stated justification.
+  size_t pragma_line = 0;   // Where the allow() pragma sits.
+};
+
+// Deterministic presentation order: file, line, col, rule, message.
+void SortFindings(std::vector<Finding>* findings);
+
+// "file:line:col: [rule] message" (line/col omitted when 0).
+std::string FormatFinding(const Finding& finding);
+
+// One rule's identity in the JSON document.
+struct RuleStatus {
+  std::string id;
+  std::string summary;
+  bool cross_file = false;
+  bool enabled = true;
+};
+
+// The complete warp-lint-v1 document.
+struct LintDocument {
+  std::string root;
+  size_t files_scanned = 0;
+  std::vector<RuleStatus> rules;
+  std::vector<Finding> findings;
+  std::vector<SuppressedFinding> suppressed;
+  std::vector<std::string> errors;
+};
+
+// Serializes the document (schema "warp-lint-v1") via obs::JsonWriter.
+std::string ToJson(const LintDocument& doc);
+
+}  // namespace lintkit
+}  // namespace warp
+
+#endif  // WARP_LINTKIT_DIAGNOSTICS_H_

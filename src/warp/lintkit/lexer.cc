@@ -1,0 +1,454 @@
+#include "warp/lintkit/lexer.h"
+
+#include <cctype>
+#include <utility>
+
+namespace warp {
+namespace lintkit {
+
+namespace {
+
+// Character cursor over the raw file contents. Line splices (backslash
+// followed by a newline, optionally \r\n) are erased transparently by
+// Advance()/Peek(), exactly as translation phase 2 does, so every token
+// matcher above this layer sees logical characters only. Raw string
+// bodies bypass the splice handling via RawAdvance() (phase 2 does not
+// apply inside raw string literals).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) { SkipSplices(); }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  char Peek(size_t ahead = 0) const {
+    // Splices are only guaranteed erased at the current position; for
+    // lookahead we re-scan. `ahead` is at most 2 in this lexer.
+    size_t p = pos_;
+    size_t remaining = ahead;
+    while (p < text_.size()) {
+      size_t spliced = SpliceLength(p);
+      if (spliced > 0) {
+        p += spliced;
+        continue;
+      }
+      if (remaining == 0) return text_[p];
+      --remaining;
+      ++p;
+    }
+    return '\0';
+  }
+
+  char Advance() {
+    if (AtEnd()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    SkipSplices();
+    return c;
+  }
+
+  // Advances without erasing splices (raw string bodies).
+  char RawAdvance() {
+    if (AtEnd()) return '\0';
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  size_t line() const { return line_; }
+  size_t col() const { return col_; }
+
+ private:
+  // Length of the splice sequence at `p` (0 when none).
+  size_t SpliceLength(size_t p) const {
+    if (text_[p] != '\\') return 0;
+    if (p + 1 < text_.size() && text_[p + 1] == '\n') return 2;
+    if (p + 2 < text_.size() && text_[p + 1] == '\r' && text_[p + 2] == '\n') {
+      return 3;
+    }
+    return 0;
+  }
+
+  void SkipSplices() {
+    while (pos_ < text_.size()) {
+      const size_t spliced = SpliceLength(pos_);
+      if (spliced == 0) return;
+      pos_ += spliced;
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Literal prefixes (encoding and/or rawness) that may precede a quote.
+bool IsLiteralPrefix(const std::string& ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+std::string TrimmedView(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+// Parses the allow-pragma syntax (docs/STATIC_ANALYSIS.md) out of one
+// comment's text: the marker, an allow(...) rule list, a reason tail.
+void ParsePragmas(std::string_view comment, size_t line, bool alone_on_line,
+                  std::vector<AllowPragma>* out) {
+  const std::string_view kMarker = "warp-lint:";
+  const size_t marker = comment.find(kMarker);
+  if (marker == std::string_view::npos) return;
+
+  AllowPragma pragma;
+  pragma.line = line;
+  pragma.covers_next = alone_on_line;
+
+  std::string_view rest = comment.substr(marker + kMarker.size());
+  size_t i = 0;
+  while (i < rest.size() &&
+         std::isspace(static_cast<unsigned char>(rest[i]))) {
+    ++i;
+  }
+  const std::string_view kAllow = "allow(";
+  if (rest.substr(i, kAllow.size()) != kAllow) {
+    pragma.malformed = true;
+    out->push_back(std::move(pragma));
+    return;
+  }
+  i += kAllow.size();
+  const size_t close = rest.find(')', i);
+  if (close == std::string_view::npos) {
+    pragma.malformed = true;
+    out->push_back(std::move(pragma));
+    return;
+  }
+  // Split the rule list on commas.
+  std::string_view list = rest.substr(i, close - i);
+  while (!list.empty()) {
+    const size_t comma = list.find(',');
+    const std::string rule = TrimmedView(list.substr(0, comma));
+    if (!rule.empty()) pragma.rules.push_back(rule);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  if (pragma.rules.empty()) pragma.malformed = true;
+
+  // Mandatory ": reason" tail. A comment-closing "*/" is not part of it.
+  std::string_view tail = rest.substr(close + 1);
+  const size_t colon = tail.find(':');
+  if (colon != std::string_view::npos) {
+    std::string reason = TrimmedView(tail.substr(colon + 1));
+    const size_t end_comment = reason.find("*/");
+    if (end_comment != std::string::npos) {
+      reason = TrimmedView(std::string_view(reason).substr(0, end_comment));
+    }
+    pragma.reason = std::move(reason);
+  }
+  out->push_back(std::move(pragma));
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view contents)
+      : cursor_(contents) {
+    file_.path = std::move(path);
+  }
+
+  LexedFile Run() {
+    while (!cursor_.AtEnd()) Step();
+    return std::move(file_);
+  }
+
+ private:
+  void Emit(TokenKind kind, std::string text, size_t line, size_t col) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = line;
+    token.col = col;
+    token.in_directive = in_directive_;
+    file_.tokens.push_back(std::move(token));
+  }
+
+  void Step() {
+    const char c = cursor_.Peek();
+    if (c == '\n') {
+      cursor_.Advance();
+      at_line_start_ = true;
+      in_directive_ = false;
+      pending_include_ = false;
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cursor_.Advance();
+      return;
+    }
+    if (c == '/' && cursor_.Peek(1) == '/') {
+      LexLineComment();
+      return;
+    }
+    if (c == '/' && cursor_.Peek(1) == '*') {
+      LexBlockComment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      LexDirectiveName();
+      return;
+    }
+    at_line_start_ = false;
+    if (pending_include_ && c == '<') {
+      LexAngledHeader();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentifierOrPrefixedLiteral();
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(cursor_.Peek(1)))) {
+      LexNumber();
+      return;
+    }
+    if (c == '"') {
+      LexString(/*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      LexCharLiteral();
+      return;
+    }
+    LexPunct();
+  }
+
+  void LexLineComment() {
+    const size_t line = cursor_.line();
+    const bool alone = at_line_start_ || only_comments_on_line_;
+    cursor_.Advance();
+    cursor_.Advance();
+    std::string text;
+    while (!cursor_.AtEnd() && cursor_.Peek() != '\n') {
+      text.push_back(cursor_.Advance());
+    }
+    ParsePragmas(text, line, alone, &file_.pragmas);
+    only_comments_on_line_ = alone;
+  }
+
+  void LexBlockComment() {
+    const size_t line = cursor_.line();
+    const bool alone = at_line_start_ || only_comments_on_line_;
+    cursor_.Advance();
+    cursor_.Advance();
+    std::string text;
+    while (!cursor_.AtEnd()) {
+      if (cursor_.Peek() == '*' && cursor_.Peek(1) == '/') {
+        cursor_.Advance();
+        cursor_.Advance();
+        break;
+      }
+      text.push_back(cursor_.Advance());
+    }
+    // A block comment that spans lines ending right before code keeps
+    // `alone` semantics from its opening line; good enough for pragmas.
+    ParsePragmas(text, line, alone, &file_.pragmas);
+    only_comments_on_line_ = alone;
+  }
+
+  void LexDirectiveName() {
+    at_line_start_ = false;
+    only_comments_on_line_ = false;
+    cursor_.Advance();  // '#'
+    while (!cursor_.AtEnd() && (cursor_.Peek() == ' ' || cursor_.Peek() == '\t')) {
+      cursor_.Advance();
+    }
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    std::string name;
+    while (!cursor_.AtEnd() && IsIdentChar(cursor_.Peek())) {
+      name.push_back(cursor_.Advance());
+    }
+    in_directive_ = true;
+    pending_include_ = (name == "include" || name == "include_next");
+    Emit(TokenKind::kDirective, std::move(name), line, col);
+  }
+
+  void LexAngledHeader() {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    cursor_.Advance();  // '<'
+    std::string target;
+    while (!cursor_.AtEnd() && cursor_.Peek() != '>' && cursor_.Peek() != '\n') {
+      target.push_back(cursor_.Advance());
+    }
+    if (cursor_.Peek() == '>') cursor_.Advance();
+    file_.includes.push_back({target, /*angled=*/true, line});
+    Emit(TokenKind::kHeaderName, std::move(target), line, col);
+    pending_include_ = false;
+  }
+
+  void LexIdentifierOrPrefixedLiteral() {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    std::string ident;
+    while (!cursor_.AtEnd() && IsIdentChar(cursor_.Peek())) {
+      ident.push_back(cursor_.Advance());
+    }
+    only_comments_on_line_ = false;
+    if (IsLiteralPrefix(ident)) {
+      if (cursor_.Peek() == '"') {
+        LexString(/*raw=*/ident.back() == 'R');
+        return;
+      }
+      if (cursor_.Peek() == '\'' && ident != "R" && ident.back() != 'R') {
+        LexCharLiteral();
+        return;
+      }
+    }
+    Emit(TokenKind::kIdentifier, std::move(ident), line, col);
+  }
+
+  void LexNumber() {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    std::string text;
+    only_comments_on_line_ = false;
+    while (!cursor_.AtEnd()) {
+      const char c = cursor_.Peek();
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        text.push_back(cursor_.Advance());
+        // Exponent signs: e+, E-, p+, P- continue the pp-number.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (cursor_.Peek() == '+' || cursor_.Peek() == '-')) {
+          text.push_back(cursor_.Advance());
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), line, col);
+  }
+
+  void LexString(bool raw) {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    cursor_.Advance();  // opening quote
+    std::string text;
+    only_comments_on_line_ = false;
+    if (raw) {
+      std::string delim;
+      while (!cursor_.AtEnd() && cursor_.Peek() != '(') {
+        delim.push_back(cursor_.RawAdvance());
+      }
+      cursor_.RawAdvance();  // '('
+      const std::string close = ")" + delim + "\"";
+      while (!cursor_.AtEnd()) {
+        text.push_back(cursor_.RawAdvance());
+        if (text.size() >= close.size() &&
+            text.compare(text.size() - close.size(), close.size(), close) ==
+                0) {
+          text.resize(text.size() - close.size());
+          break;
+        }
+      }
+      Emit(TokenKind::kString, std::move(text), line, col);
+      return;
+    }
+    while (!cursor_.AtEnd()) {
+      const char c = cursor_.Peek();
+      if (c == '\n') break;  // Unterminated; tolerate.
+      cursor_.Advance();
+      if (c == '\\' && !cursor_.AtEnd()) {
+        text.push_back(c);
+        text.push_back(cursor_.Advance());
+        continue;
+      }
+      if (c == '"') break;
+      text.push_back(c);
+    }
+    if (pending_include_) {
+      file_.includes.push_back({text, /*angled=*/false, line});
+      pending_include_ = false;
+    }
+    Emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void LexCharLiteral() {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    cursor_.Advance();  // opening quote
+    std::string text;
+    only_comments_on_line_ = false;
+    while (!cursor_.AtEnd()) {
+      const char c = cursor_.Peek();
+      if (c == '\n') break;
+      cursor_.Advance();
+      if (c == '\\' && !cursor_.AtEnd()) {
+        text.push_back(c);
+        text.push_back(cursor_.Advance());
+        continue;
+      }
+      if (c == '\'') break;
+      text.push_back(c);
+    }
+    Emit(TokenKind::kCharLiteral, std::move(text), line, col);
+  }
+
+  void LexPunct() {
+    const size_t line = cursor_.line();
+    const size_t col = cursor_.col();
+    only_comments_on_line_ = false;
+    char c = cursor_.Advance();
+    std::string text(1, c);
+    if (c == ':' && cursor_.Peek() == ':') {
+      text.push_back(cursor_.Advance());
+    }
+    Emit(TokenKind::kPunct, std::move(text), line, col);
+  }
+
+  Cursor cursor_;
+  LexedFile file_;
+  bool at_line_start_ = true;
+  // True while the current line has produced only comments so far, so a
+  // line comment after a block comment still counts as standing alone.
+  bool only_comments_on_line_ = false;
+  bool in_directive_ = false;
+  bool pending_include_ = false;
+};
+
+}  // namespace
+
+LexedFile LexFile(std::string path, std::string_view contents) {
+  return Lexer(std::move(path), contents).Run();
+}
+
+}  // namespace lintkit
+}  // namespace warp

@@ -1,0 +1,85 @@
+// Preprocessor-aware C++ lexer for the repository linter.
+//
+// The grep rules this subsystem replaces (scripts/lint.sh before PR 7)
+// matched raw lines, so a banned identifier inside a trailing comment or
+// a string literal tripped them, and a real violation split across a
+// line splice escaped them. This lexer produces the token stream the
+// rules actually mean to inspect: comments and string/character literals
+// (including raw strings) are consumed — never tokenized — line splices
+// are transparent, and preprocessor directives are recognized so
+// #include targets and macro bodies can be analyzed structurally.
+//
+// Scope: exactly what the lint rules need. No keyword table (keywords
+// are identifiers), minimal multi-character punctuators ("::" is the
+// only one the rules care about), no numeric-literal semantics. The
+// lexer never fails: malformed input degrades to best-effort tokens so
+// the analyzer can still report on the rest of the file.
+//
+// Suppression pragmas are collected during lexing: a comment carrying
+// the "warp-lint" marker followed by a colon and an allow(...) rule list
+// with a mandatory reason tail (exact syntax in docs/STATIC_ANALYSIS.md
+// — not spelled here, where the literal form would itself parse as a
+// pragma) suppresses matching findings on its own line — or, when the
+// comment stands alone on its line, on the next line as well. The
+// analyzer reports pragmas that are malformed, name unknown rules, or
+// suppress nothing.
+
+#ifndef WARP_LINTKIT_LEXER_H_
+#define WARP_LINTKIT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warp {
+namespace lintkit {
+
+enum class TokenKind {
+  kIdentifier,   // [A-Za-z_][A-Za-z0-9_]*
+  kNumber,       // pp-number
+  kString,       // text = contents without quotes/prefix (escapes raw)
+  kCharLiteral,  // text = contents without quotes
+  kPunct,        // single character, or "::"
+  kDirective,    // the name after a line-initial '#': "include", "define", ...
+  kHeaderName,   // the <...> target of an #include (text without brackets)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  size_t line = 0;  // 1-based physical line of the token's first character.
+  size_t col = 0;   // 1-based column.
+  bool in_directive = false;  // Part of a preprocessor directive.
+};
+
+// One #include directive, in source order.
+struct IncludeDirective {
+  std::string path;  // Target without delimiters, e.g. "warp/core/dtw.h".
+  bool angled = false;
+  size_t line = 0;
+};
+
+// One parsed suppression pragma (docs/STATIC_ANALYSIS.md).
+struct AllowPragma {
+  std::vector<std::string> rules;
+  std::string reason;
+  size_t line = 0;          // Line the comment starts on.
+  bool covers_next = false; // Comment stood alone, so it covers line + 1.
+  bool malformed = false;   // Marker seen but not parseable.
+};
+
+struct LexedFile {
+  std::string path;  // Root-relative, '/'-separated.
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowPragma> pragmas;
+};
+
+// Lexes `contents` (the full text of the file at `path`). Never fails.
+LexedFile LexFile(std::string path, std::string_view contents);
+
+}  // namespace lintkit
+}  // namespace warp
+
+#endif  // WARP_LINTKIT_LEXER_H_

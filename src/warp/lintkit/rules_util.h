@@ -1,0 +1,96 @@
+// Small path/token helpers shared by the token and project rules.
+
+#ifndef WARP_LINTKIT_RULES_UTIL_H_
+#define WARP_LINTKIT_RULES_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "warp/lintkit/lexer.h"
+
+namespace warp {
+namespace lintkit {
+
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+inline bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+inline bool IsHeaderPath(std::string_view path) {
+  return EndsWith(path, ".h");
+}
+
+inline bool IsSourcePath(std::string_view path) {
+  return EndsWith(path, ".cc") || EndsWith(path, ".cpp");
+}
+
+// "src/warp/core/dtw.cc" -> "core"; "" when not under src/warp/.
+inline std::string SubsystemOf(std::string_view path) {
+  const std::string_view kPrefix = "src/warp/";
+  if (!StartsWith(path, kPrefix)) return "";
+  std::string_view rest = path.substr(kPrefix.size());
+  const size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+// Subsystem of an include target written project-style ("warp/core/dtw.h").
+inline std::string IncludeSubsystemOf(std::string_view include_path) {
+  const std::string_view kPrefix = "warp/";
+  if (!StartsWith(include_path, kPrefix)) return "";
+  std::string_view rest = include_path.substr(kPrefix.size());
+  const size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+// The include-guard macro a header at `path` must use: strip a leading
+// "src/warp/", then WARP_ + upper(path with [/.] -> _) + _. Matches the
+// convention the PR-1 grep enforced (e.g. src/warp/core/dtw.h ->
+// WARP_CORE_DTW_H_, bench/harness/bench_flags.h ->
+// WARP_BENCH_HARNESS_BENCH_FLAGS_H_).
+inline std::string ExpectedGuard(std::string_view path) {
+  std::string_view rel = path;
+  const std::string_view kPrefix = "src/warp/";
+  if (StartsWith(rel, kPrefix)) rel = rel.substr(kPrefix.size());
+  std::string guard = "WARP_";
+  for (const char c : rel) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+// True when tokens[i] is the identifier `name` immediately followed by an
+// opening parenthesis — the shape of a function-style call or macro use.
+inline bool IsCallOf(const std::vector<Token>& tokens, size_t i,
+                     std::string_view name) {
+  return tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == name &&
+         i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::kPunct &&
+         tokens[i + 1].text == "(";
+}
+
+// True when the file contains identifier `name` followed by "(".
+inline bool ContainsCall(const LexedFile& file, std::string_view name) {
+  for (size_t i = 0; i < file.tokens.size(); ++i) {
+    if (IsCallOf(file.tokens, i, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace lintkit
+}  // namespace warp
+
+#endif  // WARP_LINTKIT_RULES_UTIL_H_

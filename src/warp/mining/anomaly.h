@@ -16,7 +16,7 @@
 #include <span>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 
 namespace warp {
 

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 
 namespace warp {
 

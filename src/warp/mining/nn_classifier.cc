@@ -13,7 +13,7 @@
 #include "warp/common/stopwatch.h"
 #include "warp/core/dtw.h"
 #include "warp/core/lower_bounds.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/batch.h"
 #include "warp/simd/dispatch.h"
 

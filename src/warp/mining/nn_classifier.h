@@ -19,7 +19,7 @@
 #include <span>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/distance_matrix.h"
 #include "warp/core/envelope.h"
 #include "warp/ts/dataset.h"

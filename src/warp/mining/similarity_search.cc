@@ -8,7 +8,7 @@
 #include "warp/core/dtw.h"
 #include "warp/core/envelope.h"
 #include "warp/core/lower_bounds.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/ts/znorm.h"
 
 namespace warp {

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <span>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 
 namespace warp {
 

@@ -4,7 +4,7 @@
 
 #include "warp/common/assert.h"
 #include "warp/core/lower_bounds.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 

@@ -17,7 +17,7 @@
 #include <optional>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/dtw.h"
 #include "warp/core/envelope.h"
 #include "warp/ts/znorm.h"

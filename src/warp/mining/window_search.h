@@ -12,7 +12,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/ts/dataset.h"
 
 namespace warp {

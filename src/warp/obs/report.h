@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "warp/common/stopwatch.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/obs/trace.h"
 
 namespace warp {

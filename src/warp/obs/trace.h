@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "warp/common/stopwatch.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 namespace obs {

@@ -13,7 +13,7 @@
 #include "warp/core/envelope.h"
 #include "warp/core/lower_bounds.h"
 #include "warp/mining/similarity_search.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/batch.h"
 #include "warp/simd/dispatch.h"
 #include "warp/ts/znorm.h"

@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "warp/obs/json_writer.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 namespace serve {

@@ -9,7 +9,7 @@
 #include <utility>
 
 #include "warp/obs/json_writer.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/serve/batcher.h"
 #include "warp/serve/net.h"
 #include "warp/serve/protocol.h"

@@ -15,8 +15,8 @@
 
 #include <cstddef>
 
-#include "warp/core/cost.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/cost.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/vdouble.h"
 
 namespace warp {

@@ -43,7 +43,7 @@
 #include <cstdint>
 #include <limits>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/simd/vdouble.h"
 
 namespace warp {

@@ -1,7 +1,7 @@
 #include "warp/ts/znorm.h"
 
 #include "warp/common/assert.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/simd/dispatch.h"
 #include "warp/simd/vdouble.h"
 

@@ -13,7 +13,7 @@
 #include "warp/gen/gesture.h"
 #include "warp/gen/random_walk.h"
 #include "warp/mining/nn_classifier.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 namespace warp {
 namespace {

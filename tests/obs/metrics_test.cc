@@ -1,7 +1,7 @@
 // Tests for the work-counter registry: hand-counted cell totals,
 // thread-merge determinism, and the no-behavior-change guarantee.
 
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 
 #include <gtest/gtest.h>
 

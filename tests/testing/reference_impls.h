@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "warp/core/cost.h"
+#include "warp/common/cost.h"
 #include "warp/core/window.h"
 
 namespace warp {

@@ -1,0 +1,9 @@
+#include "harness/bench_flags.h"
+
+int main(int argc, char** argv) {
+  warp::bench::Flags flags(argc, argv);
+  const bool json = JsonFlag(flags);
+  (void)json;
+  flags.Finalize();
+  return 0;
+}

@@ -1,0 +1,7 @@
+#include <chrono>
+
+namespace warp {
+long TsNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace warp

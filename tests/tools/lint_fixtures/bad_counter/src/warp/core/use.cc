@@ -1,0 +1,8 @@
+#include "warp/common/metrics.h"
+
+namespace warp {
+void CoreTick() {
+  obs::Bump(obs::Counter::kUsed);
+  obs::Bump(obs::Counter::kPhantom);
+}
+}  // namespace warp

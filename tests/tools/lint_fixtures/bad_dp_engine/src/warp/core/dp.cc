@@ -1,0 +1,8 @@
+#include <vector>
+
+namespace warp {
+double HandRolledDp(int n) {
+  std::vector<double> prev(n, 0.0);
+  return prev[0];
+}
+}  // namespace warp

@@ -1,0 +1,8 @@
+#ifndef WRONG_GUARD_NAME_H_
+#define WRONG_GUARD_NAME_H_
+
+namespace warp {
+inline int Misnamed() { return 2; }
+}  // namespace warp
+
+#endif  // WRONG_GUARD_NAME_H_

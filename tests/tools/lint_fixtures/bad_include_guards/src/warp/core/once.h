@@ -1,0 +1,5 @@
+#pragma once
+
+namespace warp {
+inline int Once() { return 1; }
+}  // namespace warp

@@ -1,0 +1,5 @@
+#include <immintrin.h>
+
+namespace warp {
+int FastPath() { return 1; }
+}  // namespace warp

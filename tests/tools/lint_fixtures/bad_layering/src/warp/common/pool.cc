@@ -1,0 +1,7 @@
+#include "warp/obs/counters.h"
+
+namespace warp {
+void PoolTick() {
+  obs::BumpSomething();
+}
+}  // namespace warp

@@ -1,0 +1,5 @@
+#include "helpers/local.h"
+
+namespace warp {
+int GenLocal() { return 3; }
+}  // namespace warp

@@ -1,0 +1,10 @@
+#ifndef WARP_OBS_COUNTERS_H_
+#define WARP_OBS_COUNTERS_H_
+
+namespace warp {
+namespace obs {
+void BumpSomething();
+}  // namespace obs
+}  // namespace warp
+
+#endif  // WARP_OBS_COUNTERS_H_

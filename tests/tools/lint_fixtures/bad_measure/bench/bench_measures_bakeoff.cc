@@ -1,0 +1,5 @@
+int main() {
+  const char* covered[] = {"dtw"};
+  (void)covered;
+  return 0;
+}

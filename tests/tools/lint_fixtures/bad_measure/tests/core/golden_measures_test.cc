@@ -1,0 +1,8 @@
+namespace {
+
+const char* GoldenNames() {
+  static const char* kNames[] = {"dtw"};
+  return kNames[0];
+}
+
+}  // namespace

@@ -1,0 +1,7 @@
+#include <vector>
+
+#include "warp/core/align.h"
+
+namespace warp {
+int Align(int x) { return x; }
+}  // namespace warp

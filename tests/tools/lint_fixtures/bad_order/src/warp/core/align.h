@@ -1,0 +1,8 @@
+#ifndef WARP_CORE_ALIGN_H_
+#define WARP_CORE_ALIGN_H_
+
+namespace warp {
+int Align(int x);
+}  // namespace warp
+
+#endif  // WARP_CORE_ALIGN_H_

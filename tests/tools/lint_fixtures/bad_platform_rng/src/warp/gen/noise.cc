@@ -1,0 +1,7 @@
+namespace warp {
+int NoiseSeed() {
+  std::mt19937 rng(7);
+  (void)rng;
+  return rand();
+}
+}  // namespace warp

@@ -1,0 +1,7 @@
+#include <chrono>  // warp-lint: allow(chrono-containment)
+
+// warp-lint: allow(raw-assert): nothing here to suppress
+
+// warp-lint: this is not the allow syntax
+
+int x = 0;  // warp-lint: allow(no-such-rule): typo fixture

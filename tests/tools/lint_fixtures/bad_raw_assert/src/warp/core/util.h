@@ -1,0 +1,10 @@
+#ifndef WARP_CORE_UTIL_H_
+#define WARP_CORE_UTIL_H_
+
+namespace warp {
+inline void CheckPositive(int x) {
+  assert(x > 0);
+}
+}  // namespace warp
+
+#endif  // WARP_CORE_UTIL_H_

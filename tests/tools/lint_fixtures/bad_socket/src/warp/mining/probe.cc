@@ -1,0 +1,7 @@
+#include <sys/socket.h>
+
+namespace warp {
+int Probe() {
+  return socket(2, 1, 0);
+}
+}  // namespace warp

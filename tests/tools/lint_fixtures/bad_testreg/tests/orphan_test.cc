@@ -1,0 +1,5 @@
+namespace {
+
+int NeverRuns() { return 0; }
+
+}  // namespace

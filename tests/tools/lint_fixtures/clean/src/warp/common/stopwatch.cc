@@ -1,0 +1,9 @@
+// Fixture: <chrono> is legal here — the Stopwatch implementation is the
+// one place in common/ allowed to touch the clock.
+#include <chrono>
+
+namespace warp {
+long Nanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace warp

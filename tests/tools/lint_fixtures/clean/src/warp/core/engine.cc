@@ -1,0 +1,13 @@
+#include "warp/core/engine.h"
+
+#include <vector>
+
+#include "warp/common/metrics.h"
+
+namespace warp {
+int EngineAnswer() {
+  obs::Bump(obs::Counter::kDpCells);
+  obs::Bump(obs::Counter::kLbHits);
+  return 42;
+}
+}  // namespace warp

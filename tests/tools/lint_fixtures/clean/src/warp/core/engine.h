@@ -1,0 +1,8 @@
+#ifndef WARP_CORE_ENGINE_H_
+#define WARP_CORE_ENGINE_H_
+
+namespace warp {
+int EngineAnswer();
+}  // namespace warp
+
+#endif  // WARP_CORE_ENGINE_H_

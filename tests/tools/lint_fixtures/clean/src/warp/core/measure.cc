@@ -1,0 +1,17 @@
+#include "warp/core/measure.h"
+
+namespace warp {
+namespace core {
+
+const char* RegistryNote() {
+  // Shape mirrors the real registry: {{name, summary, exact}, handler}.
+  static const MeasureEntry kEntries[] = {
+      {{"dtw", "unconstrained DTW", true}, nullptr},
+      {{"fastdtw", "multiresolution approximate DTW", false}, nullptr},
+  };
+  (void)kEntries;
+  return "registry";
+}
+
+}  // namespace core
+}  // namespace warp

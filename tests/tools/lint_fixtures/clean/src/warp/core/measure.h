@@ -1,0 +1,13 @@
+#ifndef WARP_CORE_MEASURE_H_
+#define WARP_CORE_MEASURE_H_
+
+namespace warp {
+namespace core {
+
+struct MeasureEntry;
+const char* RegistryNote();
+
+}  // namespace core
+}  // namespace warp
+
+#endif  // WARP_CORE_MEASURE_H_

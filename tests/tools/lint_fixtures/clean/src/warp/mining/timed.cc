@@ -1,0 +1,7 @@
+// Fixture: an explained suppression. The include below violates
+// chrono-containment, and the pragma both allows it and says why.
+#include <chrono>  // warp-lint: allow(chrono-containment): fixture demonstrating an explained, audited suppression
+
+namespace warp {
+int MiningAnswer() { return 9; }
+}  // namespace warp

@@ -1,0 +1,12 @@
+#ifndef WARP_SERVE_NET_H_
+#define WARP_SERVE_NET_H_
+
+#include <sys/socket.h>
+
+namespace warp {
+namespace serve {
+inline int OpenSocket() { return socket(2, 1, 0); }
+}  // namespace serve
+}  // namespace warp
+
+#endif  // WARP_SERVE_NET_H_

@@ -1,0 +1,10 @@
+#include "warp/core/measure.h"
+
+namespace {
+
+const char* GoldenNames() {
+  static const char* kNames[] = {"dtw", "fastdtw"};
+  return kNames[0];
+}
+
+}  // namespace

@@ -1,0 +1,14 @@
+#include "warp/core/measure.h"
+
+namespace {
+
+int ParityOverRegistry() {
+  int n = 0;
+  for (const auto& measure : RegisteredMeasures()) {
+    (void)measure;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace

@@ -34,7 +34,7 @@
 #include "warp/mining/similarity_search.h"
 #include "warp/mining/window_search.h"
 #include "warp/obs/json_writer.h"
-#include "warp/obs/metrics.h"
+#include "warp/common/metrics.h"
 #include "warp/serve/net.h"
 #include "warp/simd/dispatch.h"
 #include "warp/ts/io.h"
