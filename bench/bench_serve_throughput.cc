@@ -139,6 +139,7 @@ int Run(int argc, char** argv) {
   CaseResult serial;
   {
     obs::MetricsSnapshot before = obs::SnapshotCounters();
+    obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
     for (size_t rep = 0; rep < repeats; ++rep) {
       std::vector<double> samples;
       samples.reserve(queries);
@@ -156,7 +157,8 @@ int Run(int argc, char** argv) {
       }
       cache.Clear();
     }
-    report.AddCase("serial", serial.latency, obs::CountersSince(before));
+    report.AddCase("serial", serial.latency, obs::CountersSince(before),
+                   obs::HistogramsSince(histograms_before));
   }
 
   // Concurrent clients submitting through the batcher. Client c owns
@@ -216,12 +218,14 @@ int Run(int argc, char** argv) {
     CaseResult best;
     std::string case_digest;
     obs::MetricsSnapshot before = obs::SnapshotCounters();
+    obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
     for (size_t rep = 0; rep < repeats; ++rep) {
       const CaseResult result = run_clients(per_submit, &case_digest);
       if (rep == 0 || result.wall_seconds < best.wall_seconds) best = result;
       if (!warm_cache) cache.Clear();
     }
-    report.AddCase(name, best.latency, obs::CountersSince(before));
+    report.AddCase(name, best.latency, obs::CountersSince(before),
+                   obs::HistogramsSince(histograms_before));
     checks.push_back(case_digest);
     return best;
   };
@@ -234,6 +238,7 @@ int Run(int argc, char** argv) {
     // same pipelined submissions: every answer is a cache hit.
     std::string case_digest;
     obs::MetricsSnapshot before = obs::SnapshotCounters();
+    obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
     for (size_t rep = 0; rep < repeats; ++rep) {
       const CaseResult result = run_clients(0, &case_digest);
       if (rep == 0 || result.wall_seconds < batched.wall_seconds) {
@@ -241,17 +246,20 @@ int Run(int argc, char** argv) {
       }
       if (rep + 1 < repeats) cache.Clear();
     }
-    report.AddCase("batched", batched.latency, obs::CountersSince(before));
+    report.AddCase("batched", batched.latency, obs::CountersSince(before),
+                   obs::HistogramsSince(histograms_before));
     checks.push_back(case_digest);
 
     before = obs::SnapshotCounters();
+    histograms_before = obs::SnapshotHistograms();
     for (size_t rep = 0; rep < repeats; ++rep) {
       const CaseResult result = run_clients(0, &case_digest);
       if (rep == 0 || result.wall_seconds < cached.wall_seconds) {
         cached = result;
       }
     }
-    report.AddCase("cached", cached.latency, obs::CountersSince(before));
+    report.AddCase("cached", cached.latency, obs::CountersSince(before),
+                   obs::HistogramsSince(histograms_before));
     checks.push_back(case_digest);
   }
 
@@ -274,6 +282,13 @@ int Run(int argc, char** argv) {
 
   std::fputs(report.TimingTable().c_str(), stdout);
   std::fputs(report.CounterTable().c_str(), stdout);
+  // Per-op latency and work distributions (serve_latency_* / stage / cells
+  // histograms), recorded inside the serve path while each case ran.
+  const std::string histogram_table = report.HistogramTable();
+  if (!histogram_table.empty()) {
+    std::printf("\nhistograms (microseconds unless noted):\n");
+    std::fputs(histogram_table.c_str(), stdout);
+  }
   std::printf("\nthroughput (queries/s): serial %.1f | unbatched %.1f | "
               "batched %.1f (%.2fx unbatched) | cached %.1f\n"
               "batches dispatched: %llu\n",

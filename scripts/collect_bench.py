@@ -31,13 +31,42 @@ SUITE = [
     ("bench_table1_cases", ["--reps=1"]),
     ("bench_accuracy_radius", ["--pairs=2", "--length=64"]),
     ("bench_footnote_trillion", ["--reps=20", "--haystack=20000"]),
-    ("bench_kernels", ["--benchmark_filter=BM_Envelope/128$"]),
+    ("bench_serve_throughput", ["--series=20", "--length=32", "--queries=64",
+                                "--clients=2", "--threads=2", "--repeats=1"]),
+    # Names carry a trailing lanes arg (BM_Envelope/<n>/<lanes>), so
+    # match the prefix instead of anchoring the end.
+    ("bench_kernels", ["--benchmark_filter=BM_Envelope/128/"]),
 ]
 
 TIMING_KEYS = {
     "repetitions", "mean_s", "stddev_s", "min_s", "max_s",
     "median_s", "p95_s", "p99_s", "total_s",
 }
+
+HISTOGRAM_KEYS = {"count", "sum", "mean", "p50", "p95", "p99", "buckets"}
+
+
+def validate_histogram(name, histogram, source):
+    """Checks one case-level histogram object (docs/OBSERVABILITY.md)."""
+    missing = HISTOGRAM_KEYS - set(histogram)
+    if missing:
+        fail(f"{source}: histogram '{name}' missing {missing}")
+    for key in ("count", "sum", "p50", "p95", "p99"):
+        value = histogram[key]
+        if not isinstance(value, int) or value < 0:
+            fail(f"{source}: histogram '{name}' {key} is not a non-negative "
+                 f"integer: {value!r}")
+    buckets = histogram["buckets"]
+    if not isinstance(buckets, list):
+        fail(f"{source}: histogram '{name}' buckets must be an array")
+    total = 0
+    for bucket in buckets:
+        if set(bucket) != {"le", "n"}:
+            fail(f"{source}: histogram '{name}' bucket keys wrong: {bucket}")
+        total += bucket["n"]
+    if total != histogram["count"]:
+        fail(f"{source}: histogram '{name}' bucket counts sum to {total}, "
+             f"want count={histogram['count']}")
 
 
 def fail(message):
@@ -70,8 +99,20 @@ def validate_warp_bench_v1(report, source):
             if not isinstance(value, int) or value < 0:
                 fail(f"{source}: counter '{counter}' is not a non-negative "
                      f"integer: {value!r}")
+        if "histograms" not in case:
+            fail(f"{source}: case '{case['name']}' missing 'histograms'")
+        for name, histogram in case["histograms"].items():
+            validate_histogram(name, histogram, source)
     if "spans" in report and not isinstance(report["spans"], list):
         fail(f"{source}: 'spans' must be an array")
+    # The serving bench is the one case source whose histograms must be
+    # populated (per-op latency + stage + work distributions) on a
+    # profiling build — an empty set there means the serve path stopped
+    # recording.
+    if source == "bench_serve_throughput" and report["host"]["profiling"]:
+        populated = any(case["histograms"] for case in report["cases"])
+        if not populated:
+            fail(f"{source}: profiling build recorded no serve histograms")
 
 
 def validate_google_benchmark(report, source):

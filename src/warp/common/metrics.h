@@ -135,8 +135,20 @@ inline void AddCount(Counter counter, uint64_t amount) {
   cell.store(cell.load(std::memory_order_relaxed) + amount,
              std::memory_order_relaxed);
 }
+// The calling thread's own running total for `counter` (0 if this thread
+// never counted, or with profiling off). One relaxed load — cheap enough
+// to difference around a work chunk and attribute the delta to a request
+// (the serving engine's cells-per-query histogram does exactly that).
+inline uint64_t LocalCount(Counter counter) {
+  const CounterSlab* slab = internal::local_slab;
+  return slab == nullptr
+             ? uint64_t{0}
+             : slab->values[static_cast<size_t>(counter)].load(
+                   std::memory_order_relaxed);
+}
 #else
 inline void AddCount(Counter /*counter*/, uint64_t /*amount*/) {}
+inline uint64_t LocalCount(Counter /*counter*/) { return 0; }
 #endif
 
 // A merged, immutable view of all counters at one instant.

@@ -175,35 +175,63 @@ void OwnHeaderFirstRule(const ProjectContext& context,
 
 constexpr const char* kMetricsHeader = "src/warp/common/metrics.h";
 constexpr const char* kMetricsSource = "src/warp/common/metrics.cc";
+constexpr const char* kHistogramHeader = "src/warp/obs/histogram.h";
+constexpr const char* kHistogramSource = "src/warp/obs/histogram.cc";
 
 struct DeclaredCounter {
   std::string json_name;
   size_t line = 0;
 };
 
-// Parses the X(name, "json_name") entries out of the X-macro list in
-// metrics.h. The #define body is one spliced logical line, so all of its
-// tokens carry in_directive.
-std::map<std::string, DeclaredCounter> ParseCounterList(
-    const LexedFile& metrics, std::vector<Finding>* findings) {
+// One X-macro registry to cross-reference: counters, histograms, and
+// gauges all follow the same discipline (an X(name, "json_name") list in
+// one header, enumerators spelled Scope::kName at every use site), so
+// one rule checks all three.
+struct ObsRegistry {
+  const char* header;    // File holding the X-macro list.
+  const char* source;    // Its .cc; both are excluded from the use scan.
+  const char* macro;     // The list's #define name.
+  const char* scope;     // Enum name spelled at use sites.
+  const char* sentinel;  // The kNum... count enumerator (not a use).
+  const char* noun;      // For messages: "counter" / "histogram" / "gauge".
+};
+
+constexpr ObsRegistry kObsRegistries[] = {
+    {kMetricsHeader, kMetricsSource, "WARP_OBS_COUNTER_LIST", "Counter",
+     "kNumCounters", "counter"},
+    {kHistogramHeader, kHistogramSource, "WARP_OBS_HISTOGRAM_LIST",
+     "Histogram", "kNumHistograms", "histogram"},
+    {kHistogramHeader, kHistogramSource, "WARP_OBS_GAUGE_LIST", "Gauge",
+     "kNumGauges", "gauge"},
+};
+
+// Parses the X(name, "json_name") entries out of one X-macro list. The
+// #define body is one spliced logical line, so all of its tokens carry
+// in_directive.
+std::map<std::string, DeclaredCounter> ParseXMacroList(
+    const LexedFile& header, const ObsRegistry& registry,
+    std::vector<Finding>* findings) {
   std::map<std::string, DeclaredCounter> declared;
-  const std::vector<Token>& tokens = metrics.tokens;
+  const std::vector<Token>& tokens = header.tokens;
   size_t begin = tokens.size();
   for (size_t i = 0; i + 1 < tokens.size(); ++i) {
     if (tokens[i].kind == TokenKind::kDirective && tokens[i].text == "define" &&
-        tokens[i + 1].text == "WARP_OBS_COUNTER_LIST") {
+        tokens[i + 1].text == registry.macro) {
       begin = i + 2;
       break;
     }
   }
   if (begin >= tokens.size()) {
-    Add(findings, "obs-counter-xref", metrics.path, 0, 0,
-        "WARP_OBS_COUNTER_LIST #define not found — the counter registry "
-        "anchor moved");
+    Add(findings, "obs-counter-xref", header.path, 0, 0,
+        std::string(registry.macro) + " #define not found — the " +
+            registry.noun + " registry anchor moved");
     return declared;
   }
   for (size_t i = begin; i + 5 < tokens.size() && tokens[i].in_directive;
        ++i) {
+    // A following #define (the next registry's list) is still
+    // in_directive; its leading directive token marks the end of ours.
+    if (tokens[i].kind == TokenKind::kDirective) break;
     if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == "X" &&
         tokens[i + 1].text == "(" &&
         tokens[i + 2].kind == TokenKind::kIdentifier &&
@@ -213,52 +241,58 @@ std::map<std::string, DeclaredCounter> ParseCounterList(
       const std::string& name = tokens[i + 2].text;
       const std::string& json_name = tokens[i + 4].text;
       if (declared.count(name) != 0) {
-        Add(findings, "obs-counter-xref", metrics.path, tokens[i + 2].line,
-            tokens[i + 2].col, "duplicate counter enumerator " + name);
+        Add(findings, "obs-counter-xref", header.path, tokens[i + 2].line,
+            tokens[i + 2].col,
+            std::string("duplicate ") + registry.noun + " enumerator " + name);
       }
       for (const auto& [other, info] : declared) {
         if (info.json_name == json_name) {
-          Add(findings, "obs-counter-xref", metrics.path, tokens[i + 4].line,
+          Add(findings, "obs-counter-xref", header.path, tokens[i + 4].line,
               tokens[i + 4].col,
-              "duplicate counter json name \"" + json_name + "\" (also " +
-                  other + ")");
+              std::string("duplicate ") + registry.noun + " json name \"" +
+                  json_name + "\" (also " + other + ")");
         }
       }
       declared[name] = {json_name, tokens[i + 2].line};
     }
   }
   if (declared.empty()) {
-    Add(findings, "obs-counter-xref", metrics.path, 0, 0,
-        "no X(name, \"json_name\") entries parsed from "
-        "WARP_OBS_COUNTER_LIST");
+    Add(findings, "obs-counter-xref", header.path, 0, 0,
+        std::string("no X(name, \"json_name\") entries parsed from ") +
+            registry.macro);
   }
   return declared;
 }
 
-void ObsCounterXrefRule(const ProjectContext& context,
-                        std::vector<Finding>* findings) {
-  const LexedFile* metrics = FindFile(context, kMetricsHeader);
-  if (metrics == nullptr) return;  // Tree without the obs substrate.
+// Cross-references one registry: every declared enumerator must be
+// spelled somewhere in library code, every spelled enumerator must be
+// declared.
+void CrossReferenceRegistry(const ProjectContext& context,
+                            const ObsRegistry& registry,
+                            std::vector<Finding>* findings) {
+  const LexedFile* header = FindFile(context, registry.header);
+  if (header == nullptr) return;  // Tree without this registry.
   const std::map<std::string, DeclaredCounter> declared =
-      ParseCounterList(*metrics, findings);
+      ParseXMacroList(*header, registry, findings);
   if (declared.empty()) return;
 
-  // Use sites: Counter::k... anywhere in library code outside the
-  // registry's own definition files. WARP_COUNT sites, EngineCounters
-  // wiring, and snapshot reads all spell the enumerator.
+  // Use sites: Scope::k... anywhere in library code outside the
+  // registry's own definition files. WARP_COUNT / WARP_HISTOGRAM_RECORD /
+  // WARP_GAUGE_ADD sites, engine wiring, and snapshot reads all spell
+  // the enumerator.
   std::map<std::string, const LexedFile*> used;
   std::map<std::string, size_t> used_line;
   for (const LexedFile& file : *context.files) {
     if (!StartsWith(file.path, "src/")) continue;
-    if (file.path == kMetricsHeader || file.path == kMetricsSource) continue;
+    if (file.path == registry.header || file.path == registry.source) continue;
     const std::vector<Token>& tokens = file.tokens;
     for (size_t i = 0; i + 2 < tokens.size(); ++i) {
       if (tokens[i].kind == TokenKind::kIdentifier &&
-          tokens[i].text == "Counter" && tokens[i + 1].text == "::" &&
+          tokens[i].text == registry.scope && tokens[i + 1].text == "::" &&
           tokens[i + 2].kind == TokenKind::kIdentifier &&
           StartsWith(tokens[i + 2].text, "k")) {
         const std::string& name = tokens[i + 2].text;
-        if (name == "kNumCounters") continue;
+        if (name == registry.sentinel) continue;
         if (used.count(name) == 0) {
           used[name] = &file;
           used_line[name] = tokens[i + 2].line;
@@ -269,17 +303,24 @@ void ObsCounterXrefRule(const ProjectContext& context,
 
   for (const auto& [name, info] : declared) {
     if (used.count(name) == 0) {
-      Add(findings, "obs-counter-xref", kMetricsHeader, info.line, 1,
-          "counter " + name + " (\"" + info.json_name +
+      Add(findings, "obs-counter-xref", registry.header, info.line, 1,
+          std::string(registry.noun) + " " + name + " (\"" + info.json_name +
               "\") is declared but never bumped anywhere in src/");
     }
   }
   for (const auto& [name, file] : used) {
     if (declared.count(name) == 0) {
       Add(findings, "obs-counter-xref", file->path, used_line[name], 1,
-          "Counter::" + name +
-              " is used but not declared in WARP_OBS_COUNTER_LIST");
+          std::string(registry.scope) + "::" + name +
+              " is used but not declared in " + registry.macro);
     }
+  }
+}
+
+void ObsCounterXrefRule(const ProjectContext& context,
+                        std::vector<Finding>* findings) {
+  for (const ObsRegistry& registry : kObsRegistries) {
+    CrossReferenceRegistry(context, registry, findings);
   }
 }
 
@@ -447,8 +488,8 @@ const std::vector<ProjectRule> kProjectRules = {
      "every src/ .cc includes its own header first",
      OwnHeaderFirstRule},
     {"obs-counter-xref",
-     "WARP_OBS_COUNTER_LIST and Counter::k... use sites cross-reference "
-     "exactly",
+     "obs registries (counters, histograms, gauges) and their enumerator "
+     "use sites cross-reference exactly",
      ObsCounterXrefRule},
     {"measure-coverage",
      "every registered measure is covered by golden, bake-off, and SIMD "

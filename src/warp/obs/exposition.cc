@@ -1,0 +1,107 @@
+#include "warp/obs/exposition.h"
+
+#include <cstdio>
+
+namespace warp {
+namespace obs {
+
+namespace {
+
+void AppendLine(std::string* out, const std::string& name,
+                unsigned long long value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %llu\n", value);
+  out->append(name);
+  out->append(buffer);
+}
+
+void AppendTypeHeader(std::string* out, const std::string& name,
+                      const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const HistogramData& data) {
+  AppendTypeHeader(out, name, "histogram");
+  // Cumulative buckets up to the highest occupied one; "+Inf" always
+  // present and always equal to the total count.
+  size_t highest = 0;
+  bool any = false;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (data.buckets[i] != 0) {
+      highest = i;
+      any = true;
+    }
+  }
+  uint64_t cumulative = 0;
+  if (any) {
+    for (size_t i = 0; i <= highest; ++i) {
+      cumulative += data.buckets[i];
+      char label[64];
+      std::snprintf(label, sizeof(label), "_bucket{le=\"%llu\"}",
+                    static_cast<unsigned long long>(HistogramBucketBound(i)));
+      AppendLine(out, name + label, cumulative);
+    }
+  }
+  AppendLine(out, name + "_bucket{le=\"+Inf\"}", data.count);
+  AppendLine(out, name + "_sum", data.sum);
+  AppendLine(out, name + "_count", data.count);
+}
+
+}  // namespace
+
+std::string RenderMetricsText(const MetricsSnapshot& counters,
+                              const HistogramSnapshot& histograms,
+                              const GaugeSnapshot& gauges,
+                              const std::vector<ExpositionExtra>& extras) {
+  std::string out = "# warp-metrics-v1\n";
+
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const Counter counter = static_cast<Counter>(i);
+    const std::string name = std::string("warp_") + CounterName(counter);
+    AppendTypeHeader(&out, name, "counter");
+    AppendLine(&out, name + "_total", counters.Get(counter));
+  }
+
+  for (size_t i = 0; i < kNumGauges; ++i) {
+    const Gauge gauge = static_cast<Gauge>(i);
+    const std::string name = std::string("warp_") + GaugeName(gauge);
+    AppendTypeHeader(&out, name, "gauge");
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), " %lld\n",
+                  static_cast<long long>(gauges.Get(gauge)));
+    out.append(name);
+    out.append(buffer);
+  }
+
+  for (const ExpositionExtra& extra : extras) {
+    const std::string name = "warp_" + extra.name;
+    AppendTypeHeader(&out, name, extra.is_counter ? "counter" : "gauge");
+    if (extra.is_counter) {
+      const uint64_t value =
+          extra.value > 0 ? static_cast<uint64_t>(extra.value) : uint64_t{0};
+      AppendLine(&out, name + "_total", value);
+    } else {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), " %lld\n",
+                    static_cast<long long>(extra.value));
+      out.append(name);
+      out.append(buffer);
+    }
+  }
+
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const Histogram histogram = static_cast<Histogram>(i);
+    AppendHistogram(&out, std::string("warp_") + HistogramName(histogram),
+                    histograms.Get(histogram));
+  }
+
+  return out;
+}
+
+}  // namespace obs
+}  // namespace warp

@@ -47,6 +47,25 @@ void WriteTimingObject(JsonWriter& writer, const TimingSummary& timing) {
 
 }  // namespace
 
+void WriteHistogramObject(JsonWriter& writer, const HistogramData& data) {
+  writer.BeginObject()
+      .Key("count").Uint(data.count)
+      .Key("sum").Uint(data.sum)
+      .Key("mean").Double(data.Mean())
+      .Key("p50").Uint(data.Percentile(0.50))
+      .Key("p95").Uint(data.Percentile(0.95))
+      .Key("p99").Uint(data.Percentile(0.99))
+      .Key("buckets").BeginArray();
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (data.buckets[i] == 0) continue;  // Sparse: occupied buckets only.
+    writer.BeginObject()
+        .Key("le").Uint(HistogramBucketBound(i))
+        .Key("n").Uint(data.buckets[i])
+        .EndObject();
+  }
+  writer.EndArray().EndObject();
+}
+
 BenchReport::BenchReport(std::string experiment, std::string description)
     : experiment_(std::move(experiment)),
       description_(std::move(description)) {}
@@ -87,14 +106,22 @@ TimingSummary BenchReport::MeasureCase(const std::string& name,
                                        const std::function<void()>& fn,
                                        int repetitions, int warmup) {
   const MetricsSnapshot before = SnapshotCounters();
+  const HistogramSnapshot histograms_before = SnapshotHistograms();
   const TimingSummary timing = MeasureRepeated(fn, repetitions, warmup);
-  AddCase(name, timing, CountersSince(before));
+  AddCase(name, timing, CountersSince(before),
+          HistogramsSince(histograms_before));
   return timing;
 }
 
 void BenchReport::AddCase(const std::string& name, const TimingSummary& timing,
                           const MetricsSnapshot& counters) {
-  cases_.push_back({name, timing, counters});
+  AddCase(name, timing, counters, HistogramSnapshot{});
+}
+
+void BenchReport::AddCase(const std::string& name, const TimingSummary& timing,
+                          const MetricsSnapshot& counters,
+                          const HistogramSnapshot& histograms) {
+  cases_.push_back({name, timing, counters, histograms});
 }
 
 std::string BenchReport::CounterTable() const {
@@ -145,6 +172,26 @@ std::string BenchReport::TimingTable() const {
   return table.ToString();
 }
 
+std::string BenchReport::HistogramTable() const {
+  TablePrinter table({"case", "histogram", "count", "mean", "p50", "p95",
+                      "p99"});
+  bool any_row = false;
+  for (const BenchCase& c : cases_) {
+    for (size_t h = 0; h < kNumHistograms; ++h) {
+      const HistogramData& data = c.histograms.series[h];
+      if (data.Empty()) continue;
+      any_row = true;
+      table.AddRow({c.name, HistogramName(static_cast<Histogram>(h)),
+                    std::to_string(data.count),
+                    TablePrinter::FormatDouble(data.Mean()),
+                    std::to_string(data.Percentile(0.50)),
+                    std::to_string(data.Percentile(0.95)),
+                    std::to_string(data.Percentile(0.99))});
+    }
+  }
+  return any_row ? table.ToString() : "";
+}
+
 std::string BenchReport::ToJson(const std::vector<SpanRecord>& spans) const {
   JsonWriter writer;
   writer.BeginObject()
@@ -186,6 +233,16 @@ std::string BenchReport::ToJson(const std::vector<SpanRecord>& spans) const {
     WriteTimingObject(writer, c.timing);
     writer.Key("counters");
     WriteCounterObject(writer, c.counters);
+    // Sparse like counters: nonempty histograms only, so non-serving
+    // benches keep emitting an empty object here.
+    writer.Key("histograms").BeginObject();
+    for (size_t h = 0; h < kNumHistograms; ++h) {
+      const HistogramData& data = c.histograms.series[h];
+      if (data.Empty()) continue;
+      writer.Key(HistogramName(static_cast<Histogram>(h)));
+      WriteHistogramObject(writer, data);
+    }
+    writer.EndObject();
     writer.EndObject();
   }
   writer.EndArray();

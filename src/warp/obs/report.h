@@ -23,17 +23,28 @@
 
 #include "warp/common/stopwatch.h"
 #include "warp/common/metrics.h"
+#include "warp/obs/histogram.h"
 #include "warp/obs/trace.h"
 
 namespace warp {
 namespace obs {
 
-// One measured case: a named timing plus the counter work it did.
+class JsonWriter;
+
+// One measured case: a named timing plus the counter work it did and the
+// histogram samples recorded while it ran (serving benches: per-op
+// latency and work distributions — empty outside the serve path).
 struct BenchCase {
   std::string name;
   TimingSummary timing;
   MetricsSnapshot counters;
+  HistogramSnapshot histograms;
 };
+
+// Serializes one histogram as the canonical JSON object shared by the
+// stats op and warp-bench-v1 case sections: count/sum/mean/p50/p95/p99
+// plus sparse per-bucket entries [{"le": <inclusive bound>, "n": ...}].
+void WriteHistogramObject(JsonWriter& writer, const HistogramData& data);
 
 class BenchReport {
  public:
@@ -56,17 +67,25 @@ class BenchReport {
                             int warmup = 1);
 
   // Records an externally measured case (e.g. an all-pairs sweep timed as
-  // one aggregate run; pair with SnapshotCounters/CountersSince).
+  // one aggregate run; pair with SnapshotCounters/CountersSince). The
+  // overload with `histograms` also attaches a histogram delta (pair with
+  // SnapshotHistograms/HistogramsSince).
   void AddCase(const std::string& name, const TimingSummary& timing,
                const MetricsSnapshot& counters);
+  void AddCase(const std::string& name, const TimingSummary& timing,
+               const MetricsSnapshot& counters,
+               const HistogramSnapshot& histograms);
 
   const std::vector<BenchCase>& cases() const { return cases_; }
 
   // Console rendering. CounterTable lists every counter that is nonzero
   // in at least one case, one column per case; TimingTable mirrors the
-  // JSON timing block (mean/std/min/med/p95/max).
+  // JSON timing block (mean/std/min/med/p95/max); HistogramTable lists
+  // every nonempty histogram per case with count/mean/p50/p95/p99 (empty
+  // string when no case recorded any histogram samples).
   std::string CounterTable() const;
   std::string TimingTable() const;
+  std::string HistogramTable() const;
 
   // The full JSON document; `spans` (if any) are serialized under "spans".
   std::string ToJson(const std::vector<SpanRecord>& spans = {}) const;

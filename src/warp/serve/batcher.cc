@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "warp/obs/histogram.h"
+
 namespace warp {
 namespace serve {
 
@@ -29,6 +31,11 @@ void Batcher::Execute(const std::vector<ServeRequest>& requests,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.push_back(&submission);
+    submission.queued.Restart();
+    // One gauge step per submission (not per request): the admission
+    // question the ROADMAP cares about is "how many clients are waiting",
+    // decremented when the dispatcher adopts the submission into a batch.
+    WARP_GAUGE_ADD(obs::Gauge::kServeQueueDepth, 1);
   }
   pending_cv_.notify_one();
   std::unique_lock<std::mutex> lock(mutex_);
@@ -52,20 +59,42 @@ void Batcher::DispatchLoop() {
       ++batches_;
     }
 
-    // Flatten every pending submission into one engine batch.
+    // Flatten every pending submission into one engine batch. Queue wait
+    // is per submission (admission -> adoption); every request in a
+    // submission shares its wait.
     std::vector<ServeRequest> requests;
-    for (const Submission* s : batch) {
+    std::vector<double> queue_waits(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Submission* s = batch[i];
+      queue_waits[i] = s->queued.ElapsedMicros();
+      WARP_GAUGE_ADD(obs::Gauge::kServeQueueDepth, -1);
       requests.insert(requests.end(), s->requests->begin(),
                       s->requests->end());
     }
+    WARP_HISTOGRAM_RECORD(obs::Histogram::kServeBatchOccupancy,
+                          requests.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (size_t j = 0; j < batch[i]->requests->size(); ++j) {
+        WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageQueueWait,
+                                 queue_waits[i]);
+      }
+    }
+
+    WARP_GAUGE_ADD(obs::Gauge::kServeInflightBatch, requests.size());
     std::vector<ServeResponse> responses;
     engine_->RunBatch(requests, &responses);
+    WARP_GAUGE_ADD(obs::Gauge::kServeInflightBatch,
+                   -static_cast<int64_t>(requests.size()));
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
       size_t offset = 0;
-      for (Submission* s : batch) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Submission* s = batch[i];
         const size_t count = s->requests->size();
+        for (size_t j = 0; j < count; ++j) {
+          responses[offset + j].trace.queue_us = queue_waits[i];
+        }
         s->responses->assign(
             std::make_move_iterator(responses.begin() +
                                     static_cast<ptrdiff_t>(offset)),

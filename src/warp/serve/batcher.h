@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "warp/common/stopwatch.h"
 #include "warp/serve/query_engine.h"
 #include "warp/serve/request.h"
 
@@ -49,6 +50,9 @@ class Batcher {
   struct Submission {
     const std::vector<ServeRequest>* requests = nullptr;
     std::vector<ServeResponse>* responses = nullptr;
+    // Queue-wait clock: started at submit, read when the dispatcher
+    // assembles the batch containing this submission.
+    Stopwatch queued;
     // Per-submission signal (not one shared cv) so completing a batch
     // wakes exactly its submitters, not every connection in the house.
     std::condition_variable cv;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "warp/common/stopwatch.h"
+#include "warp/obs/histogram.h"
 #include "warp/obs/json_writer.h"
 #include "warp/serve/wire.h"
 
@@ -48,6 +50,8 @@ bool ParseRequestLine(const std::string& line, ParsedLine* out,
   // Control operations.
   if (op == "ping") { out->control = ControlOp::kPing; return true; }
   if (op == "stats") { out->control = ControlOp::kStats; return true; }
+  if (op == "metrics") { out->control = ControlOp::kMetrics; return true; }
+  if (op == "slowlog") { out->control = ControlOp::kSlowlog; return true; }
   if (op == "shutdown") { out->control = ControlOp::kShutdown; return true; }
   if (op == "info" || op == "load") {
     out->control = op == "info" ? ControlOp::kInfo : ControlOp::kLoad;
@@ -125,6 +129,7 @@ bool ParseRequestLine(const std::string& line, ParsedLine* out,
   request.threshold = root.NumberOr("threshold", request.threshold);
   request.deadline_ms = root.NumberOr("deadline_ms", request.deadline_ms);
   request.znormalize = root.BoolOr("znorm", request.znormalize);
+  request.trace = root.BoolOr("trace", request.trace);
 
   const JsonValue* query = root.Find("query");
   if (query == nullptr || !query->is_array()) {
@@ -143,6 +148,11 @@ bool ParseRequestLine(const std::string& line, ParsedLine* out,
 }
 
 std::string FormatResponse(const ServeResponse& response) {
+  // Serialization is the one stage that cannot time itself from outside
+  // (the caller would have to re-serialize to measure it), so the clock
+  // runs here: body first, then — only when the request asked for a
+  // trace — the trace object goes last with the just-measured value.
+  const Stopwatch serialize_watch;
   obs::JsonWriter writer;
   writer.BeginObject()
       .Key("id").Int(response.id)
@@ -176,6 +186,24 @@ std::string FormatResponse(const ServeResponse& response) {
       writer.Key("position").Uint(response.position);
       writer.Key("distance").Double(response.distance);
       break;
+  }
+  const double serialize_us = serialize_watch.ElapsedMicros();
+  WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageSerialize,
+                           serialize_us);
+  if (response.trace.requested) {
+    // Wall-clock echo; never part of goldens or the cache key. `cells`
+    // is the one deterministic member (DP work, 0 on cache hits).
+    const StageTrace& t = response.trace;
+    writer.Key("trace").BeginObject()
+        .Key("cached").Bool(t.from_cache)
+        .Key("parse_us").Double(t.parse_us)
+        .Key("cache_us").Double(t.cache_us)
+        .Key("queue_us").Double(t.queue_us)
+        .Key("engine_us").Double(t.engine_us)
+        .Key("merge_us").Double(t.merge_us)
+        .Key("serialize_us").Double(serialize_us)
+        .Key("cells").Uint(t.cells)
+        .EndObject();
   }
   writer.EndObject();
   return writer.TakeOutput();

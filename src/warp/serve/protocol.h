@@ -25,7 +25,9 @@ enum class ControlOp {
   kNone,      // Not a control op: `request` holds a query.
   kPing,      // Liveness check.
   kInfo,      // Describe a dataset (size, length, epoch, indexed bands).
-  kStats,     // Serving work counters snapshot.
+  kStats,     // Counters, cache, gauges, histograms, slowlog summary.
+  kMetrics,   // warp-metrics-v1 text exposition (docs/SERVING.md).
+  kSlowlog,   // Drain the slow-query log (sorted by engine time, desc).
   kLoad,      // Load a UCR file into the store.
   kShutdown,  // Finish open work and exit the serve loop.
 };

@@ -14,6 +14,7 @@
 #include "warp/core/lower_bounds.h"
 #include "warp/mining/similarity_search.h"
 #include "warp/common/metrics.h"
+#include "warp/obs/histogram.h"
 #include "warp/simd/batch.h"
 #include "warp/simd/dispatch.h"
 #include "warp/ts/znorm.h"
@@ -107,12 +108,15 @@ struct ChunkHits {
 struct QueryEngine::Impl {
   const DatasetStore* store;
   ResultCache* cache;
+  SlowQueryLog* slowlog;
   std::unique_ptr<ThreadPool> pool;  // Null when threads == 1.
   PerThread<DtwWorkspace> workspaces;
 
-  Impl(const DatasetStore* store_in, ResultCache* cache_in, size_t threads)
+  Impl(const DatasetStore* store_in, ResultCache* cache_in, size_t threads,
+       SlowQueryLog* slowlog_in)
       : store(store_in),
         cache(cache_in),
+        slowlog(slowlog_in),
         pool(ResolveThreadCount(threads) > 1
                  ? std::make_unique<ThreadPool>(ResolveThreadCount(threads))
                  : nullptr),
@@ -156,6 +160,36 @@ struct QueryEngine::Impl {
     Deadline deadline;
     SharedBound shared;  // 1nn cross-chunk bound; unused for knn/range.
     std::vector<ChunkHits> chunks;
+
+    // Telemetry accumulated across chunks. Integer nanoseconds and cell
+    // counts merge by commutative fetch_add, so the totals are
+    // scheduling-independent aside from the wall-clock readings
+    // themselves (which never enter goldens or the cache key).
+    std::atomic<uint64_t> engine_nanos{0};
+    std::atomic<uint64_t> dtw_cells{0};
+    double cache_us = 0.0;  // Lookup-miss time, stamped by the caller.
+  };
+
+  // RAII chunk attribution: on destruction, adds the chunk's wall time
+  // and the calling thread's dtw_cells delta to the plan's totals. Two
+  // relaxed loads and two fetch_adds per kScanGrain candidates — far
+  // below the cost of the cells themselves.
+  struct ChunkWork {
+    ScanPlan& plan;
+    uint64_t cells_before;
+    Stopwatch watch;
+
+    explicit ChunkWork(ScanPlan& plan_in)
+        : plan(plan_in),
+          cells_before(obs::LocalCount(obs::Counter::kDtwCells)) {}
+    ~ChunkWork() {
+      plan.engine_nanos.fetch_add(
+          static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9),
+          std::memory_order_relaxed);
+      plan.dtw_cells.fetch_add(
+          obs::LocalCount(obs::Counter::kDtwCells) - cells_before,
+          std::memory_order_relaxed);
+    }
   };
 
   static ServeResponse ErrorResponse(const ServeRequest& request,
@@ -249,6 +283,8 @@ struct QueryEngine::Impl {
 
   ServeResponse ExecuteDist(const ServeRequest& request,
                             const StoredDataset& stored) {
+    const uint64_t cells_before = obs::LocalCount(obs::Counter::kDtwCells);
+    const Stopwatch watch;
     const std::vector<double> query = PrepareQuery(request);
     const SeriesMeasure measure =
         MakeMeasure(request.measure, request.params);
@@ -258,11 +294,17 @@ struct QueryEngine::Impl {
     response.ok = true;
     response.scanned = response.total = 1;
     response.distance = measure(query, stored.data[request.index].view());
+    response.trace.engine_us = watch.ElapsedMicros();
+    response.trace.cells =
+        obs::LocalCount(obs::Counter::kDtwCells) - cells_before;
     return response;
   }
 
   ServeResponse ExecuteSubsequence(const ServeRequest& request,
                                    const StoredDataset& stored) {
+    const uint64_t cells_before =
+        obs::LocalCount(obs::Counter::kSubsequenceCells);
+    const Stopwatch watch;
     const std::vector<double> query = PrepareQuery(request);
     const TimeSeries& haystack = stored.data[request.index];
     if (haystack.size() < query.size()) {
@@ -280,6 +322,9 @@ struct QueryEngine::Impl {
     response.scanned = response.total = haystack.size() - query.size() + 1;
     response.position = match.position;
     response.distance = match.distance;
+    response.trace.engine_us = watch.ElapsedMicros();
+    response.trace.cells =
+        obs::LocalCount(obs::Counter::kSubsequenceCells) - cells_before;
     return response;
   }
 
@@ -324,6 +369,7 @@ struct QueryEngine::Impl {
   // plan; `workspace` must be exclusive to the caller.
   void ScanRange(ScanPlan& plan, size_t begin, size_t end,
                  DtwWorkspace& workspace) {
+    ChunkWork work(plan);
     ChunkHits& out = plan.chunks[begin / kScanGrain];
     const ServeRequest& request = *plan.request;
     const StoredDataset& stored = *plan.stored;
@@ -409,6 +455,7 @@ struct QueryEngine::Impl {
   // count and identical between the candidate-parallel and flattened
   // batch paths.
   ServeResponse MergeScan(ScanPlan& plan) {
+    const Stopwatch merge_watch;
     const ServeRequest& request = *plan.request;
     ServeResponse response;
     response.id = request.id;
@@ -434,6 +481,13 @@ struct QueryEngine::Impl {
       }
       response.neighbors = std::move(merged.hits);
     }
+    response.trace.engine_us =
+        static_cast<double>(
+            plan.engine_nanos.load(std::memory_order_relaxed)) *
+        1e-3;
+    response.trace.cells = plan.dtw_cells.load(std::memory_order_relaxed);
+    response.trace.cache_us = plan.cache_us;
+    response.trace.merge_us = merge_watch.ElapsedMicros();
     return response;
   }
 
@@ -448,24 +502,64 @@ struct QueryEngine::Impl {
     return MergeScan(*plan);
   }
 
+  // Final per-query accounting, common to every execution path: stamps
+  // the trace-echo flag, records the stage/latency/work histograms, and
+  // feeds computed queries to the slow-query log. Latency here is
+  // engine-side (lookup + scan + merge); parse/queue/serialize stages are
+  // recorded by their own layers.
+  void FinishQuery(const ServeRequest& request, ServeResponse* response) {
+    StageTrace& t = response->trace;
+    t.requested = request.trace;
+    const double latency_us = t.cache_us + t.engine_us + t.merge_us;
+    WARP_HISTOGRAM_RECORD_US(LatencyHistogramForOp(request.op), latency_us);
+    WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageCacheLookup,
+                             t.cache_us);
+    if (t.from_cache) return;
+    WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageEngineScan,
+                             t.engine_us);
+    WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageMerge, t.merge_us);
+    WARP_HISTOGRAM_RECORD(obs::Histogram::kServeCellsPerQuery, t.cells);
+    if (slowlog != nullptr && response->ok) {
+      SlowQueryRecord record;
+      record.id = response->id;
+      record.op = QueryOpName(request.op);
+      record.dataset = request.dataset;
+      record.measure = request.measure;
+      record.engine_us = t.engine_us;
+      record.total_us = latency_us;
+      record.cells = t.cells;
+      record.scanned = response->scanned;
+      record.total = response->total;
+      record.partial = response->partial;
+      slowlog->Record(std::move(record));
+    }
+  }
+
   ServeResponse RunOne(const ServeRequest& request,
                        const std::shared_ptr<const StoredDataset>& snapshot,
                        const ExecContext& ctx) {
     const std::string key = CacheKey(request, snapshot->epoch);
+    const Stopwatch lookup;
     ServeResponse response;
     if (cache != nullptr && cache->Lookup(key, &response)) {
       response.id = request.id;
+      response.trace.from_cache = true;
+      response.trace.cache_us = lookup.ElapsedMicros();
+      FinishQuery(request, &response);
       return response;
     }
+    const double cache_us = cache != nullptr ? lookup.ElapsedMicros() : 0.0;
     response = Execute(request, *snapshot, ctx);
+    response.trace.cache_us = cache_us;
     if (cache != nullptr) cache->Insert(key, response);
+    FinishQuery(request, &response);
     return response;
   }
 };
 
 QueryEngine::QueryEngine(const DatasetStore* store, ResultCache* cache,
-                         size_t threads)
-    : impl_(std::make_unique<Impl>(store, cache, threads)) {
+                         size_t threads, SlowQueryLog* slowlog)
+    : impl_(std::make_unique<Impl>(store, cache, threads, slowlog)) {
   WARP_CHECK(store != nullptr);
 }
 
@@ -542,25 +636,34 @@ void QueryEngine::RunBatch(const std::vector<ServeRequest>& requests,
     for (const auto& [r, snap] : runnable) {
       const ServeRequest& request = requests[r];
       const std::string key = CacheKey(request, snap->epoch);
+      const Stopwatch lookup;
       ServeResponse hit;
       if (impl_->cache != nullptr && impl_->cache->Lookup(key, &hit)) {
         hit.id = request.id;
+        hit.trace.from_cache = true;
+        hit.trace.cache_us = lookup.ElapsedMicros();
+        impl_->FinishQuery(request, &hit);
         (*responses)[r] = std::move(hit);
         continue;
       }
+      const double cache_us =
+          impl_->cache != nullptr ? lookup.ElapsedMicros() : 0.0;
       if (Impl::IsScanOp(request.op)) {
         std::unique_ptr<Impl::ScanPlan> plan =
             impl_->PrepareScan(request, *snap);
         plan->slot = r;
         plan->cache_key = key;
+        plan->cache_us = cache_us;
         plans.push_back(std::move(plan));
       } else {
         Impl::ExecContext ctx;
         ctx.pool = impl_->pool.get();
         ServeResponse response = impl_->Execute(request, *snap, ctx);
+        response.trace.cache_us = cache_us;
         if (impl_->cache != nullptr) {
           impl_->cache->Insert(key, response);
         }
+        impl_->FinishQuery(request, &response);
         (*responses)[r] = std::move(response);
       }
     }
@@ -592,6 +695,7 @@ void QueryEngine::RunBatch(const std::vector<ServeRequest>& requests,
       if (impl_->cache != nullptr) {
         impl_->cache->Insert(plan->cache_key, response);
       }
+      impl_->FinishQuery(*plan->request, &response);
       (*responses)[plan->slot] = std::move(response);
     }
   }

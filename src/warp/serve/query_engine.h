@@ -32,17 +32,19 @@
 #include "warp/serve/dataset_store.h"
 #include "warp/serve/request.h"
 #include "warp/serve/result_cache.h"
+#include "warp/serve/slowlog.h"
 
 namespace warp {
 namespace serve {
 
 class QueryEngine {
  public:
-  // `store` must outlive the engine; `cache` may be nullptr (no caching).
+  // `store` must outlive the engine; `cache` may be nullptr (no caching);
+  // `slowlog` may be nullptr (computed queries are not logged).
   // threads: 1 = serial on the calling thread, 0 = DefaultThreadCount(),
   // N = N pool workers.
   QueryEngine(const DatasetStore* store, ResultCache* cache,
-              size_t threads = 1);
+              size_t threads = 1, SlowQueryLog* slowlog = nullptr);
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;

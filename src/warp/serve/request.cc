@@ -14,6 +14,18 @@ const char* QueryOpName(QueryOp op) {
   return "unknown";
 }
 
+obs::Histogram LatencyHistogramForOp(QueryOp op) {
+  switch (op) {
+    case QueryOp::k1Nn: return obs::Histogram::kServeLatency1nn;
+    case QueryOp::kKnn: return obs::Histogram::kServeLatencyKnn;
+    case QueryOp::kRange: return obs::Histogram::kServeLatencyRange;
+    case QueryOp::kDist: return obs::Histogram::kServeLatencyDist;
+    case QueryOp::kSubsequence:
+      return obs::Histogram::kServeLatencySubsequence;
+  }
+  return obs::Histogram::kServeLatency1nn;
+}
+
 bool ParseQueryOp(const std::string& name, QueryOp* op) {
   if (name == "1nn") *op = QueryOp::k1Nn;
   else if (name == "knn") *op = QueryOp::kKnn;

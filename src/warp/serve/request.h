@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "warp/core/measure.h"
+#include "warp/obs/histogram.h"
 
 namespace warp {
 namespace serve {
@@ -32,6 +33,25 @@ enum class QueryOp {
 const char* QueryOpName(QueryOp op);
 bool ParseQueryOp(const std::string& name, QueryOp* op);
 
+// Per-request stage timings (docs/SERVING.md, "Serving telemetry").
+// Wall-clock values: they are recorded into the obs histograms for every
+// request, echoed back in the response only when the request carried
+// "trace":true, and are never part of the result-cache key or of golden
+// comparisons. All fields are microseconds except the two flags.
+struct StageTrace {
+  bool requested = false;   // request asked for the trace echo
+  bool from_cache = false;  // answered from the result cache
+  double parse_us = 0.0;      // wire line -> ServeRequest (server)
+  double cache_us = 0.0;      // result-cache lookup (engine)
+  double queue_us = 0.0;      // submit -> batch dispatch (batcher)
+  double engine_us = 0.0;     // candidate scan / kernel work (engine)
+  double merge_us = 0.0;      // per-chunk result merge (engine)
+  double serialize_us = 0.0;  // ServeResponse -> wire line (protocol)
+  // DP cells this execution computed (dtw_cells delta; 0 on cache hits
+  // and under WARP_PROFILE=OFF). Deterministic, unlike the timings.
+  uint64_t cells = 0;
+};
+
 struct ServeRequest {
   int64_t id = 0;
   QueryOp op = QueryOp::k1Nn;
@@ -44,6 +64,7 @@ struct ServeRequest {
   std::vector<double> query;   // the query series.
   bool znormalize = true;      // z-normalize `query` before matching.
   double deadline_ms = 0.0;    // <= 0: no deadline.
+  bool trace = false;          // echo stage timings in the response.
 };
 
 struct Neighbor {
@@ -72,7 +93,15 @@ struct ServeResponse {
   // dist / subsequence results.
   double distance = 0.0;
   size_t position = 0;
+
+  // Stage timings for this request. Never cached (ResultCache::Insert
+  // clears it), never compared in goldens; serialized only when
+  // `trace.requested`.
+  StageTrace trace;
 };
+
+// The latency histogram a query op records into.
+obs::Histogram LatencyHistogramForOp(QueryOp op);
 
 }  // namespace serve
 }  // namespace warp

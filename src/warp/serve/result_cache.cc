@@ -1,6 +1,7 @@
 #include "warp/serve/result_cache.h"
 
 #include <cstring>
+#include <utility>
 
 #include "warp/obs/json_writer.h"
 #include "warp/common/metrics.h"
@@ -93,14 +94,19 @@ bool ResultCache::Lookup(const std::string& key, ServeResponse* response) {
 void ResultCache::Insert(const std::string& key,
                          const ServeResponse& response) {
   if (capacity_ == 0 || !response.ok || response.partial) return;
+  // Stage timings are wall-clock properties of one execution, not of the
+  // answer; store entries pristine so a hit never replays stale timings
+  // (the engine stamps a fresh trace on every hit).
+  ServeResponse stored = response;
+  stored.trace = StageTrace{};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->response = response;
+    it->second->response = stored;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{key, response});
+  lru_.push_front(Entry{key, std::move(stored)});
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

@@ -33,6 +33,8 @@ namespace serve {
 // ones they do not read, so two requests differing only in an ignored
 // field cache separately — a small redundancy traded for the guarantee
 // that the key can never alias two different answers).
+// Deliberately excludes `request.trace`: asking for stage timings must
+// not change what is looked up or stored (docs/SERVING.md).
 std::string CacheKey(const ServeRequest& request, uint64_t epoch);
 
 class ResultCache {

@@ -8,13 +8,18 @@
 #include <thread>
 #include <utility>
 
+#include "warp/obs/exposition.h"
+#include "warp/obs/histogram.h"
 #include "warp/obs/json_writer.h"
+#include "warp/obs/report.h"
 #include "warp/common/metrics.h"
+#include "warp/common/stopwatch.h"
 #include "warp/serve/batcher.h"
 #include "warp/serve/net.h"
 #include "warp/serve/protocol.h"
 #include "warp/serve/query_engine.h"
 #include "warp/serve/result_cache.h"
+#include "warp/serve/slowlog.h"
 #include "warp/ts/io.h"
 
 namespace warp {
@@ -44,8 +49,10 @@ struct Server::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)),
         cache(options.cache_capacity),
+        slowlog(options.slowlog_capacity),
         engine(&store, options.cache_capacity > 0 ? &cache : nullptr,
-               options.threads),
+               options.threads,
+               options.slowlog_capacity > 0 ? &slowlog : nullptr),
         batcher(&engine) {}
 
   struct Connection {
@@ -59,6 +66,7 @@ struct Server::Impl {
   ServerOptions options;
   DatasetStore store;
   ResultCache cache;
+  SlowQueryLog slowlog;
   QueryEngine engine;
   Batcher batcher;
   TcpListener listener;
@@ -101,19 +109,25 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
       return writer.TakeOutput();
     }
     case ControlOp::kStats: {
+      // "counters" comes from the process-wide obs registry; "cache"
+      // comes from this server's ResultCache instance, which is the
+      // single source of truth for its own behavior (the registry's
+      // serve_cache_* counters aggregate across every cache in the
+      // process and stay available via `metrics` and --profile, so they
+      // are not duplicated here).
       const obs::MetricsSnapshot counters = obs::SnapshotCounters();
+      const obs::HistogramSnapshot histograms = obs::SnapshotHistograms();
+      const obs::GaugeSnapshot gauges = obs::SnapshotGauges();
       obs::JsonWriter writer;
       writer.BeginObject()
           .Key("id").Int(parsed.id)
           .Key("ok").Bool(true)
           .Key("op").String("stats")
+          .Key("profiling").Bool(obs::kProfilingEnabled)
           .Key("counters").BeginObject();
       using obs::Counter;
       for (Counter counter : {Counter::kServeRequests, Counter::kServeBatches,
                               Counter::kServeBatchedQueries,
-                              Counter::kServeCacheHits,
-                              Counter::kServeCacheMisses,
-                              Counter::kServeCacheEvictions,
                               Counter::kServeDeadlineExceeded}) {
         writer.Key(obs::CounterName(counter)).Uint(counters.Get(counter));
       }
@@ -125,8 +139,81 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
           .Key("misses").Uint(cache.misses())
           .Key("evictions").Uint(cache.evictions())
           .EndObject()
+          .Key("gauges").BeginObject();
+      for (size_t g = 0; g < obs::kNumGauges; ++g) {
+        const obs::Gauge gauge = static_cast<obs::Gauge>(g);
+        writer.Key(obs::GaugeName(gauge)).Int(gauges.Get(gauge));
+      }
+      writer.EndObject().Key("histograms").BeginObject();
+      for (size_t h = 0; h < obs::kNumHistograms; ++h) {
+        const obs::Histogram histogram = static_cast<obs::Histogram>(h);
+        const obs::HistogramData& data = histograms.Get(histogram);
+        if (data.Empty()) continue;  // Sparse, like bench counters.
+        writer.Key(obs::HistogramName(histogram));
+        obs::WriteHistogramObject(writer, data);
+      }
+      writer.EndObject()
+          .Key("slowlog").BeginObject()
+          .Key("capacity").Uint(slowlog.capacity())
+          .Key("pending").Uint(slowlog.size())
+          .EndObject()
           .Key("datasets").BeginArray();
       for (const std::string& name : store.Names()) writer.String(name);
+      writer.EndArray().EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kMetrics: {
+      // The cache and slowlog readings ride along as "extras" — they
+      // belong to this server's objects, not to a global registry.
+      std::vector<obs::ExpositionExtra> extras;
+      extras.push_back({"serve_result_cache_size", false,
+                        static_cast<int64_t>(cache.size())});
+      extras.push_back({"serve_result_cache_capacity", false,
+                        static_cast<int64_t>(cache.capacity())});
+      extras.push_back({"serve_result_cache_hits", true,
+                        static_cast<int64_t>(cache.hits())});
+      extras.push_back({"serve_result_cache_misses", true,
+                        static_cast<int64_t>(cache.misses())});
+      extras.push_back({"serve_result_cache_evictions", true,
+                        static_cast<int64_t>(cache.evictions())});
+      extras.push_back({"serve_slowlog_pending", false,
+                        static_cast<int64_t>(slowlog.size())});
+      const std::string body = obs::RenderMetricsText(
+          obs::SnapshotCounters(), obs::SnapshotHistograms(),
+          obs::SnapshotGauges(), extras);
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("metrics")
+          .Key("format").String("warp-metrics-v1")
+          .Key("body").String(body)
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kSlowlog: {
+      const std::vector<SlowQueryRecord> entries = slowlog.Drain();
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("slowlog")
+          .Key("capacity").Uint(slowlog.capacity())
+          .Key("entries").BeginArray();
+      for (const SlowQueryRecord& record : entries) {
+        writer.BeginObject()
+            .Key("id").Int(record.id)
+            .Key("op").String(record.op)
+            .Key("dataset").String(record.dataset)
+            .Key("measure").String(record.measure)
+            .Key("engine_us").Double(record.engine_us)
+            .Key("total_us").Double(record.total_us)
+            .Key("cells").Uint(record.cells)
+            .Key("scanned").Uint(record.scanned)
+            .Key("total").Uint(record.total)
+            .Key("partial").Bool(record.partial)
+            .EndObject();
+      }
       writer.EndArray().EndObject();
       return writer.TakeOutput();
     }
@@ -173,6 +260,7 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
 }
 
 void Server::Impl::HandleConnection(Connection* connection) {
+  WARP_GAUGE_ADD(obs::Gauge::kServeOpenConnections, 1);
   std::string first;
   while (!shutdown.load(std::memory_order_relaxed) &&
          connection->conn.ReadLine(&first)) {
@@ -193,26 +281,34 @@ void Server::Impl::HandleConnection(Connection* connection) {
     std::vector<std::string> out(lines.size());
     std::vector<ServeRequest> queries;
     std::vector<size_t> query_slot;
+    std::vector<double> query_parse_us;  // Parallel to `queries`.
     const auto flush_queries = [&] {
       if (queries.empty()) return;
       std::vector<ServeResponse> responses;
       batcher.Execute(queries, &responses);
       for (size_t j = 0; j < responses.size(); ++j) {
+        responses[j].trace.parse_us = query_parse_us[j];
         out[query_slot[j]] = FormatResponse(responses[j]);
       }
       queries.clear();
       query_slot.clear();
+      query_parse_us.clear();
     };
     bool want_shutdown = false;
     for (size_t i = 0; i < lines.size(); ++i) {
       if (lines[i].empty()) continue;  // Blank lines are keep-alives.
       ParsedLine parsed;
       std::string error;
-      if (!ParseRequestLine(lines[i], &parsed, &error)) {
+      const Stopwatch parse_watch;
+      const bool parsed_ok = ParseRequestLine(lines[i], &parsed, &error);
+      const double parse_us = parse_watch.ElapsedMicros();
+      WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageParse, parse_us);
+      if (!parsed_ok) {
         out[i] = FormatErrorLine(parsed.id, error);
       } else if (parsed.control == ControlOp::kNone) {
         queries.push_back(std::move(parsed.request));
         query_slot.push_back(i);
+        query_parse_us.push_back(parse_us);
       } else {
         flush_queries();
         out[i] = HandleControl(parsed);
@@ -234,6 +330,7 @@ void Server::Impl::HandleConnection(Connection* connection) {
     }
   }
   connection->conn.ShutdownBoth();
+  WARP_GAUGE_ADD(obs::Gauge::kServeOpenConnections, -1);
 }
 
 Server::Server(ServerOptions options)

@@ -6,8 +6,8 @@
 // One thread per connection reads line-delimited JSON requests; lines
 // that are already buffered when a response would be written are drained
 // first and answered as one batch (pipelining IS batching). Control ops
-// (ping / info / stats / load / shutdown) are answered inline by the
-// server without entering the engine.
+// (ping / info / stats / metrics / slowlog / load / shutdown) are
+// answered inline by the server without entering the engine.
 //
 // All socket work goes through warp/serve/net.h; this file never issues
 // a raw socket syscall.
@@ -30,6 +30,7 @@ struct ServerOptions {
   uint16_t port = 0;           // 0 = kernel-assigned; see Server::port().
   size_t threads = 1;          // Query-engine worker threads.
   size_t cache_capacity = 256; // Result-cache entries; 0 disables caching.
+  size_t slowlog_capacity = 32; // Slow-query log entries; 0 disables it.
 
   // Sakoe-Chiba fractions indexed at dataset registration: each becomes a
   // per-series envelope set at band = round(fraction * length).

@@ -1,0 +1,54 @@
+#include "warp/serve/slowlog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace warp {
+namespace serve {
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_seq_++;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(record));
+    return;
+  }
+  // Full: find the current minimum (ties broken toward the later
+  // admission, so the earliest-admitted tied record is the survivor).
+  size_t min_index = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    const SlowQueryRecord& candidate = entries_[i];
+    const SlowQueryRecord& current = entries_[min_index];
+    if (candidate.engine_us < current.engine_us ||
+        (candidate.engine_us == current.engine_us &&
+         candidate.seq > current.seq)) {
+      min_index = i;
+    }
+  }
+  if (record.engine_us > entries_[min_index].engine_us) {
+    entries_[min_index] = std::move(record);
+  }
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Drain() {
+  std::vector<SlowQueryRecord> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(entries_);
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              if (a.engine_us != b.engine_us) return a.engine_us > b.engine_us;
+              return a.seq < b.seq;
+            });
+  return drained;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace warp

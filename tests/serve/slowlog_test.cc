@@ -1,0 +1,119 @@
+// Tests for the bounded slow-query log: capacity, eviction order, the
+// tie contract (incumbent survives), and drain semantics.
+
+#include "warp/serve/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace warp {
+namespace serve {
+namespace {
+
+SlowQueryRecord Query(int64_t id, double engine_us) {
+  SlowQueryRecord record;
+  record.id = id;
+  record.op = std::string("1nn");
+  record.dataset = std::string("d");
+  record.measure = std::string("cdtw");
+  record.engine_us = engine_us;
+  record.total_us = engine_us + 1.0;
+  return record;
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityDropsEverything) {
+  SlowQueryLog log(0);
+  log.Record(Query(1, 100.0));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.Drain().empty());
+}
+
+TEST(SlowQueryLogTest, FillsToCapacityThenKeepsTheSlowest) {
+  SlowQueryLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  log.Record(Query(1, 10.0));
+  log.Record(Query(2, 30.0));
+  log.Record(Query(3, 20.0));
+  EXPECT_EQ(log.size(), 3u);
+
+  // 5.0 is faster than the current minimum (10.0): rejected.
+  log.Record(Query(4, 5.0));
+  // 25.0 beats the minimum: id 1 (10.0) is evicted.
+  log.Record(Query(5, 25.0));
+  EXPECT_EQ(log.size(), 3u);
+
+  const std::vector<SlowQueryRecord> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].id, 2);  // 30.0
+  EXPECT_EQ(drained[1].id, 5);  // 25.0
+  EXPECT_EQ(drained[2].id, 3);  // 20.0
+  EXPECT_EQ(log.size(), 0u);  // Drain clears.
+}
+
+TEST(SlowQueryLogTest, TiesNeverEvictTheIncumbent) {
+  SlowQueryLog log(2);
+  log.Record(Query(1, 10.0));
+  log.Record(Query(2, 10.0));
+  // Equal engine time never displaces a resident record.
+  log.Record(Query(3, 10.0));
+  const std::vector<SlowQueryRecord> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 1);  // Ties drain in admission order.
+  EXPECT_EQ(drained[1].id, 2);
+}
+
+TEST(SlowQueryLogTest, EvictionTargetsTheLatestAdmittedOfTiedMinima) {
+  SlowQueryLog log(3);
+  log.Record(Query(1, 10.0));
+  log.Record(Query(2, 10.0));
+  log.Record(Query(3, 50.0));
+  // Two records tie at the minimum (10.0); the later admission (id 2)
+  // is the victim, so the longest-resident tied record survives.
+  log.Record(Query(4, 20.0));
+  const std::vector<SlowQueryRecord> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].id, 3);  // 50.0
+  EXPECT_EQ(drained[1].id, 4);  // 20.0
+  EXPECT_EQ(drained[2].id, 1);  // 10.0 — id 2 was evicted
+}
+
+TEST(SlowQueryLogTest, DrainSortsByEngineTimeDescending) {
+  SlowQueryLog log(8);
+  log.Record(Query(1, 3.0));
+  log.Record(Query(2, 9.0));
+  log.Record(Query(3, 1.0));
+  log.Record(Query(4, 7.0));
+  const std::vector<SlowQueryRecord> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 4u);
+  for (size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_GE(drained[i - 1].engine_us, drained[i].engine_us);
+  }
+  EXPECT_EQ(drained[0].id, 2);
+  EXPECT_EQ(drained[3].id, 3);
+}
+
+TEST(SlowQueryLogTest, RecordCarriesThePayloadThrough) {
+  SlowQueryLog log(1);
+  SlowQueryRecord record = Query(7, 42.0);
+  record.cells = 1234;
+  record.scanned = 50;
+  record.total = 100;
+  record.partial = true;
+  log.Record(record);
+  const std::vector<SlowQueryRecord> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].id, 7);
+  EXPECT_EQ(drained[0].op, "1nn");
+  EXPECT_EQ(drained[0].dataset, "d");
+  EXPECT_EQ(drained[0].measure, "cdtw");
+  EXPECT_EQ(drained[0].cells, 1234u);
+  EXPECT_EQ(drained[0].scanned, 50u);
+  EXPECT_EQ(drained[0].total, 100u);
+  EXPECT_TRUE(drained[0].partial);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace warp

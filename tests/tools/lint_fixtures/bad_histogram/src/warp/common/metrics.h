@@ -1,0 +1,24 @@
+#ifndef WARP_COMMON_METRICS_H_
+#define WARP_COMMON_METRICS_H_
+
+#include <cstdint>
+
+#define WARP_OBS_COUNTER_LIST(X) \
+  X(kUsed, "used")
+
+namespace warp {
+namespace obs {
+
+enum class Counter : uint32_t {
+#define X(name, json_name) name,
+  WARP_OBS_COUNTER_LIST(X)
+#undef X
+      kNumCounters,
+};
+
+void Bump(Counter counter);
+
+}  // namespace obs
+}  // namespace warp
+
+#endif  // WARP_COMMON_METRICS_H_

@@ -1,0 +1,39 @@
+#ifndef WARP_OBS_HISTOGRAM_H_
+#define WARP_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+
+#include "warp/common/metrics.h"
+
+#define WARP_OBS_HISTOGRAM_LIST(X) \
+  X(kRecorded, "recorded_us")      \
+  X(kGhostHist, "ghost_us")
+
+#define WARP_OBS_GAUGE_LIST(X) \
+  X(kDepth, "depth")           \
+  X(kGhostGauge, "ghost_gauge")
+
+namespace warp {
+namespace obs {
+
+enum class Histogram : uint32_t {
+#define X(name, json_name) name,
+  WARP_OBS_HISTOGRAM_LIST(X)
+#undef X
+      kNumHistograms,
+};
+
+enum class Gauge : uint32_t {
+#define X(name, json_name) name,
+  WARP_OBS_GAUGE_LIST(X)
+#undef X
+      kNumGauges,
+};
+
+void RecordValue(Histogram histogram, uint64_t value);
+void GaugeAdd(Gauge gauge, int64_t delta);
+
+}  // namespace obs
+}  // namespace warp
+
+#endif  // WARP_OBS_HISTOGRAM_H_

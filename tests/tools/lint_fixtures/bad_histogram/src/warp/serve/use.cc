@@ -1,0 +1,11 @@
+#include "warp/obs/histogram.h"
+
+namespace warp {
+void ServeTick() {
+  obs::Bump(obs::Counter::kUsed);
+  obs::RecordValue(obs::Histogram::kRecorded, 7);
+  obs::RecordValue(obs::Histogram::kPhantomHist, 7);
+  obs::GaugeAdd(obs::Gauge::kDepth, 1);
+  obs::GaugeAdd(obs::Gauge::kPhantomGauge, -1);
+}
+}  // namespace warp

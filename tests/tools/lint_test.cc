@@ -194,6 +194,7 @@ const RuleFixture kRuleFixtures[] = {
     {"bad_layering", "module-layering", 2, 2},
     {"bad_order", "own-header-first", 1, 1},
     {"bad_counter", "obs-counter-xref", 2, 2},
+    {"bad_histogram", "obs-counter-xref", 4, 4},
     {"bad_measure", "measure-coverage", 3, 3},
     {"bad_benchflag", "bench-flag-wiring", 2, 2},
     {"bad_testreg", "test-registration", 1, 1},
@@ -263,6 +264,29 @@ TEST(LintFixtureTest, CounterForgeryFindsBothDirections) {
   }
   EXPECT_TRUE(ghost) << "declared-but-never-bumped counter not reported";
   EXPECT_TRUE(phantom) << "bumped-but-never-declared counter not reported";
+}
+
+TEST(LintFixtureTest, HistogramAndGaugeRegistriesCrossReferenceToo) {
+  // Same rule, other registries: the histogram and gauge X-macro lists
+  // in obs/histogram.h get the exact cross-reference discipline counters
+  // do, in both directions each.
+  const AnalyzerResult result = RunFixture("bad_histogram");
+  bool ghost_hist = false;
+  bool phantom_hist = false;
+  bool ghost_gauge = false;
+  bool phantom_gauge = false;
+  for (const Finding& finding : result.findings) {
+    EXPECT_EQ(finding.rule, "obs-counter-xref") << FormatFinding(finding);
+    const std::string& m = finding.message;
+    if (m.find("kGhostHist") != std::string::npos) ghost_hist = true;
+    if (m.find("kPhantomHist") != std::string::npos) phantom_hist = true;
+    if (m.find("kGhostGauge") != std::string::npos) ghost_gauge = true;
+    if (m.find("kPhantomGauge") != std::string::npos) phantom_gauge = true;
+  }
+  EXPECT_TRUE(ghost_hist) << "declared-but-never-recorded histogram missed";
+  EXPECT_TRUE(phantom_hist) << "recorded-but-never-declared histogram missed";
+  EXPECT_TRUE(ghost_gauge) << "declared-but-never-bumped gauge missed";
+  EXPECT_TRUE(phantom_gauge) << "bumped-but-never-declared gauge missed";
 }
 
 TEST(LintFixtureTest, LayeringForgeryNamesTheInvertedEdge) {

@@ -91,6 +91,10 @@ inline int ServeToolMain(const ToolFlags& flags) {
       data_specs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (key == "gen") {
       gen_specs.push_back(value);
+    } else if (key == "profile") {
+      // Consumed by warp_cli's Main (snapshot + print around this call)
+      // so `warp_cli serve --profile` profiles an in-process server run;
+      // tolerated here so the flag doesn't fail the serve front doors.
     } else if (key == "simd") {
       simd::SimdMode mode;
       if (!simd::ParseSimdMode(value, &mode)) {

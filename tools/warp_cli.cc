@@ -33,7 +33,9 @@
 #include "warp/mining/nn_classifier.h"
 #include "warp/mining/similarity_search.h"
 #include "warp/mining/window_search.h"
+#include "warp/obs/histogram.h"
 #include "warp/obs/json_writer.h"
+#include "warp/obs/trace.h"
 #include "warp/common/metrics.h"
 #include "warp/serve/net.h"
 #include "warp/simd/dispatch.h"
@@ -476,8 +478,12 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
-// Prints every nonzero work counter accumulated during the command.
-void PrintProfile(const obs::MetricsSnapshot& delta) {
+// Prints every nonzero work counter, every nonempty histogram, and every
+// completed trace span accumulated during the command — one stderr block
+// so a `2>profile.txt` redirect captures the whole picture.
+void PrintProfile(const obs::MetricsSnapshot& delta,
+                  const obs::HistogramSnapshot& histograms,
+                  const std::vector<obs::SpanRecord>& spans) {
   std::fprintf(stderr, "# --- work counters (WARP_PROFILE) ---\n");
   if (!obs::kProfilingEnabled) {
     std::fprintf(stderr,
@@ -493,6 +499,22 @@ void PrintProfile(const obs::MetricsSnapshot& delta) {
                  static_cast<unsigned long long>(delta.values[i]));
   }
   if (!any) std::fprintf(stderr, "# (all counters zero)\n");
+  for (size_t h = 0; h < obs::kNumHistograms; ++h) {
+    const obs::HistogramData& data = histograms.series[h];
+    if (data.Empty()) continue;
+    std::fprintf(stderr, "# histogram %-24s count=%llu mean=%.1f p50=%llu "
+                 "p95=%llu p99=%llu\n",
+                 obs::HistogramName(static_cast<obs::Histogram>(h)),
+                 static_cast<unsigned long long>(data.count), data.Mean(),
+                 static_cast<unsigned long long>(data.Percentile(0.50)),
+                 static_cast<unsigned long long>(data.Percentile(0.95)),
+                 static_cast<unsigned long long>(data.Percentile(0.99)));
+  }
+  for (const obs::SpanRecord& span : spans) {
+    std::fprintf(stderr, "# span %*s%-24s %.3f ms\n",
+                 static_cast<int>(2 * span.depth), "", span.name.c_str(),
+                 span.seconds * 1e3);
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -515,6 +537,7 @@ int Main(int argc, char** argv) {
   }
   const bool profile = args.Has("profile");
   const obs::MetricsSnapshot before = obs::SnapshotCounters();
+  const obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
   const std::string command = argv[1];
   int status = -1;
   if (command == "dist") status = CmdDist(args);
@@ -526,7 +549,10 @@ int Main(int argc, char** argv) {
   else if (command == "query") status = CmdQuery(args);
   else if (command == "serve") status = tools::ServeToolMain(args.flags);
   else Fail("unknown command: " + command + " (try `warp_cli help`)");
-  if (profile) PrintProfile(obs::CountersSince(before));
+  if (profile) {
+    PrintProfile(obs::CountersSince(before),
+                 obs::HistogramsSince(histograms_before), obs::DrainSpans());
+  }
   return status;
 }
 
