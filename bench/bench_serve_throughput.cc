@@ -14,7 +14,13 @@
 //               and fans out as a single flattened (request, chunk) work
 //               list;
 //   cached      `batched` again with the ResultCache warm — the upper
-//               bound batching chases.
+//               bound batching chases;
+//   shardedN    `batched` against an N-shard store (scatter/gather scan
+//               plans) — bitwise-identical answers, different latency.
+//
+// A final pair of timings compares cold start (parse UCR text, rebuild
+// the LB index) against restoring the same dataset from a warp-snap-v1
+// snapshot; `restore_speedup` lands in the JSON config block.
 //
 // Per-request latency is sampled around each submission and summarized as
 // median / p95 / p99 (the serving percentiles the subsystem exists to
@@ -28,6 +34,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "harness/bench_flags.h"
@@ -40,6 +47,8 @@
 #include "warp/serve/query_engine.h"
 #include "warp/serve/request.h"
 #include "warp/serve/result_cache.h"
+#include "warp/serve/snapshot.h"
+#include "warp/ts/io.h"
 
 namespace warp {
 namespace {
@@ -82,10 +91,11 @@ int Run(int argc, char** argv) {
   std::printf("series=%zu length=%zu queries=%zu clients=%zu threads=%zu\n\n",
               series, length, queries, clients, threads);
 
+  const Dataset data = gen::RandomWalkDataset(series, length, 42);
+  const size_t band =
+      static_cast<size_t>(window * static_cast<double>(length) + 0.5);
   serve::DatasetStore store;
-  store.Register("bench", gen::RandomWalkDataset(series, length, 42),
-                 {static_cast<size_t>(window * static_cast<double>(length) +
-                                      0.5)});
+  store.Register("bench", data, {band});
 
   const Dataset query_set = gen::RandomWalkDataset(queries, length, 4242);
   std::vector<serve::ServeRequest> requests(queries);
@@ -161,11 +171,12 @@ int Run(int argc, char** argv) {
                    obs::HistogramsSince(histograms_before));
   }
 
-  // Concurrent clients submitting through the batcher. Client c owns
+  // Concurrent clients submitting through a batcher. Client c owns
   // queries c, c+clients, ... With per_submit == 1 every query is its own
   // round-trip; with per_submit == 0 each client pipelines its whole
   // slice into one Execute (what the server does with buffered lines).
-  const auto run_clients = [&](size_t per_submit, std::string* first_digest) {
+  const auto run_clients_via = [&](serve::Batcher& via, size_t per_submit,
+                                   std::string* first_digest) {
     CaseResult result;
     std::vector<std::vector<double>> samples(clients);
     std::vector<std::string> digests(clients);
@@ -186,7 +197,7 @@ int Run(int argc, char** argv) {
                                   std::min(at + step, slice.size())));
           std::vector<serve::ServeResponse> responses;
           Stopwatch watch;
-          batcher.Execute(group, &responses);
+          via.Execute(group, &responses);
           const double elapsed = watch.ElapsedSeconds();
           // Every query in the group was submitted together and finished
           // together: each experienced the group's latency.
@@ -208,6 +219,9 @@ int Run(int argc, char** argv) {
       if (!d.empty()) *first_digest = d;
     }
     return result;
+  };
+  const auto run_clients = [&](size_t per_submit, std::string* first_digest) {
+    return run_clients_via(batcher, per_submit, first_digest);
   };
 
   // Repeats a client case, keeping the fastest run. `warm_cache` keeps
@@ -263,6 +277,87 @@ int Run(int argc, char** argv) {
     checks.push_back(case_digest);
   }
 
+  // --- sharded: the batched case against scatter/gather stores. The
+  // answers must not move by a bit (the digest check below is the
+  // bench-level half of tests/serve/shard_golden_test.cc); only the
+  // latency profile may.
+  std::vector<std::pair<size_t, CaseResult>> sharded;
+  for (const size_t shard_count : {size_t{2}, size_t{4}}) {
+    serve::DatasetStore shard_store(shard_count);
+    shard_store.Register("bench", data, {band});
+    serve::QueryEngine shard_engine(&shard_store, nullptr, threads);
+    serve::Batcher shard_batcher(&shard_engine);
+    const std::string name = "sharded" + std::to_string(shard_count);
+    CaseResult best;
+    std::string case_digest;
+    obs::MetricsSnapshot before = obs::SnapshotCounters();
+    obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      const CaseResult result =
+          run_clients_via(shard_batcher, 0, &case_digest);
+      if (rep == 0 || result.wall_seconds < best.wall_seconds) best = result;
+    }
+    report.AddCase(name, best.latency, obs::CountersSince(before),
+                   obs::HistogramsSince(histograms_before));
+    checks.push_back(case_digest);
+    sharded.emplace_back(shard_count, best);
+  }
+
+  // --- cold start vs snapshot restore: time-to-first-query. Cold start
+  // re-parses the UCR text and rebuilds the whole LB index (z-norm +
+  // envelopes); restore reads the warp-snap-v1 file and only re-partitions
+  // bits that were already computed.
+  double cold_start_seconds = 0.0;
+  double restore_seconds = 0.0;
+  {
+    const std::string ucr_path = "bench_serve_cold.tsv";
+    const std::string snap_path = "bench_serve_restore.wsnap";
+    std::string error;
+    if (!SaveUcrFile(ucr_path, data, &error) ||
+        !serve::SaveSnapshot(*store.Get("bench"), snap_path, &error)) {
+      std::fprintf(stderr, "FATAL: %s\n", error.c_str());
+      return 1;
+    }
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      Stopwatch watch;
+      Dataset parsed;
+      serve::DatasetStore cold(1);
+      if (!LoadUcrFile(ucr_path, &parsed, &error)) {
+        std::fprintf(stderr, "FATAL: %s\n", error.c_str());
+        return 1;
+      }
+      cold.Register("bench", parsed, {band});
+      const double elapsed = watch.ElapsedSeconds();
+      if (rep == 0 || elapsed < cold_start_seconds) {
+        cold_start_seconds = elapsed;
+      }
+    }
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      Stopwatch watch;
+      serve::DatasetIndex index;
+      serve::DatasetStore restored(1);
+      if (!serve::LoadSnapshot(snap_path, &index, nullptr, &error)) {
+        std::fprintf(stderr, "FATAL: %s\n", error.c_str());
+        return 1;
+      }
+      restored.RegisterIndex("bench", std::move(index));
+      const double elapsed = watch.ElapsedSeconds();
+      if (rep == 0 || elapsed < restore_seconds) restore_seconds = elapsed;
+    }
+    // The restored store must answer query 0 with the same bits.
+    serve::DatasetIndex index;
+    serve::DatasetStore restored(1);
+    if (!serve::LoadSnapshot(snap_path, &index, nullptr, &error)) {
+      std::fprintf(stderr, "FATAL: %s\n", error.c_str());
+      return 1;
+    }
+    restored.RegisterIndex("bench", std::move(index));
+    serve::QueryEngine restored_engine(&restored, nullptr, 1);
+    checks.push_back(digest(restored_engine.Run(requests[0])));
+    std::remove(ucr_path.c_str());
+    std::remove(snap_path.c_str());
+  }
+
   for (size_t i = 1; i < checks.size(); ++i) {
     if (checks[i] != checks[0]) {
       std::fprintf(stderr, "FATAL: case %zu answer diverged: %s vs %s\n", i,
@@ -279,6 +374,13 @@ int Run(int argc, char** argv) {
   report.AddConfig("batched_qps", qps(batched));
   report.AddConfig("cached_qps", qps(cached));
   report.AddConfig("batches_dispatched", batcher.batches_dispatched());
+  for (const auto& [shard_count, result] : sharded) {
+    report.AddConfig("sharded" + std::to_string(shard_count) + "_qps",
+                     qps(result));
+  }
+  report.AddConfig("cold_start_ms", cold_start_seconds * 1e3);
+  report.AddConfig("snapshot_restore_ms", restore_seconds * 1e3);
+  report.AddConfig("restore_speedup", cold_start_seconds / restore_seconds);
 
   std::fputs(report.TimingTable().c_str(), stdout);
   std::fputs(report.CounterTable().c_str(), stdout);
@@ -296,6 +398,14 @@ int Run(int argc, char** argv) {
               qps(batched) / qps(unbatched), qps(cached),
               static_cast<unsigned long long>(
                   batcher.batches_dispatched()));
+  std::printf("sharded (queries/s):");
+  for (const auto& [shard_count, result] : sharded) {
+    std::printf(" %zu shards %.1f |", shard_count, qps(result));
+  }
+  std::printf("\ncold start %.2f ms | snapshot restore %.2f ms "
+              "(%.2fx faster)\n",
+              cold_start_seconds * 1e3, restore_seconds * 1e3,
+              cold_start_seconds / restore_seconds);
   report.Finish(json_path);
   return 0;
 }

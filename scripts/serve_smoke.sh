@@ -11,6 +11,8 @@
 #   * query answers are deterministic (the same request twice, one cold
 #     and one from the result cache, yields byte-identical responses);
 #   * pipelined lines each get exactly one response, in order;
+#   * a save_snapshot -> restart-from---snapshot-dir round trip (at a
+#     different shard count) answers the same query byte-identically;
 #   * `shutdown` stops the server with exit code 0 (clean shutdown).
 #
 # Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
@@ -22,11 +24,13 @@ SERVE="$BUILD_DIR/tools/warp_serve"
 CLI="$BUILD_DIR/tools/warp_cli"
 WORK="$(mktemp -d)"
 SERVER_PID=""
+SERVER2_PID=""
 
 fail() {
   echo "SMOKE FAIL: $*" >&2
   [ -f "$WORK/server.log" ] && sed 's/^/  server: /' "$WORK/server.log" >&2
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null
+  [ -n "$SERVER2_PID" ] && kill "$SERVER2_PID" 2> /dev/null
   rm -rf "$WORK"
   exit 1
 }
@@ -35,7 +39,7 @@ fail() {
 [ -x "$CLI" ] || fail "$CLI not built"
 
 # --- Start the server on a kernel-assigned port -----------------------------
-"$SERVE" --gen=smoke=40,64 --threads=2 --cache=128 > "$WORK/server.log" &
+"$SERVE" --gen=smoke=40,64 --threads=2 --shards=2 --cache=128 > "$WORK/server.log" &
 SERVER_PID=$!
 
 PORT=""
@@ -69,6 +73,8 @@ LINES="$(wc -l < "$WORK/responses.txt")"
 grep -q '"id":1,"ok":true' "$WORK/responses.txt" || fail "ping not ok"
 grep -q '"dataset":"smoke","size":40,"length":64' "$WORK/responses.txt" \
     || fail "info wrong: $(sed -n 2p "$WORK/responses.txt")"
+grep -q '"shards":2' "$WORK/responses.txt" \
+    || fail "info missing shard count: $(sed -n 2p "$WORK/responses.txt")"
 grep -q '"serve_requests"' "$WORK/responses.txt" || fail "stats missing counters"
 grep -q '"gauges":{' "$WORK/responses.txt" || fail "stats missing gauges"
 grep -q '"slowlog":{' "$WORK/responses.txt" || fail "stats missing slowlog"
@@ -157,6 +163,50 @@ echo '{"id": 7, "op": "slowlog"}' | "$CLI" query --port="$PORT" \
 grep -q '"ok":true,"op":"slowlog"' "$WORK/slowlog.txt" \
     || fail "slowlog wrong: $(cat "$WORK/slowlog.txt")"
 grep -q '"entries":\[' "$WORK/slowlog.txt" || fail "slowlog missing entries"
+
+# --- Snapshot round trip: save, restart from --snapshot-dir, re-ask ---------
+mkdir -p "$WORK/snapdir"
+echo '{"id": 8, "op": "save_snapshot", "dataset": "smoke", "path": "'"$WORK"'/snapdir/smoke.wsnap"}' \
+    | "$CLI" query --port="$PORT" > "$WORK/save.txt" \
+    || fail "save_snapshot request failed"
+grep -q '"ok":true,"op":"save_snapshot"' "$WORK/save.txt" \
+    || fail "save_snapshot wrong: $(cat "$WORK/save.txt")"
+[ -s "$WORK/snapdir/smoke.wsnap" ] || fail "snapshot file missing or empty"
+
+# A second server restores from the snapshot directory at a different
+# shard count; the same query must come back byte-identical (sharding and
+# persistence are execution details, never part of the answer).
+"$SERVE" --snapshot-dir="$WORK/snapdir" --shards=3 --threads=2 \
+    > "$WORK/server2.log" &
+SERVER2_PID=$!
+PORT2=""
+for _ in $(seq 1 100); do
+  PORT2="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/server2.log" 2> /dev/null)"
+  [ -n "$PORT2" ] && break
+  kill -0 "$SERVER2_PID" 2> /dev/null \
+      || fail "snapshot-restored server exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT2" ] || fail "snapshot-restored server never printed its port"
+echo "smoke: snapshot-restored server up on port $PORT2 (pid $SERVER2_PID)"
+
+echo '{"id": 3, "op": "1nn", "dataset": "smoke", "query": '"$QUERY"'}' \
+    | "$CLI" query --port="$PORT2" > "$WORK/restored.txt" \
+    || fail "query against restored server failed"
+[ "$FIRST" = "$(cat "$WORK/restored.txt")" ] \
+    || fail "restored server diverged:
+  original: $FIRST
+  restored: $(cat "$WORK/restored.txt")"
+echo '{"id": 9, "op": "info", "dataset": "smoke"}' \
+    | "$CLI" query --port="$PORT2" > "$WORK/info2.txt" \
+    || fail "info against restored server failed"
+grep -q '"shards":3' "$WORK/info2.txt" \
+    || fail "restored server shard count wrong: $(cat "$WORK/info2.txt")"
+
+echo '{"id": 98, "op": "shutdown"}' | "$CLI" query --port="$PORT2" \
+    > /dev/null || fail "restored-server shutdown failed"
+wait "$SERVER2_PID" || fail "restored server exited nonzero"
 
 # --- Clean shutdown ---------------------------------------------------------
 echo '{"id": 99, "op": "shutdown"}' | "$CLI" query --port="$PORT" \

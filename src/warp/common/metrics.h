@@ -94,6 +94,9 @@ namespace obs {
   X(kServeCacheMisses, "serve_cache_misses")              \
   X(kServeCacheEvictions, "serve_cache_evictions")        \
   X(kServeDeadlineExceeded, "serve_deadline_exceeded")     \
+  X(kServeShardScans, "serve_shard_scans")                 \
+  X(kServeSnapshotSaves, "serve_snapshot_saves")           \
+  X(kServeSnapshotLoads, "serve_snapshot_loads")           \
   /* SIMD kernels (warp/simd/). */                         \
   X(kSimdBlocks, "simd_blocks")                            \
   X(kSimdScalarTail, "simd_scalar_tail")

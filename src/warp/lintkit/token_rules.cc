@@ -147,6 +147,40 @@ void SocketRule(const LexedFile& file, std::vector<Finding>* findings) {
   }
 }
 
+// --- serve-io-containment ---------------------------------------------------
+// The serve subsystem's only durable-state surface is the snapshot module
+// (warp/serve/snapshot.h): versioned, checksummed, refuse-don't-guess.
+// File IO anywhere else in src/warp/serve/ would create on-disk state
+// with none of those guarantees. stdio *formatting* (fprintf to stderr)
+// is fine — only file-handle IO is confined.
+void ServeIoRule(const LexedFile& file, std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/warp/serve/")) return;
+  if (StartsWith(file.path, "src/warp/serve/snapshot.")) return;
+  for (const IncludeDirective& include : file.includes) {
+    if (include.path == "fstream" || include.path == "filesystem") {
+      Add(findings, "serve-io-containment", file, include.line, 1,
+          "<" + include.path +
+              "> in src/warp/serve/ outside snapshot.* — persistence "
+              "goes through warp/serve/snapshot.h");
+    }
+  }
+  static constexpr std::string_view kCalls[] = {
+      "fopen", "freopen", "fread", "fwrite", "fgets",
+      "fgetc", "fscanf",  "fseek", "ftell"};
+  for (size_t i = 0; i < file.tokens.size(); ++i) {
+    const Token& token = file.tokens[i];
+    if (token.kind != TokenKind::kIdentifier) continue;
+    for (const std::string_view call : kCalls) {
+      if (token.text == call && IsCallOf(file.tokens, i, call)) {
+        Add(findings, "serve-io-containment", file, token.line, token.col,
+            "raw file IO '" + token.text +
+                "' in src/warp/serve/ outside snapshot.* — persistence "
+                "goes through warp/serve/snapshot.h");
+      }
+    }
+  }
+}
+
 // --- intrinsics-containment -------------------------------------------------
 // All architecture-specific SIMD lives behind the vdouble wrapper
 // (warp/simd/vdouble.h); a raw intrinsics header elsewhere bypasses the
@@ -213,6 +247,9 @@ const std::vector<TokenRule> kTokenRules = {
     {"socket-containment",
      "socket syscalls and headers only in src/warp/serve/net.*",
      SocketRule},
+    {"serve-io-containment",
+     "file IO in src/warp/serve/ only in snapshot.*",
+     ServeIoRule},
     {"intrinsics-containment",
      "raw SIMD intrinsics headers only in src/warp/simd/",
      IntrinsicsRule},

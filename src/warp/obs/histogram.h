@@ -63,7 +63,10 @@ namespace obs {
   X(kServeStageQueueWait, "serve_stage_queue_wait_us")            \
   X(kServeStageEngineScan, "serve_stage_engine_scan_us")          \
   X(kServeStageMerge, "serve_stage_merge_us")                     \
-  X(kServeStageSerialize, "serve_stage_serialize_us")
+  X(kServeStageSerialize, "serve_stage_serialize_us")             \
+  /* Snapshot persistence (serve/snapshot.cc). */                 \
+  X(kServeSnapshotSaveUs, "serve_snapshot_save_us")               \
+  X(kServeSnapshotLoadUs, "serve_snapshot_load_us")
 
 // One X(enumerator, json_name) entry per gauge.
 #define WARP_OBS_GAUGE_LIST(X)                  \

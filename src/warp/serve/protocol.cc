@@ -53,6 +53,30 @@ bool ParseRequestLine(const std::string& line, ParsedLine* out,
   if (op == "metrics") { out->control = ControlOp::kMetrics; return true; }
   if (op == "slowlog") { out->control = ControlOp::kSlowlog; return true; }
   if (op == "shutdown") { out->control = ControlOp::kShutdown; return true; }
+  if (op == "save_snapshot") {
+    out->control = ControlOp::kSaveSnapshot;
+    out->dataset = root.StringOr("dataset", "");
+    out->path = root.StringOr("path", "");
+    if (out->dataset.empty()) {
+      *error = "'save_snapshot' requires 'dataset'";
+      return false;
+    }
+    if (out->path.empty()) {
+      *error = "'save_snapshot' requires 'path'";
+      return false;
+    }
+    return true;
+  }
+  if (op == "load_snapshot") {
+    out->control = ControlOp::kLoadSnapshot;
+    out->dataset = root.StringOr("dataset", "");  // Optional rename.
+    out->path = root.StringOr("path", "");
+    if (out->path.empty()) {
+      *error = "'load_snapshot' requires 'path'";
+      return false;
+    }
+    return true;
+  }
   if (op == "info" || op == "load") {
     out->control = op == "info" ? ControlOp::kInfo : ControlOp::kLoad;
     out->dataset = root.StringOr("dataset", "");

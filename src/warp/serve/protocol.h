@@ -29,6 +29,8 @@ enum class ControlOp {
   kMetrics,   // warp-metrics-v1 text exposition (docs/SERVING.md).
   kSlowlog,   // Drain the slow-query log (sorted by engine time, desc).
   kLoad,      // Load a UCR file into the store.
+  kSaveSnapshot,  // Persist a dataset's index as a warp-snap-v1 file.
+  kLoadSnapshot,  // Register a dataset from a warp-snap-v1 file.
   kShutdown,  // Finish open work and exit the serve loop.
 };
 
@@ -37,8 +39,9 @@ struct ParsedLine {
   int64_t id = 0;
   ControlOp control = ControlOp::kNone;
   ServeRequest request;          // Valid when control == kNone.
-  std::string dataset;           // info / load.
-  std::string path;              // load.
+  std::string dataset;           // info / load / save_snapshot; optional
+                                 // rename for load_snapshot.
+  std::string path;              // load / save_snapshot / load_snapshot.
   std::vector<double> band_fractions;  // load ("bands" member).
 };
 

@@ -135,13 +135,29 @@ struct QueryEngine::Impl {
     return workspaces[ctx.pool != nullptr ? worker : ctx.fixed_worker];
   }
 
+  // One shard's share of a scan plan. `chunk_offset` indexes the shard's
+  // first chunk inside the plan-wide `chunks` array, which is laid out
+  // shard-major (all of shard 0's chunks, then shard 1's, ...): a fixed
+  // ordering derived only from the dataset's sharded layout, never from
+  // scheduling, so the gather merge walks it identically at any thread
+  // count.
+  struct ShardSlice {
+    const ShardedDataset* shard = nullptr;
+    size_t chunk_offset = 0;
+  };
+
   // One scan request decomposed for chunk-level execution: Prepare (once,
   // serial — z-norm, query envelope, registry resolution), ScanRange (any
   // worker, any order, any interleaving with other plans' chunks), Merge
   // (once, serial, fixed chunk order). The decomposition is what lets
   // RunBatch flatten a whole group of requests into one (request, chunk)
   // work list without changing any answer: chunk boundaries and merge
-  // order never depend on scheduling.
+  // order never depend on scheduling. Since PR 9 the prepared chunks
+  // SCATTER across the dataset's shards (each chunk is a contiguous run
+  // of one shard's local candidates) and the merge GATHERS them in
+  // shard-major chunk order — sharding only re-arranges which chunk a
+  // candidate lands in, so with the strict pruning rules below the
+  // answer stays bitwise-identical at any shard count.
   struct ScanPlan {
     size_t slot = 0;  // Batch response index (RunBatch bookkeeping).
     const ServeRequest* request = nullptr;
@@ -154,12 +170,13 @@ struct QueryEngine::Impl {
     size_t k = 1;
     size_t band = 0;
     Envelope query_envelope;
-    const std::vector<Envelope>* candidate_envelopes = nullptr;
+    size_t band_slot = StoredDataset::kNoBand;  // Candidate envelope slot.
     SeriesMeasure measure;  // Brute-force path only.
 
     Deadline deadline;
     SharedBound shared;  // 1nn cross-chunk bound; unused for knn/range.
-    std::vector<ChunkHits> chunks;
+    std::vector<ShardSlice> slices;  // One per shard, in shard order.
+    std::vector<ChunkHits> chunks;   // Shard-major.
 
     // Telemetry accumulated across chunks. Integer nanoseconds and cell
     // counts merge by commutative fetch_add, so the totals are
@@ -231,11 +248,11 @@ struct QueryEngine::Impl {
     }
     if ((request.op == QueryOp::kDist ||
          request.op == QueryOp::kSubsequence) &&
-        request.index >= (*snapshot)->data.size()) {
+        request.index >= (*snapshot)->size()) {
       *failure = ErrorResponse(
           request, "series index " + std::to_string(request.index) +
                        " out of range (dataset has " +
-                       std::to_string((*snapshot)->data.size()) + " series)");
+                       std::to_string((*snapshot)->size()) + " series)");
       return false;
     }
     if (request.op == QueryOp::kKnn && request.k == 0) {
@@ -293,7 +310,7 @@ struct QueryEngine::Impl {
     response.op = request.op;
     response.ok = true;
     response.scanned = response.total = 1;
-    response.distance = measure(query, stored.data[request.index].view());
+    response.distance = measure(query, stored.SeriesAt(request.index).view());
     response.trace.engine_us = watch.ElapsedMicros();
     response.trace.cells =
         obs::LocalCount(obs::Counter::kDtwCells) - cells_before;
@@ -306,7 +323,7 @@ struct QueryEngine::Impl {
         obs::LocalCount(obs::Counter::kSubsequenceCells);
     const Stopwatch watch;
     const std::vector<double> query = PrepareQuery(request);
-    const TimeSeries& haystack = stored.data[request.index];
+    const TimeSeries& haystack = stored.SeriesAt(request.index);
     if (haystack.size() < query.size()) {
       return ErrorResponse(request,
                            "query longer than target series " +
@@ -351,7 +368,7 @@ struct QueryEngine::Impl {
                                           : plan->query.size());
     if (plan->cascade) {
       plan->query_envelope = ComputeEnvelope(plan->query, plan->band);
-      plan->candidate_envelopes = stored.EnvelopesForBand(plan->band);
+      plan->band_slot = stored.BandSlot(plan->band);
     } else {
       plan->measure = MakeMeasure(request.measure, request.params);
     }
@@ -360,22 +377,34 @@ struct QueryEngine::Impl {
       plan->deadline.enabled = true;
       plan->deadline.budget_ms = request.deadline_ms;
     }
-    plan->chunks.resize(ChunkCount(0, stored.data.size(), kScanGrain));
+    // Scatter: one slice per shard, chunk boundaries laid per shard over
+    // its LOCAL candidate order, packed shard-major into one chunk array.
+    plan->slices.reserve(stored.shard_count());
+    size_t chunk_total = 0;
+    for (const ShardedDataset& shard : stored.shards) {
+      plan->slices.push_back({&shard, chunk_total});
+      chunk_total += ChunkCount(0, shard.size(), kScanGrain);
+    }
+    plan->chunks.resize(chunk_total);
     return plan;
   }
 
-  // Scans candidates [begin, end) — one chunk — into the plan's per-chunk
-  // accumulator. Safe to run concurrently with any other chunk of any
-  // plan; `workspace` must be exclusive to the caller.
-  void ScanRange(ScanPlan& plan, size_t begin, size_t end,
-                 DtwWorkspace& workspace) {
+  // Scans one shard's local candidates [begin, end) — one chunk — into
+  // the plan's per-chunk accumulator. Safe to run concurrently with any
+  // other chunk of any plan; `workspace` must be exclusive to the caller.
+  void ScanRange(ScanPlan& plan, const ShardSlice& slice, size_t begin,
+                 size_t end, DtwWorkspace& workspace) {
     ChunkWork work(plan);
-    ChunkHits& out = plan.chunks[begin / kScanGrain];
+    const ShardedDataset& shard = *slice.shard;
+    ChunkHits& out = plan.chunks[slice.chunk_offset + begin / kScanGrain];
     const ServeRequest& request = *plan.request;
-    const StoredDataset& stored = *plan.stored;
     const std::vector<double>& query = plan.query;
     const CostKind cost = request.params.cost;
-    // Rung-1 LB_Kim for the whole chunk in vector lanes, off the store's
+    const std::vector<Envelope>* candidate_envelopes =
+        plan.band_slot == StoredDataset::kNoBand
+            ? nullptr
+            : &shard.envelopes[plan.band_slot];
+    // Rung-1 LB_Kim for the whole chunk in vector lanes, off the shard's
     // contiguous head/tail caches. The values are independent of the
     // running bound, so hoisting them changes no kill decision, and the
     // per-candidate call counting below (including its interaction with
@@ -387,8 +416,8 @@ struct QueryEngine::Impl {
     if (batched_kim) {
       WithCost(cost, [&](auto c) {
         simd::LbKimBatch<decltype(c)>(
-            query.front(), query.back(), stored.head.data() + begin,
-            stored.tail.data() + begin, end - begin, kim_cache.data());
+            query.front(), query.back(), shard.head.data() + begin,
+            shard.tail.data() + begin, end - begin, kim_cache.data());
       });
     }
     for (size_t i = begin; i < end; ++i) {
@@ -398,29 +427,32 @@ struct QueryEngine::Impl {
       // The pruning threshold: anything with distance strictly above it
       // cannot enter the answer. Range queries use the fixed request
       // threshold; 1nn combines the shared bound with the chunk-local
-      // best; knn uses the chunk-local k-th best.
+      // best; knn uses the chunk-local k-th best. All three are valid
+      // upper bounds no matter how candidates are partitioned into
+      // chunks or shards, and the tests are STRICT, so re-sharding can
+      // change which candidates get pruned but never the answer.
       const double bound =
           plan.is_range ? request.threshold
                         : std::min(plan.shared.Get(), out.KthBound(plan.k));
       double distance;
       if (plan.cascade) {
-        const std::span<const double> candidate = stored.data[i].view();
+        const std::span<const double> candidate = shard.data[i].view();
         WARP_COUNT(obs::Counter::kLbKimCalls);
         if (query.size() == 1) {
-          distance = PointCost(query[0], stored.head[i], cost);
+          distance = PointCost(query[0], shard.head[i], cost);
         } else {
           const double kim =
               batched_kim
                   ? kim_cache[i - begin]
-                  : PointCost(query[0], stored.head[i], cost) +
-                        PointCost(query[query.size() - 1], stored.tail[i],
+                  : PointCost(query[0], shard.head[i], cost) +
+                        PointCost(query[query.size() - 1], shard.tail[i],
                                   cost);
           if (kim > bound) {
             WARP_COUNT(obs::Counter::kLbKimKills);
             continue;
           }
-          if (plan.candidate_envelopes != nullptr &&
-              LbKeogh((*plan.candidate_envelopes)[i], query, cost, bound) >
+          if (candidate_envelopes != nullptr &&
+              LbKeogh((*candidate_envelopes)[i], query, cost, bound) >
                   bound) {
             WARP_COUNT(obs::Counter::kLbKeoghKills);
             continue;
@@ -438,22 +470,29 @@ struct QueryEngine::Impl {
           WARP_COUNT(obs::Counter::kCascadeFullDtw);
         }
       } else {
-        distance = plan.measure(query, stored.data[i].view());
+        distance = plan.measure(query, shard.data[i].view());
       }
+      // Hits carry GLOBAL series indices, so the gather merge and the
+      // (distance, index) total order are shard-layout-independent.
+      const size_t global = shard.global_index[i];
       if (plan.is_range) {
         if (distance <= request.threshold) {
-          out.hits.push_back({i, stored.data[i].label(), distance});
+          out.hits.push_back({global, shard.data[i].label(), distance});
         }
       } else {
-        out.AddTopK({i, stored.data[i].label(), distance}, plan.k);
+        out.AddTopK({global, shard.data[i].label(), distance}, plan.k);
         if (plan.k == 1) plan.shared.Lower(distance);
       }
     }
   }
 
-  // Chunk-order merge on the calling thread: deterministic at any thread
-  // count and identical between the candidate-parallel and flattened
-  // batch paths.
+  // Chunk-order gather merge on the calling thread: deterministic at any
+  // thread count and identical between the candidate-parallel and
+  // flattened batch paths. Shard-layout-independent too: top-k merging
+  // selects the k smallest under the strict (distance, index) order (a
+  // set property), and range hits are re-sorted into global index order
+  // below (a no-op at 1 shard, where chunk concatenation is already
+  // index-ordered).
   ServeResponse MergeScan(ScanPlan& plan) {
     const Stopwatch merge_watch;
     const ServeRequest& request = *plan.request;
@@ -461,7 +500,7 @@ struct QueryEngine::Impl {
     response.id = request.id;
     response.op = request.op;
     response.ok = true;
-    response.total = plan.stored->data.size();
+    response.total = plan.stored->size();
     for (const ChunkHits& chunk : plan.chunks) {
       response.scanned += chunk.scanned;
     }
@@ -469,11 +508,20 @@ struct QueryEngine::Impl {
     if (response.partial) {
       WARP_COUNT(obs::Counter::kServeDeadlineExceeded);
     }
+    size_t shard_scans = 0;
+    for (const ShardSlice& slice : plan.slices) {
+      if (slice.shard->size() > 0) ++shard_scans;
+    }
+    WARP_COUNT_ADD(obs::Counter::kServeShardScans, shard_scans);
     if (plan.is_range) {
       for (ChunkHits& chunk : plan.chunks) {
         response.neighbors.insert(response.neighbors.end(),
                                   chunk.hits.begin(), chunk.hits.end());
       }
+      std::sort(response.neighbors.begin(), response.neighbors.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.index < b.index;
+                });
     } else {
       ChunkHits merged;
       for (const ChunkHits& chunk : plan.chunks) {
@@ -491,14 +539,45 @@ struct QueryEngine::Impl {
     return response;
   }
 
+  // One schedulable chunk of one plan: a contiguous local candidate run
+  // inside one shard slice. Both execution paths (single request, batch)
+  // flatten their plans into a list of these and fan the list out.
+  struct ScanUnit {
+    ScanPlan* plan;
+    size_t slice;  // Index into plan->slices.
+    size_t begin;
+    size_t end;  // Local candidate range within the shard.
+  };
+
+  static void AppendUnits(ScanPlan* plan, std::vector<ScanUnit>* units) {
+    for (size_t s = 0; s < plan->slices.size(); ++s) {
+      const size_t count = plan->slices[s].shard->size();
+      for (size_t begin = 0; begin < count; begin += kScanGrain) {
+        units->push_back(
+            {plan, s, begin, std::min(begin + kScanGrain, count)});
+      }
+    }
+  }
+
+  void RunUnits(const std::vector<ScanUnit>& units, const ExecContext& ctx) {
+    ParallelFor(ctx.pool, 0, units.size(), 1,
+                [&](size_t begin, size_t end, size_t worker) {
+                  for (size_t u = begin; u < end; ++u) {
+                    const ScanUnit& unit = units[u];
+                    ScanRange(*unit.plan, unit.plan->slices[unit.slice],
+                              unit.begin, unit.end,
+                              WorkspaceFor(ctx, worker));
+                  }
+                });
+  }
+
   ServeResponse ExecuteScan(const ServeRequest& request,
                             const StoredDataset& stored,
                             const ExecContext& ctx) {
     const std::unique_ptr<ScanPlan> plan = PrepareScan(request, stored);
-    ParallelFor(ctx.pool, 0, stored.data.size(), kScanGrain,
-                [&](size_t begin, size_t end, size_t worker) {
-                  ScanRange(*plan, begin, end, WorkspaceFor(ctx, worker));
-                });
+    std::vector<ScanUnit> units;
+    AppendUnits(plan.get(), &units);
+    RunUnits(units, ctx);
     return MergeScan(*plan);
   }
 
@@ -669,27 +748,13 @@ void QueryEngine::RunBatch(const std::vector<ServeRequest>& requests,
     }
     if (plans.empty()) continue;
 
-    struct Unit {
-      Impl::ScanPlan* plan;
-      size_t begin;
-      size_t end;
-    };
-    std::vector<Unit> units;
+    std::vector<Impl::ScanUnit> units;
     for (const std::unique_ptr<Impl::ScanPlan>& plan : plans) {
-      const size_t count = plan->stored->data.size();
-      for (size_t begin = 0; begin < count; begin += kScanGrain) {
-        units.push_back(
-            {plan.get(), begin, std::min(begin + kScanGrain, count)});
-      }
+      Impl::AppendUnits(plan.get(), &units);
     }
-    ParallelFor(impl_->pool.get(), 0, units.size(), 1,
-                [&](size_t begin, size_t end, size_t worker) {
-                  for (size_t u = begin; u < end; ++u) {
-                    impl_->ScanRange(*units[u].plan, units[u].begin,
-                                     units[u].end,
-                                     impl_->workspaces[worker]);
-                  }
-                });
+    Impl::ExecContext scan_ctx;
+    scan_ctx.pool = impl_->pool.get();
+    impl_->RunUnits(units, scan_ctx);
     for (const std::unique_ptr<Impl::ScanPlan>& plan : plans) {
       ServeResponse response = impl_->MergeScan(*plan);
       if (impl_->cache != nullptr) {

@@ -20,6 +20,7 @@
 #include "warp/serve/query_engine.h"
 #include "warp/serve/result_cache.h"
 #include "warp/serve/slowlog.h"
+#include "warp/serve/snapshot.h"
 #include "warp/ts/io.h"
 
 namespace warp {
@@ -48,6 +49,7 @@ std::vector<size_t> BandsFromFractions(const std::vector<double>& fractions,
 struct Server::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)),
+        store(options.shards),
         cache(options.cache_capacity),
         slowlog(options.slowlog_capacity),
         engine(&store, options.cache_capacity > 0 ? &cache : nullptr,
@@ -100,9 +102,10 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
           .Key("ok").Bool(true)
           .Key("op").String("info")
           .Key("dataset").String(snapshot->name)
-          .Key("size").Uint(snapshot->data.size())
+          .Key("size").Uint(snapshot->size())
           .Key("length").Uint(snapshot->uniform_length)
           .Key("epoch").Uint(snapshot->epoch)
+          .Key("shards").Uint(snapshot->shard_count())
           .Key("bands").BeginArray();
       for (size_t band : snapshot->bands) writer.Uint(band);
       writer.EndArray().EndObject();
@@ -128,10 +131,16 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
       using obs::Counter;
       for (Counter counter : {Counter::kServeRequests, Counter::kServeBatches,
                               Counter::kServeBatchedQueries,
-                              Counter::kServeDeadlineExceeded}) {
+                              Counter::kServeDeadlineExceeded,
+                              Counter::kServeShardScans,
+                              Counter::kServeSnapshotSaves,
+                              Counter::kServeSnapshotLoads}) {
         writer.Key(obs::CounterName(counter)).Uint(counters.Get(counter));
       }
       writer.EndObject()
+          .Key("shards").BeginObject()
+          .Key("count").Uint(store.shard_count())
+          .EndObject()
           .Key("cache").BeginObject()
           .Key("size").Uint(cache.size())
           .Key("capacity").Uint(cache.capacity())
@@ -238,9 +247,59 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
           .Key("ok").Bool(true)
           .Key("op").String("load")
           .Key("dataset").String(snapshot->name)
-          .Key("size").Uint(snapshot->data.size())
+          .Key("size").Uint(snapshot->size())
           .Key("length").Uint(snapshot->uniform_length)
           .Key("epoch").Uint(snapshot->epoch)
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kSaveSnapshot: {
+      std::shared_ptr<const StoredDataset> snapshot =
+          store.Get(parsed.dataset);
+      if (snapshot == nullptr) {
+        return FormatErrorLine(parsed.id,
+                               "unknown dataset: '" + parsed.dataset + "'");
+      }
+      std::string error;
+      SnapshotMeta meta;
+      if (!SaveSnapshot(*snapshot, parsed.path, &error, &meta)) {
+        return FormatErrorLine(parsed.id, "save_snapshot failed: " + error);
+      }
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("save_snapshot")
+          .Key("dataset").String(meta.dataset)
+          .Key("path").String(parsed.path)
+          .Key("series").Uint(meta.series)
+          .Key("payload_bytes").Uint(meta.payload_bytes)
+          .EndObject();
+      return writer.TakeOutput();
+    }
+    case ControlOp::kLoadSnapshot: {
+      DatasetIndex index;
+      SnapshotMeta meta;
+      std::string error;
+      if (!LoadSnapshot(parsed.path, &index, &meta, &error)) {
+        // Refuse-don't-guess: the snapshot layer's precise reason goes
+        // back to the client; the store is untouched.
+        return FormatErrorLine(parsed.id, "load_snapshot failed: " + error);
+      }
+      const std::string name =
+          parsed.dataset.empty() ? meta.dataset : parsed.dataset;
+      std::shared_ptr<const StoredDataset> snapshot =
+          store.RegisterIndex(name, std::move(index));
+      obs::JsonWriter writer;
+      writer.BeginObject()
+          .Key("id").Int(parsed.id)
+          .Key("ok").Bool(true)
+          .Key("op").String("load_snapshot")
+          .Key("dataset").String(snapshot->name)
+          .Key("size").Uint(snapshot->size())
+          .Key("length").Uint(snapshot->uniform_length)
+          .Key("epoch").Uint(snapshot->epoch)
+          .Key("shards").Uint(snapshot->shard_count())
           .EndObject();
       return writer.TakeOutput();
     }
@@ -363,6 +422,25 @@ bool Server::LoadDataset(const std::string& name, const std::string& path,
   const size_t length = dataset.UniformLength();
   impl_->store.Register(name, std::move(dataset),
                         BandsFromFractions(fractions, length));
+  return true;
+}
+
+bool Server::LoadSnapshotFile(const std::string& name,
+                              const std::string& path, std::string* error) {
+  DatasetIndex index;
+  SnapshotMeta meta;
+  if (!LoadSnapshot(path, &index, &meta, error)) return false;
+  impl_->store.RegisterIndex(name.empty() ? meta.dataset : name,
+                             std::move(index));
+  return true;
+}
+
+bool Server::LoadSnapshotDir(const std::string& dir, std::string* error) {
+  std::vector<std::string> paths;
+  if (!ListSnapshotFiles(dir, &paths, error)) return false;
+  for (const std::string& path : paths) {
+    if (!LoadSnapshotFile("", path, error)) return false;
+  }
   return true;
 }
 

@@ -29,6 +29,7 @@ namespace serve {
 struct ServerOptions {
   uint16_t port = 0;           // 0 = kernel-assigned; see Server::port().
   size_t threads = 1;          // Query-engine worker threads.
+  size_t shards = 1;           // Store shards per dataset (>= 1).
   size_t cache_capacity = 256; // Result-cache entries; 0 disables caching.
   size_t slowlog_capacity = 32; // Slow-query log entries; 0 disables it.
 
@@ -55,6 +56,18 @@ class Server {
   bool LoadDataset(const std::string& name, const std::string& path,
                    const std::vector<double>& band_fractions,
                    std::string* error);
+
+  // Registers a dataset from a warp-snap-v1 file (bit-exact index, no
+  // recomputation; the store re-shards it at its configured shard
+  // count). `name` overrides the name stored in the file when non-empty.
+  // Refuses — false + *error, store unchanged — on any mismatch.
+  bool LoadSnapshotFile(const std::string& name, const std::string& path,
+                        std::string* error);
+
+  // Auto-load: registers every *.wsnap file directly inside `dir`, in
+  // sorted filename order, each under its stored dataset name. Stops at
+  // the first failure.
+  bool LoadSnapshotDir(const std::string& dir, std::string* error);
 
   // Binds the listener. Returns false and fills *error on failure.
   bool Start(std::string* error);

@@ -34,9 +34,9 @@ std::vector<double> ReferenceDistances(const StoredDataset& stored,
   const std::vector<double> query =
       request.znormalize ? ZNormalized(request.query) : request.query;
   const SeriesMeasure measure = MakeMeasure(request.measure, request.params);
-  std::vector<double> distances(stored.data.size());
-  for (size_t i = 0; i < stored.data.size(); ++i) {
-    distances[i] = measure(query, stored.data[i].view());
+  std::vector<double> distances(stored.size());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    distances[i] = measure(query, stored.SeriesAt(i).view());
   }
   return distances;
 }
@@ -103,7 +103,7 @@ TEST_F(QueryEngineTest, OneNnMatchesBruteForceBitwise) {
     ASSERT_EQ(response.neighbors.size(), 1u);
     EXPECT_EQ(response.neighbors[0].index, best);
     EXPECT_EQ(response.neighbors[0].distance, reference[best]);
-    EXPECT_EQ(response.neighbors[0].label, snapshot->data[best].label());
+    EXPECT_EQ(response.neighbors[0].label, snapshot->SeriesAt(best).label());
   });
 }
 
@@ -174,7 +174,7 @@ TEST_F(QueryEngineTest, DistMatchesDirectMeasureCall) {
   const auto snapshot = store_.Get("train");
   const double expected =
       MakeMeasure(request.measure, request.params)(
-          ZNormalized(request.query), snapshot->data[13].view());
+          ZNormalized(request.query), snapshot->SeriesAt(13).view());
 
   RunAllWays(request, [&](const ServeResponse& response) {
     ASSERT_TRUE(response.ok) << response.error;
@@ -194,7 +194,7 @@ TEST_F(QueryEngineTest, SubsequenceMatchesFindBestMatch) {
   const size_t band = static_cast<size_t>(
       std::lround(request.params.window_fraction * 32.0));
   const SubsequenceMatch expected =
-      FindBestMatch(snapshot->data[1].view(), ZNormalized(request.query),
+      FindBestMatch(snapshot->SeriesAt(1).view(), ZNormalized(request.query),
                     band, request.params.cost, nullptr);
 
   RunAllWays(request, [&](const ServeResponse& response) {

@@ -101,9 +101,9 @@ TEST(ServerLoopbackTest, GoldenRoundTripMatchesDirectLibraryCall) {
     const auto reference = [&](const std::vector<double>& query) {
       const std::vector<double> z = ZNormalized(query);
       size_t best = 0;
-      double best_distance = measure(z, snapshot->data[0].view());
-      for (size_t i = 1; i < snapshot->data.size(); ++i) {
-        const double d = measure(z, snapshot->data[i].view());
+      double best_distance = measure(z, snapshot->SeriesAt(0).view());
+      for (size_t i = 1; i < snapshot->size(); ++i) {
+        const double d = measure(z, snapshot->SeriesAt(i).view());
         if (d < best_distance) {
           best = i;
           best_distance = d;

@@ -1,0 +1,185 @@
+// Sharding golden tests: every query op must produce bitwise-identical
+// answers at any shard count and any thread count. Each response is
+// reduced to a hexfloat digest ("%a" never rounds a double) and compared
+// against the 1-shard/1-thread baseline — so a scheduling- or
+// partition-dependent merge shows up as a digest diff, not a flaky
+// tolerance failure. Also holds the ResultCache contract: the key
+// excludes shard count, so a hit recorded at 1 shard answers a 4-shard
+// engine bitwise-identically.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "warp/gen/random_walk.h"
+#include "warp/serve/dataset_store.h"
+#include "warp/serve/query_engine.h"
+#include "warp/serve/result_cache.h"
+
+namespace warp {
+namespace serve {
+namespace {
+
+constexpr size_t kSeries = 50;
+constexpr size_t kLength = 64;
+
+std::string Hex(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", v);
+  return buffer;
+}
+
+// Everything answer-bearing in a response, bit-exact. Timings (trace) are
+// deliberately excluded: they are the one legitimately nondeterministic
+// part of a response.
+std::string Digest(const ServeResponse& response) {
+  std::string d = response.ok ? "ok" : "err:" + response.error;
+  d += response.partial ? " partial" : " full";
+  d += " scanned=" + std::to_string(response.scanned);
+  d += " total=" + std::to_string(response.total);
+  for (const Neighbor& n : response.neighbors) {
+    d += " (" + std::to_string(n.index) + "," + std::to_string(n.label) +
+         "," + Hex(n.distance) + ")";
+  }
+  d += " dist=" + Hex(response.distance);
+  d += " pos=" + std::to_string(response.position);
+  return d;
+}
+
+class ShardGoldenTest : public ::testing::Test {
+ protected:
+  // Registers the fixture datasets into a store of the given width.
+  static void Fill(DatasetStore* store) {
+    store->Register("train", gen::RandomWalkDataset(kSeries, kLength, 21),
+                    {6});
+    store->Register("long", gen::RandomWalkDataset(2, 256, 5), {});
+  }
+
+  // The five query ops. `threshold` parameterizes range (derived once
+  // from the baseline 1nn distance, so it is itself deterministic).
+  static std::vector<ServeRequest> Requests(double threshold) {
+    const std::vector<double> query =
+        gen::RandomWalkDataset(1, kLength, 77)[0].values();
+    std::vector<ServeRequest> requests;
+
+    ServeRequest r;
+    r.dataset = "train";
+    r.query = query;
+
+    r.op = QueryOp::k1Nn;
+    requests.push_back(r);
+
+    r.op = QueryOp::kKnn;
+    r.k = 5;
+    requests.push_back(r);
+
+    r.op = QueryOp::kRange;
+    r.threshold = threshold;
+    requests.push_back(r);
+
+    r = requests[0];
+    r.op = QueryOp::kDist;
+    r.index = 13;
+    requests.push_back(r);
+
+    r.op = QueryOp::kSubsequence;
+    r.dataset = "long";
+    r.index = 1;
+    r.query = gen::RandomWalkDataset(1, 32, 9)[0].values();
+    requests.push_back(r);
+    return requests;
+  }
+};
+
+TEST_F(ShardGoldenTest, EveryOpIsBitwiseIdenticalAtAnyShardAndThreadCount) {
+  // Baseline: one shard, one thread.
+  DatasetStore baseline_store(1);
+  Fill(&baseline_store);
+  QueryEngine baseline(&baseline_store, nullptr, 1);
+
+  ServeRequest probe;
+  probe.op = QueryOp::k1Nn;
+  probe.dataset = "train";
+  probe.query = gen::RandomWalkDataset(1, kLength, 77)[0].values();
+  const ServeResponse nearest = baseline.Run(probe);
+  ASSERT_TRUE(nearest.ok) << nearest.error;
+  // Wide enough for several hits, derived bitwise-deterministically.
+  const double threshold = nearest.neighbors[0].distance * 1.5;
+
+  const std::vector<ServeRequest> requests = Requests(threshold);
+  std::vector<std::string> golden;
+  for (const ServeRequest& request : requests) {
+    const ServeResponse response = baseline.Run(request);
+    ASSERT_TRUE(response.ok) << response.error;
+    golden.push_back(Digest(response));
+  }
+  // The range threshold really selects more than one neighbor; otherwise
+  // the merge order under test is vacuous.
+  EXPECT_GT(golden[2].size(), golden[0].size());
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    DatasetStore store(shards);
+    Fill(&store);
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      QueryEngine engine(&store, nullptr, threads);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE("op " + std::to_string(i));
+        EXPECT_EQ(Digest(engine.Run(requests[i])), golden[i]);
+      }
+      // The batch path scatters all plans' units into one pool run; it
+      // must land on the same bits.
+      std::vector<ServeResponse> responses;
+      engine.RunBatch(requests, &responses);
+      ASSERT_EQ(responses.size(), requests.size());
+      for (size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE("batched op " + std::to_string(i));
+        EXPECT_EQ(Digest(responses[i]), golden[i]);
+      }
+    }
+  }
+}
+
+// The cache key includes the dataset epoch but deliberately not the shard
+// count: sharding is an execution detail, not part of the answer. A hit
+// recorded by a 1-shard engine must satisfy a 4-shard engine bitwise.
+TEST_F(ShardGoldenTest, CacheHitsCrossShardCounts) {
+  DatasetStore narrow(1);
+  DatasetStore wide(4);
+  const Dataset raw = gen::RandomWalkDataset(kSeries, kLength, 21);
+  narrow.Register("train", raw, {6});
+  wide.Register("train", raw, {6});  // Same first epoch in both stores.
+
+  ResultCache cache(8);
+  QueryEngine narrow_engine(&narrow, &cache, 1);
+  QueryEngine wide_engine(&wide, &cache, 2);
+
+  ServeRequest request;
+  request.op = QueryOp::kKnn;
+  request.k = 4;
+  request.dataset = "train";
+  request.query = gen::RandomWalkDataset(1, kLength, 77)[0].values();
+  request.trace = true;  // Excluded from the key; exposes from_cache.
+
+  const ServeResponse computed = narrow_engine.Run(request);
+  ASSERT_TRUE(computed.ok) << computed.error;
+  EXPECT_FALSE(computed.trace.from_cache);
+  ASSERT_EQ(cache.size(), 1u);
+
+  const ServeResponse hit = wide_engine.Run(request);
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.trace.from_cache);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(Digest(hit), Digest(computed));
+
+  // And the wide engine would have computed those same bits itself.
+  QueryEngine uncached(&wide, nullptr, 2);
+  EXPECT_EQ(Digest(uncached.Run(request)), Digest(computed));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace warp

@@ -149,20 +149,27 @@ TEST(StatsGoldenTest, StatsSchemaAndDeterministicFieldsArePinned) {
   EXPECT_EQ(stats.BoolOr("profiling", !obs::kProfilingEnabled),
             obs::kProfilingEnabled);
 
-  // Counters: exactly the four engine counters. The serve_cache_* registry
-  // counters must NOT appear — the per-instance cache object below is the
-  // single source of truth for cache behavior in this op.
+  // Counters: exactly the seven engine/shard/snapshot counters. The
+  // serve_cache_* registry counters must NOT appear — the per-instance
+  // cache object below is the single source of truth for cache behavior
+  // in this op.
   const JsonValue* counters = stats.Find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_EQ(counters->AsObject().size(), 4u);
+  EXPECT_EQ(counters->AsObject().size(), 7u);
   for (const char* key : {"serve_requests", "serve_batches",
                           "serve_batched_queries",
-                          "serve_deadline_exceeded"}) {
+                          "serve_deadline_exceeded", "serve_shard_scans",
+                          "serve_snapshot_saves", "serve_snapshot_loads"}) {
     EXPECT_NE(counters->Find(key), nullptr) << key;
   }
   EXPECT_EQ(counters->Find("serve_cache_hits"), nullptr);
   EXPECT_EQ(counters->Find("serve_cache_misses"), nullptr);
   EXPECT_EQ(counters->Find("serve_cache_evictions"), nullptr);
+
+  // Shards: this server runs the default single-shard store.
+  const JsonValue* shards = stats.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->NumberOr("count", -1), 1.0);
 
   // Cache: per-instance, so exact values are deterministic.
   const JsonValue* cache = stats.Find("cache");

@@ -1,0 +1,9 @@
+#include <fstream>
+
+namespace warp {
+namespace serve {
+void* Leak(const char* path) {
+  return fopen(path, "wb");
+}
+}  // namespace serve
+}  // namespace warp

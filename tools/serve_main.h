@@ -8,11 +8,15 @@
 //   --port=N        listen port (default 0 = kernel-assigned; the bound
 //                   port is printed on the "listening" line)
 //   --threads=N     query-engine workers (default 1; 0 = all cores)
+//   --shards=N      store shards per dataset (default 1; must be a
+//                   positive integer — anything else exits 2)
 //   --cache=N       result-cache capacity in entries (default 256; 0 off)
 //   --bands=F,F     window fractions indexed per dataset (default .05,.1)
 //   --data=NAME=PATH         load a UCR file (repeatable)
 //   --gen=NAME=COUNT,LEN[,SEED]  synthesize a random-walk dataset
 //                   (repeatable; default seed 42)
+//   --snapshot-dir=PATH  auto-register every *.wsnap snapshot in PATH at
+//                   startup (sorted filename order; docs/SERVING.md)
 //   --simd=MODE     SIMD kernel dispatch: on | off | auto (default auto;
 //                   docs/SIMD.md)
 
@@ -71,12 +75,27 @@ inline int ServeToolMain(const ToolFlags& flags) {
   serve::ServerOptions options;
   std::vector<std::pair<std::string, std::string>> data_specs;
   std::vector<std::string> gen_specs;
+  std::vector<std::string> snapshot_dirs;
   for (const auto& [key, value] : flags) {
     if (key == "port") {
       options.port = static_cast<uint16_t>(std::strtol(value.c_str(), nullptr, 10));
     } else if (key == "threads") {
       const long n = std::strtol(value.c_str(), nullptr, 10);
       options.threads = n < 0 ? 0 : static_cast<size_t>(n);
+    } else if (key == "shards") {
+      // Shard count shapes the store's partition; a typo silently
+      // coerced to 1 would be a misconfiguration the operator never
+      // sees, so validation failures exit 2 like any invalid flag.
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "warp_serve: invalid --shards=%s (expected a positive "
+                     "integer)\n",
+                     value.c_str());
+        return 2;
+      }
+      options.shards = static_cast<size_t>(n);
     } else if (key == "cache") {
       const long n = std::strtol(value.c_str(), nullptr, 10);
       options.cache_capacity = n < 0 ? 0 : static_cast<size_t>(n);
@@ -91,6 +110,8 @@ inline int ServeToolMain(const ToolFlags& flags) {
       data_specs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (key == "gen") {
       gen_specs.push_back(value);
+    } else if (key == "snapshot-dir") {
+      snapshot_dirs.push_back(value);
     } else if (key == "profile") {
       // Consumed by warp_cli's Main (snapshot + print around this call)
       // so `warp_cli serve --profile` profiles an in-process server run;
@@ -112,6 +133,16 @@ inline int ServeToolMain(const ToolFlags& flags) {
   }
 
   serve::Server server(std::move(options));
+  for (const std::string& dir : snapshot_dirs) {
+    std::string error;
+    if (!server.LoadSnapshotDir(dir, &error)) {
+      // Refuse-don't-guess: a corrupt or incompatible snapshot stops
+      // startup rather than silently serving a partial dataset list.
+      std::fprintf(stderr, "warp_serve: --snapshot-dir=%s: %s\n", dir.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
   for (const auto& [name, path] : data_specs) {
     std::string error;
     if (!server.LoadDataset(name, path, {}, &error)) {

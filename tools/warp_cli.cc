@@ -89,18 +89,21 @@ COMMANDS
     --json            machine-readable JSON array instead of the table
 
   serve               Run the loopback query server (docs/SERVING.md).
-                      Same flags as warp_serve: --port --threads --cache
-                      --bands --data=NAME=PATH --gen=NAME=COUNT,LEN[,SEED]
+                      Same flags as warp_serve: --port --threads --shards
+                      --cache --bands --data=NAME=PATH
+                      --gen=NAME=COUNT,LEN[,SEED] --snapshot-dir=PATH
 
   query               Talk to a running server.
     --port=N          server port (required; scrape the listening line)
     --op=OP           1nn | knn | range | dist | subsequence | ping |
-                      info | stats | load | shutdown. Omit --op to pipe
-                      raw request lines from stdin (pipelined lines are
-                      answered as one server batch).
+                      info | stats | load | save_snapshot | load_snapshot |
+                      shutdown. Omit --op to pipe raw request lines from
+                      stdin (pipelined lines are answered as one server
+                      batch).
     --dataset=NAME    target dataset; --query-file=PATH query series
     --measure=M --window=F --band=N --k=N --index=N --threshold=F
-    --deadline-ms=F --znorm=BOOL --id=N --path=P (for --op=load)
+    --deadline-ms=F --znorm=BOOL --id=N
+    --path=P (for --op=load / save_snapshot / load_snapshot)
 
 GLOBAL FLAGS
   --profile           After the command, print the work-counter report

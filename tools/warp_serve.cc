@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
         "warp_serve — loopback DTW query server (docs/SERVING.md)\n"
         "  --port=N                 listen port (default 0 = auto)\n"
         "  --threads=N              engine workers (default 1; 0 = cores)\n"
+        "  --shards=N               store shards per dataset (default 1)\n"
         "  --cache=N                result-cache entries (default 256)\n"
         "  --bands=F,F              indexed window fractions (default .05,.1)\n"
         "  --data=NAME=PATH         serve a UCR file (repeatable)\n"
-        "  --gen=NAME=COUNT,LEN[,SEED]  serve a synthetic random-walk set\n",
+        "  --gen=NAME=COUNT,LEN[,SEED]  serve a synthetic random-walk set\n"
+        "  --snapshot-dir=PATH      auto-load *.wsnap snapshots at startup\n",
         stdout);
     return 0;
   }
