@@ -31,19 +31,25 @@
 // and any --threads; only the latency distribution differs.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "harness/bench_flags.h"
+#include "warp/cluster/router.h"
+#include "warp/cluster/supervisor.h"
 #include "warp/common/stopwatch.h"
 #include "warp/gen/random_walk.h"
 #include "warp/common/metrics.h"
 #include "warp/obs/report.h"
 #include "warp/serve/batcher.h"
 #include "warp/serve/dataset_store.h"
+#include "warp/serve/net.h"
+#include "warp/serve/protocol.h"
 #include "warp/serve/query_engine.h"
 #include "warp/serve/request.h"
 #include "warp/serve/result_cache.h"
@@ -303,6 +309,132 @@ int Run(int argc, char** argv) {
     sharded.emplace_back(shard_count, best);
   }
 
+  // --- routerN: the batched clients again, but over TCP against the
+  // multi-process cluster (router + N warp_serve shard workers spawned
+  // from a snapshot). Pays wire parsing and scatter/gather on top of
+  // shardedN's scan plans; the digest check below cross-checks that the
+  // cluster's answer still has not moved by a bit.
+  std::vector<std::pair<size_t, CaseResult>> routed;
+  {
+    const std::string snap_dir = "bench_serve_router_snaps";
+    std::error_code fs_error;
+    std::filesystem::create_directories(snap_dir, fs_error);
+    std::string error;
+    if (fs_error || !serve::SaveSnapshot(*store.Get("bench"),
+                                         snap_dir + "/bench.wsnap", &error)) {
+      std::fprintf(stderr, "FATAL: router snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    std::vector<std::string> lines(queries);
+    for (size_t i = 0; i < queries; ++i) {
+      lines[i] = serve::FormatRequest(requests[i]);
+    }
+    for (const size_t shard_count : {size_t{2}, size_t{4}}) {
+      cluster::SupervisorOptions sup;
+      sup.shards = shard_count;
+      sup.threads = threads;
+      sup.worker_binary = WARP_SERVE_PATH;
+      sup.snapshot_dir = snap_dir;
+      cluster::Supervisor supervisor(sup);
+      if (!supervisor.Start(&error)) {
+        std::fprintf(stderr, "FATAL: supervisor: %s\n", error.c_str());
+        return 1;
+      }
+      cluster::Router router(cluster::RouterOptions{}, &supervisor);
+      if (!router.Start(&error)) {
+        std::fprintf(stderr, "FATAL: router: %s\n", error.c_str());
+        return 1;
+      }
+      std::thread router_thread([&router] { router.Serve(); });
+
+      const std::string name = "router" + std::to_string(shard_count);
+      CaseResult best;
+      std::string case_digest;
+      bool have_best = false;
+      obs::MetricsSnapshot before = obs::SnapshotCounters();
+      obs::HistogramSnapshot histograms_before = obs::SnapshotHistograms();
+      for (size_t rep = 0; rep < repeats; ++rep) {
+        std::vector<std::vector<double>> samples(clients);
+        std::vector<std::string> digests(clients);
+        std::atomic<bool> broken{false};
+        Stopwatch wall;
+        std::vector<std::thread> senders;
+        senders.reserve(clients);
+        for (size_t c = 0; c < clients; ++c) {
+          senders.emplace_back([&, c] {
+            std::string conn_error;
+            serve::TcpConn conn =
+                serve::ConnectLoopback(router.port(), &conn_error);
+            if (!conn.valid()) {
+              broken = true;
+              return;
+            }
+            // Client c pipelines its whole slice in one write, like the
+            // `batched` case's single Execute.
+            std::string payload;
+            std::vector<size_t> slice;
+            for (size_t i = c; i < queries; i += clients) {
+              payload += lines[i];
+              payload += '\n';
+              slice.push_back(i);
+            }
+            Stopwatch watch;
+            if (!conn.WriteAll(payload)) {
+              broken = true;
+              return;
+            }
+            for (size_t at = 0; at < slice.size(); ++at) {
+              std::string line;
+              if (!conn.ReadLine(&line)) {
+                broken = true;
+                return;
+              }
+              if (slice[at] == 0) {
+                serve::ServeResponse parsed;
+                std::string parse_error;
+                if (!serve::ParseResponseLine(line, &parsed, &parse_error) ||
+                    !parsed.ok) {
+                  broken = true;
+                  return;
+                }
+                digests[c] = digest(parsed);
+              }
+            }
+            samples[c].assign(slice.size(), watch.ElapsedSeconds());
+          });
+        }
+        for (std::thread& sender : senders) sender.join();
+        if (broken) {
+          std::fprintf(stderr, "FATAL: %s round trip failed\n", name.c_str());
+          return 1;
+        }
+        CaseResult result;
+        result.wall_seconds = wall.ElapsedSeconds();
+        std::vector<double> merged;
+        for (const std::vector<double>& s : samples) {
+          merged.insert(merged.end(), s.begin(), s.end());
+        }
+        result.latency = SummarizeSamples(merged);
+        for (const std::string& d : digests) {
+          if (!d.empty()) case_digest = d;
+        }
+        if (!have_best || result.wall_seconds < best.wall_seconds) {
+          best = result;
+          have_best = true;
+        }
+      }
+      report.AddCase(name, best.latency, obs::CountersSince(before),
+                     obs::HistogramsSince(histograms_before));
+      checks.push_back(case_digest);
+      routed.emplace_back(shard_count, best);
+
+      router.RequestShutdown();
+      router_thread.join();
+      supervisor.Stop();
+    }
+    std::filesystem::remove_all(snap_dir, fs_error);
+  }
+
   // --- cold start vs snapshot restore: time-to-first-query. Cold start
   // re-parses the UCR text and rebuilds the whole LB index (z-norm +
   // envelopes); restore reads the warp-snap-v1 file and only re-partitions
@@ -378,6 +510,10 @@ int Run(int argc, char** argv) {
     report.AddConfig("sharded" + std::to_string(shard_count) + "_qps",
                      qps(result));
   }
+  for (const auto& [shard_count, result] : routed) {
+    report.AddConfig("router" + std::to_string(shard_count) + "_qps",
+                     qps(result));
+  }
   report.AddConfig("cold_start_ms", cold_start_seconds * 1e3);
   report.AddConfig("snapshot_restore_ms", restore_seconds * 1e3);
   report.AddConfig("restore_speedup", cold_start_seconds / restore_seconds);
@@ -401,6 +537,10 @@ int Run(int argc, char** argv) {
   std::printf("sharded (queries/s):");
   for (const auto& [shard_count, result] : sharded) {
     std::printf(" %zu shards %.1f |", shard_count, qps(result));
+  }
+  std::printf("\nrouter, multi-process (queries/s):");
+  for (const auto& [shard_count, result] : routed) {
+    std::printf(" %zu workers %.1f |", shard_count, qps(result));
   }
   std::printf("\ncold start %.2f ms | snapshot restore %.2f ms "
               "(%.2fx faster)\n",

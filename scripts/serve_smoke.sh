@@ -42,9 +42,11 @@ fail() {
 "$SERVE" --gen=smoke=40,64 --threads=2 --shards=2 --cache=128 > "$WORK/server.log" &
 SERVER_PID=$!
 
+# The bound port comes from the machine-readable "ready port=<P>" line
+# (the server binds --port=0, so nothing here hard-codes a port).
 PORT=""
 for _ in $(seq 1 100); do
-  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  PORT="$(sed -n 's/^ready port=\([0-9]*\)$/\1/p' \
       "$WORK/server.log" 2> /dev/null)"
   [ -n "$PORT" ] && break
   kill -0 "$SERVER_PID" 2> /dev/null || fail "server exited before listening"
@@ -181,7 +183,7 @@ grep -q '"ok":true,"op":"save_snapshot"' "$WORK/save.txt" \
 SERVER2_PID=$!
 PORT2=""
 for _ in $(seq 1 100); do
-  PORT2="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  PORT2="$(sed -n 's/^ready port=\([0-9]*\)$/\1/p' \
       "$WORK/server2.log" 2> /dev/null)"
   [ -n "$PORT2" ] && break
   kill -0 "$SERVER2_PID" 2> /dev/null \

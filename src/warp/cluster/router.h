@@ -1,0 +1,75 @@
+// The cluster front end: one process speaking the ordinary serve wire
+// protocol to clients, scattering every query to the shard workers and
+// gathering their sub-scans into answers that are BITWISE-identical to a
+// single-process `--shards=N` server (docs/SERVING.md, "Multi-process
+// cluster").
+//
+// Determinism contract, layer by layer:
+//   * every sub-scan is stamped ("shard":K, "shard_epoch":E) via
+//     FormatRequest, and a worker refuses mis-routed or stale work, so an
+//     answer can only ever be assembled from the pinned partition;
+//   * 1nn/knn gather merges the workers' per-shard top-k lists in shard
+//     order under the strict (distance, index) order — a set property
+//     that reproduces the single process's shard-major chunk merge;
+//   * range hits are concatenated and re-sorted by global index, exactly
+//     the single process's final sort;
+//   * dist/subsequence go only to the owning shard
+//     (ShardRouter::Partition) and the reply is relayed field-for-field;
+//   * doubles cross the wire via FormatDouble <-> strtod, so every
+//     distance survives bit-for-bit and the re-serialized merge is
+//     byte-identical.
+//
+// Degradation: while a shard's worker is down, scan queries still answer
+// from the remaining shards with `partial:true` and `shards_missing:[K]`
+// (never cached by workers, so recovery is clean); dist/subsequence
+// targeting the dead shard fail fast with an error. Stats, metrics, and
+// slowlog fan out to every live worker and merge order-independently
+// (counter sums, bucket-wise histogram merges).
+
+#ifndef WARP_CLUSTER_ROUTER_H_
+#define WARP_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace warp {
+namespace cluster {
+
+class Supervisor;
+
+struct RouterOptions {
+  int port = 0;               // 0 = kernel-assigned; port() reports it.
+  int connect_timeout_ms = 2000;   // Per worker (re)connect.
+  int gather_timeout_ms = 60000;   // Max wait per sub-scan reply line.
+};
+
+// Accepts client connections and serves them against the supervisor's
+// workers. Start() binds the listener; Serve() blocks in the accept loop
+// until a client sends `shutdown` or RequestShutdown() is called.
+class Router {
+ public:
+  Router(const RouterOptions& options, Supervisor* supervisor);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  bool Start(std::string* error);
+  int port() const;
+  void Serve();
+  void RequestShutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Start + the "listening"/"ready port=" stdout lines + Serve, mirroring
+// serve::RunServer. Returns a process exit code.
+int RunRouter(Router* router);
+
+}  // namespace cluster
+}  // namespace warp
+
+#endif  // WARP_CLUSTER_ROUTER_H_

@@ -97,6 +97,11 @@ namespace obs {
   X(kServeShardScans, "serve_shard_scans")                 \
   X(kServeSnapshotSaves, "serve_snapshot_saves")           \
   X(kServeSnapshotLoads, "serve_snapshot_loads")           \
+  X(kServeShed, "serve_shed")                               \
+  /* Multi-process cluster (cluster/). */                   \
+  X(kClusterScatters, "cluster_scatters")                   \
+  X(kClusterWorkerRestarts, "cluster_worker_restarts")      \
+  X(kClusterPartialReplies, "cluster_partial_replies")      \
   /* SIMD kernels (warp/simd/). */                         \
   X(kSimdBlocks, "simd_blocks")                            \
   X(kSimdScalarTail, "simd_scalar_tail")

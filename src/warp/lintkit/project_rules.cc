@@ -45,6 +45,7 @@ constexpr LayerEntry kLayers[] = {
     {"core", 2},
     {"check", 3}, {"gen", 3}, {"lintkit", 3}, {"mining", 3}, {"ucr", 3},
     {"serve", 4},
+    {"cluster", 5},
 };
 // Declared intra-layer edges: the z-norm pass vectorizes through the
 // simd wrapper, and the exactness oracle validates the 1-NN classifier.
@@ -137,7 +138,7 @@ void ModuleLayeringRule(const ProjectContext& context,
                 std::to_string(from_rank) + ") may not include " + to +
                 " (rank " + std::to_string(to_rank) + ") — declared DAG: " +
                 "common -> {ts, simd, obs} -> core -> {check, gen, lintkit, "
-                "mining, ucr} -> serve");
+                "mining, ucr} -> serve -> cluster");
       }
     }
   }

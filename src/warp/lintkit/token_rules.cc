@@ -147,6 +147,38 @@ void SocketRule(const LexedFile& file, std::vector<Finding>* findings) {
   }
 }
 
+// --- proc-containment -------------------------------------------------------
+// The cluster subsystem's process-control surface (fork/exec, signals,
+// reaping) lives behind ChildProcess / SendSignal (warp/cluster/proc.h):
+// stdout piping, EINTR handling, and pid bookkeeping in one place. Raw
+// process syscalls anywhere else bypass all three.
+void ProcRule(const LexedFile& file, std::vector<Finding>* findings) {
+  if (StartsWith(file.path, "src/warp/cluster/proc.")) return;
+  static constexpr std::string_view kCalls[] = {
+      "fork",  "vfork", "execv",   "execve", "execvp",
+      "execl", "execlp", "waitpid", "kill"};
+  for (const IncludeDirective& include : file.includes) {
+    if (include.path == "sys/wait.h") {
+      Add(findings, "proc-containment", file, include.line, 1,
+          "process header <" + include.path +
+              "> outside src/warp/cluster/proc.* — go through "
+              "ChildProcess/SendSignal (warp/cluster/proc.h)");
+    }
+  }
+  for (size_t i = 0; i < file.tokens.size(); ++i) {
+    const Token& token = file.tokens[i];
+    if (token.kind != TokenKind::kIdentifier) continue;
+    for (const std::string_view call : kCalls) {
+      if (token.text == call && IsCallOf(file.tokens, i, call)) {
+        Add(findings, "proc-containment", file, token.line, token.col,
+            "raw process syscall '" + token.text +
+                "' outside src/warp/cluster/proc.* — go through "
+                "ChildProcess/SendSignal (warp/cluster/proc.h)");
+      }
+    }
+  }
+}
+
 // --- serve-io-containment ---------------------------------------------------
 // The serve subsystem's only durable-state surface is the snapshot module
 // (warp/serve/snapshot.h): versioned, checksummed, refuse-don't-guess.
@@ -247,6 +279,9 @@ const std::vector<TokenRule> kTokenRules = {
     {"socket-containment",
      "socket syscalls and headers only in src/warp/serve/net.*",
      SocketRule},
+    {"proc-containment",
+     "fork/exec/kill/waitpid only in src/warp/cluster/proc.*",
+     ProcRule},
     {"serve-io-containment",
      "file IO in src/warp/serve/ only in snapshot.*",
      ServeIoRule},

@@ -66,7 +66,9 @@ namespace obs {
   X(kServeStageSerialize, "serve_stage_serialize_us")             \
   /* Snapshot persistence (serve/snapshot.cc). */                 \
   X(kServeSnapshotSaveUs, "serve_snapshot_save_us")               \
-  X(kServeSnapshotLoadUs, "serve_snapshot_load_us")
+  X(kServeSnapshotLoadUs, "serve_snapshot_load_us")               \
+  /* Router scatter/gather round trip (cluster/router.cc). */     \
+  X(kRouterGatherUs, "router_gather_us")
 
 // One X(enumerator, json_name) entry per gauge.
 #define WARP_OBS_GAUGE_LIST(X)                  \

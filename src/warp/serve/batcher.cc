@@ -2,13 +2,16 @@
 
 #include <utility>
 
+#include "warp/common/metrics.h"
 #include "warp/obs/histogram.h"
 
 namespace warp {
 namespace serve {
 
-Batcher::Batcher(QueryEngine* engine)
-    : engine_(engine), dispatcher_([this] { DispatchLoop(); }) {}
+Batcher::Batcher(QueryEngine* engine, size_t max_queue_depth)
+    : engine_(engine),
+      max_queue_depth_(max_queue_depth),
+      dispatcher_([this] { DispatchLoop(); }) {}
 
 Batcher::~Batcher() {
   {
@@ -30,6 +33,24 @@ void Batcher::Execute(const std::vector<ServeRequest>& requests,
   submission.responses = responses;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queue_depth_ > 0 && pending_.size() >= max_queue_depth_) {
+      // Admission gate: fast-fail instead of queueing behind a batch
+      // that may be stuck on a dead shard or a pathological scan. The
+      // client sees the failure in microseconds and can back off.
+      ++shed_;
+      WARP_COUNT_ADD(obs::Counter::kServeShed, requests.size());
+      responses->clear();
+      responses->reserve(requests.size());
+      for (const ServeRequest& request : requests) {
+        ServeResponse shed;
+        shed.id = request.id;
+        shed.op = request.op;
+        shed.ok = false;
+        shed.error = "overloaded";
+        responses->push_back(std::move(shed));
+      }
+      return;
+    }
     pending_.push_back(&submission);
     submission.queued.Restart();
     // One gauge step per submission (not per request): the admission
@@ -45,6 +66,16 @@ void Batcher::Execute(const std::vector<ServeRequest>& requests,
 uint64_t Batcher::batches_dispatched() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return batches_;
+}
+
+size_t Batcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+uint64_t Batcher::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
 }
 
 void Batcher::DispatchLoop() {

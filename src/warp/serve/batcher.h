@@ -32,19 +32,32 @@ namespace serve {
 class Batcher {
  public:
   // `engine` must outlive the batcher. Starts the dispatcher thread.
-  explicit Batcher(QueryEngine* engine);
+  // `max_queue_depth` bounds the number of submissions (client
+  // pipelines, not individual requests) waiting for adoption; 0 means
+  // unbounded. A submission arriving at a full queue is shed
+  // immediately — every response comes back ok:false,
+  // error:"overloaded" — so one slow scan cannot back up the world
+  // (admission bounds time-in-queue; deadlines bound time-in-engine).
+  explicit Batcher(QueryEngine* engine, size_t max_queue_depth = 0);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
 
-  // Answers `requests` in order; blocks until every response is ready.
+  // Answers `requests` in order; blocks until every response is ready
+  // (or fast-fails them all when the queue is at max_queue_depth).
   // Thread-safe; concurrent callers coalesce into shared batches.
   void Execute(const std::vector<ServeRequest>& requests,
                std::vector<ServeResponse>* responses);
 
   // Batches dispatched so far (for tests and the bench).
   uint64_t batches_dispatched() const;
+
+  // Submissions currently waiting for adoption (for tests and stats).
+  size_t queue_depth() const;
+
+  // Submissions fast-failed at the admission gate so far.
+  uint64_t shed() const;
 
  private:
   struct Submission {
@@ -62,10 +75,12 @@ class Batcher {
   void DispatchLoop();
 
   QueryEngine* const engine_;
+  const size_t max_queue_depth_;
   mutable std::mutex mutex_;
   std::condition_variable pending_cv_;  // Signals the dispatcher.
   std::deque<Submission*> pending_;
   uint64_t batches_ = 0;
+  uint64_t shed_ = 0;
   bool stop_ = false;
   std::thread dispatcher_;
 };

@@ -1,6 +1,7 @@
 #include "warp/serve/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -71,6 +72,19 @@ bool TcpConn::ReadLine(std::string* line) {
 
 bool TcpConn::HasBufferedLine() const {
   return buffer_.find('\n') != std::string::npos;
+}
+
+bool TcpConn::WaitReadable(int timeout_ms) {
+  if (HasBufferedLine()) return true;
+  if (fd_ < 0) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int ready;
+  do {
+    ready = poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  return ready > 0;
 }
 
 bool TcpConn::WriteAll(std::string_view data) {
@@ -193,6 +207,54 @@ TcpConn ConnectLoopback(int port, std::string* error) {
     close(fd);
     return TcpConn();
   }
+  SetNoDelay(fd);
+  return TcpConn(fd);
+}
+
+TcpConn ConnectLoopbackTimeout(int port, int timeout_ms,
+                               std::string* error) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return TcpConn();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    *error = std::string("connect 127.0.0.1:") + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close(fd);
+    return TcpConn();
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready;
+    do {
+      ready = poll(&pfd, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (ready <= 0 ||
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      *error = std::string("connect 127.0.0.1:") + std::to_string(port) +
+               ": " + (ready <= 0 ? "timed out" : std::strerror(soerr));
+      close(fd);
+      return TcpConn();
+    }
+  }
+  // Back to blocking mode: callers use the same ReadLine/WriteAll
+  // discipline as ConnectLoopback connections.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
   SetNoDelay(fd);
   return TcpConn(fd);
 }

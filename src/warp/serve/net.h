@@ -42,6 +42,12 @@ class TcpConn {
   // batch.
   bool HasBufferedLine() const;
 
+  // Waits up to `timeout_ms` for the connection to become readable (data
+  // or EOF). Returns true immediately when a complete line is already
+  // buffered. The cluster supervisor's liveness pings use this so a hung
+  // worker cannot block the monitor forever.
+  bool WaitReadable(int timeout_ms);
+
   // Writes all of `data`; returns false on error.
   bool WriteAll(std::string_view data);
 
@@ -85,6 +91,11 @@ class TcpListener {
 // Connects to 127.0.0.1:`port`. Returns an invalid conn and fills *error
 // on failure.
 TcpConn ConnectLoopback(int port, std::string* error);
+
+// Like ConnectLoopback but gives up after `timeout_ms` instead of
+// blocking in connect(). The cluster router and supervisor use this so a
+// wedged worker costs a bounded wait, not a hang.
+TcpConn ConnectLoopbackTimeout(int port, int timeout_ms, std::string* error);
 
 }  // namespace serve
 }  // namespace warp

@@ -155,6 +155,20 @@ bool ParseRequestLine(const std::string& line, ParsedLine* out,
   request.znormalize = root.BoolOr("znorm", request.znormalize);
   request.trace = root.BoolOr("trace", request.trace);
 
+  // Cluster scatter stamp: a router targets one worker's shard at one
+  // dataset epoch; the worker refuses anything else (query_engine.cc).
+  if (const JsonValue* shard = root.Find("shard")) {
+    if (!shard->is_number() || shard->AsNumber() < 0 ||
+        std::floor(shard->AsNumber()) != shard->AsNumber()) {
+      *error = "'shard' must be a non-negative integer";
+      return false;
+    }
+    request.shard_filter = static_cast<long>(shard->AsNumber());
+  }
+  size_t epoch = 0;
+  if (!ReadSizeT(root, "shard_epoch", &epoch, error)) return false;
+  request.require_epoch = epoch;
+
   const JsonValue* query = root.Find("query");
   if (query == nullptr || !query->is_array()) {
     *error = "query ops require a 'query' array of numbers";
@@ -211,6 +225,13 @@ std::string FormatResponse(const ServeResponse& response) {
       writer.Key("distance").Double(response.distance);
       break;
   }
+  if (!response.shards_missing.empty()) {
+    // Cluster degradation marker; absent from single-process servers,
+    // so the pre-cluster response shape (and its goldens) is unchanged.
+    writer.Key("shards_missing").BeginArray();
+    for (const size_t shard : response.shards_missing) writer.Uint(shard);
+    writer.EndArray();
+  }
   const double serialize_us = serialize_watch.ElapsedMicros();
   WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageSerialize,
                            serialize_us);
@@ -241,6 +262,107 @@ std::string FormatErrorLine(int64_t id, const std::string& error) {
       .Key("error").String(error)
       .EndObject();
   return writer.TakeOutput();
+}
+
+std::string FormatRequest(const ServeRequest& request) {
+  obs::JsonWriter writer;
+  writer.BeginObject()
+      .Key("id").Int(request.id)
+      .Key("op").String(QueryOpName(request.op))
+      .Key("dataset").String(request.dataset)
+      .Key("measure").String(request.measure);
+  const MeasureParams& params = request.params;
+  writer.Key("window").Double(params.window_fraction);
+  if (params.band_cells >= 0) {
+    writer.Key("band").Uint(static_cast<uint64_t>(params.band_cells));
+  }
+  writer.Key("cost").String(
+      params.cost == CostKind::kSquared ? "squared" : "absolute");
+  writer.Key("g").Double(params.wdtw_g);
+  writer.Key("full_band").Bool(params.wdtw_full_band);
+  writer.Key("omega").Double(params.adtw_omega);
+  writer.Key("ratio").Double(params.adtw_ratio);
+  writer.Key("epsilon").Double(params.lcss_epsilon);
+  writer.Key("gap").Double(params.erp_gap);
+  writer.Key("c").Double(params.msm_cost);
+  writer.Key("radius").Uint(params.fastdtw_radius);
+  writer.Key("k").Uint(request.k);
+  writer.Key("index").Uint(request.index);
+  writer.Key("threshold").Double(request.threshold);
+  writer.Key("deadline_ms").Double(request.deadline_ms);
+  writer.Key("znorm").Bool(request.znormalize);
+  writer.Key("trace").Bool(request.trace);
+  if (request.shard_filter >= 0) {
+    writer.Key("shard").Uint(static_cast<uint64_t>(request.shard_filter));
+  }
+  if (request.require_epoch != 0) {
+    writer.Key("shard_epoch").Uint(request.require_epoch);
+  }
+  writer.Key("query").BeginArray();
+  for (const double value : request.query) writer.Double(value);
+  writer.EndArray().EndObject();
+  return writer.TakeOutput();
+}
+
+bool ParseResponseLine(const std::string& line, ServeResponse* out,
+                       std::string* error) {
+  JsonValue root;
+  if (!ParseJson(line, &root, error)) {
+    *error = "malformed response JSON: " + *error;
+    return false;
+  }
+  if (!root.is_object()) {
+    *error = "response must be a JSON object";
+    return false;
+  }
+  out->id = static_cast<int64_t>(root.NumberOr("id", 0.0));
+  out->ok = root.BoolOr("ok", false);
+  if (!out->ok) {
+    out->error = root.StringOr("error", "unknown error");
+    return true;
+  }
+  const std::string op = root.StringOr("op", "");
+  if (!ParseQueryOp(op, &out->op)) {
+    *error = "response has unknown op: '" + op + "'";
+    return false;
+  }
+  out->partial = root.BoolOr("partial", false);
+  out->scanned = static_cast<uint64_t>(root.NumberOr("scanned", 0.0));
+  out->total = static_cast<uint64_t>(root.NumberOr("total", 0.0));
+  if (const JsonValue* neighbors = root.Find("neighbors")) {
+    if (!neighbors->is_array()) {
+      *error = "'neighbors' must be an array";
+      return false;
+    }
+    out->neighbors.reserve(neighbors->AsArray().size());
+    for (const JsonValue& entry : neighbors->AsArray()) {
+      if (!entry.is_object()) {
+        *error = "'neighbors' entries must be objects";
+        return false;
+      }
+      Neighbor neighbor;
+      neighbor.index = static_cast<size_t>(entry.NumberOr("index", 0.0));
+      neighbor.label = static_cast<int>(entry.NumberOr("label", 0.0));
+      neighbor.distance = entry.NumberOr("distance", 0.0);
+      out->neighbors.push_back(neighbor);
+    }
+  }
+  out->distance = root.NumberOr("distance", 0.0);
+  out->position = static_cast<size_t>(root.NumberOr("position", 0.0));
+  if (const JsonValue* missing = root.Find("shards_missing")) {
+    if (!missing->is_array()) {
+      *error = "'shards_missing' must be an array";
+      return false;
+    }
+    for (const JsonValue& shard : missing->AsArray()) {
+      if (!shard.is_number()) {
+        *error = "'shards_missing' entries must be numbers";
+        return false;
+      }
+      out->shards_missing.push_back(static_cast<size_t>(shard.AsNumber()));
+    }
+  }
+  return true;
 }
 
 }  // namespace serve

@@ -58,6 +58,20 @@ std::string FormatResponse(const ServeResponse& response);
 // An error response line for requests that never reached the engine.
 std::string FormatErrorLine(int64_t id, const std::string& error);
 
+// Serializes a query request as one wire line, no trailing newline.
+// Every parameter ParseRequestLine reads is emitted explicitly, so
+// ParseRequestLine(FormatRequest(r)) reconstructs `r` field-for-field
+// (doubles bit-for-bit via FormatDouble <-> strtod). The cluster router
+// uses this to re-serialize client queries as shard-stamped sub-scans.
+std::string FormatRequest(const ServeRequest& request);
+
+// Parses a response line (the inverse of FormatResponse, minus the trace
+// echo) into a typed ServeResponse. The cluster router uses this to
+// gather worker sub-scan replies; distances survive bit-for-bit, so a
+// re-serialized merge is byte-identical to the single-process answer.
+bool ParseResponseLine(const std::string& line, ServeResponse* out,
+                       std::string* error);
+
 }  // namespace serve
 }  // namespace warp
 

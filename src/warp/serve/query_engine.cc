@@ -263,6 +263,39 @@ struct QueryEngine::Impl {
       *failure = ErrorResponse(request, "range requires a finite threshold");
       return false;
     }
+    // Cluster scatter stamp: refuse mis-routed or stale sub-scans rather
+    // than answer over the wrong candidates. The router retries against a
+    // fresh epoch; a worker never guesses.
+    if (request.require_epoch != 0 &&
+        request.require_epoch != (*snapshot)->epoch) {
+      *failure = ErrorResponse(
+          request, "epoch mismatch: dataset '" + request.dataset +
+                       "' is at epoch " + std::to_string((*snapshot)->epoch) +
+                       ", request requires " +
+                       std::to_string(request.require_epoch));
+      return false;
+    }
+    if (request.shard_filter >= 0) {
+      const size_t shard = static_cast<size_t>(request.shard_filter);
+      if (shard >= (*snapshot)->shard_count()) {
+        *failure = ErrorResponse(
+            request, "shard " + std::to_string(shard) +
+                         " out of range (dataset has " +
+                         std::to_string((*snapshot)->shard_count()) +
+                         " shards)");
+        return false;
+      }
+      if ((request.op == QueryOp::kDist ||
+           request.op == QueryOp::kSubsequence) &&
+          (*snapshot)->router.ShardOf(request.index) != shard) {
+        *failure = ErrorResponse(
+            request,
+            "series " + std::to_string(request.index) + " is owned by shard " +
+                std::to_string((*snapshot)->router.ShardOf(request.index)) +
+                ", not shard " + std::to_string(shard));
+        return false;
+      }
+    }
     return true;
   }
 
@@ -379,9 +412,17 @@ struct QueryEngine::Impl {
     }
     // Scatter: one slice per shard, chunk boundaries laid per shard over
     // its LOCAL candidate order, packed shard-major into one chunk array.
+    // A shard-filtered sub-scan (cluster worker) keeps only its own
+    // shard's slice; chunk boundaries within that shard are unchanged, so
+    // the worker's partial answer merges into exactly what the full plan
+    // would have produced for that shard.
     plan->slices.reserve(stored.shard_count());
     size_t chunk_total = 0;
     for (const ShardedDataset& shard : stored.shards) {
+      if (request.shard_filter >= 0 &&
+          shard.shard_id != static_cast<size_t>(request.shard_filter)) {
+        continue;
+      }
       plan->slices.push_back({&shard, chunk_total});
       chunk_total += ChunkCount(0, shard.size(), kScanGrain);
     }
@@ -500,7 +541,12 @@ struct QueryEngine::Impl {
     response.id = request.id;
     response.op = request.op;
     response.ok = true;
-    response.total = plan.stored->size();
+    // Candidate universe of THIS plan: the whole dataset normally, one
+    // shard's share under a cluster sub-scan — so the router's summed
+    // totals equal the single-process total.
+    for (const ShardSlice& slice : plan.slices) {
+      response.total += slice.shard->size();
+    }
     for (const ChunkHits& chunk : plan.chunks) {
       response.scanned += chunk.scanned;
     }

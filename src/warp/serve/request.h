@@ -65,6 +65,14 @@ struct ServeRequest {
   bool znormalize = true;      // z-normalize `query` before matching.
   double deadline_ms = 0.0;    // <= 0: no deadline.
   bool trace = false;          // echo stage timings in the response.
+
+  // Cluster scatter stamp (wire fields "shard"/"shard_epoch"). A router
+  // stamps each sub-scan with the target worker's shard and the dataset
+  // epoch it planned against; a worker refuses mis-routed or stale work
+  // instead of answering wrong. shard_filter < 0 means "scan all shards"
+  // (the single-process default); require_epoch 0 means "any epoch".
+  long shard_filter = -1;
+  uint64_t require_epoch = 0;
 };
 
 struct Neighbor {
@@ -93,6 +101,12 @@ struct ServeResponse {
   // dist / subsequence results.
   double distance = 0.0;
   size_t position = 0;
+
+  // Shards that contributed no answer because their worker was down
+  // (cluster router only; always empty from a single-process server).
+  // Serialized only when non-empty, so single-process goldens are
+  // unchanged. Implies `partial`.
+  std::vector<size_t> shards_missing;
 
   // Stage timings for this request. Never cached (ResultCache::Insert
   // clears it), never compared in goldens; serialized only when

@@ -71,6 +71,10 @@ std::string CacheKey(const ServeRequest& request, uint64_t epoch) {
   key += std::to_string(request.query.size());
   key.push_back('|');
   key += std::to_string(HashDoubles(request.query));
+  // Shard-filtered sub-scans (cluster workers) answer over one shard's
+  // candidates only; they must never collide with full-dataset entries.
+  key.push_back('|');
+  key += std::to_string(request.shard_filter);
   return key;
 }
 

@@ -55,7 +55,7 @@ struct Server::Impl {
         engine(&store, options.cache_capacity > 0 ? &cache : nullptr,
                options.threads,
                options.slowlog_capacity > 0 ? &slowlog : nullptr),
-        batcher(&engine) {}
+        batcher(&engine, options.max_queue_depth) {}
 
   struct Connection {
     TcpConn conn;
@@ -106,7 +106,11 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
           .Key("length").Uint(snapshot->uniform_length)
           .Key("epoch").Uint(snapshot->epoch)
           .Key("shards").Uint(snapshot->shard_count())
-          .Key("bands").BeginArray();
+          .Key("port").Int(listener.port());
+      if (options.worker_shard >= 0) {
+        writer.Key("worker_shard").Int(options.worker_shard);
+      }
+      writer.Key("bands").BeginArray();
       for (size_t band : snapshot->bands) writer.Uint(band);
       writer.EndArray().EndObject();
       return writer.TakeOutput();
@@ -134,7 +138,11 @@ std::string Server::Impl::HandleControl(const ParsedLine& parsed) {
                               Counter::kServeDeadlineExceeded,
                               Counter::kServeShardScans,
                               Counter::kServeSnapshotSaves,
-                              Counter::kServeSnapshotLoads}) {
+                              Counter::kServeSnapshotLoads,
+                              Counter::kServeShed,
+                              Counter::kClusterScatters,
+                              Counter::kClusterWorkerRestarts,
+                              Counter::kClusterPartialReplies}) {
         writer.Key(obs::CounterName(counter)).Uint(counters.Get(counter));
       }
       writer.EndObject()
@@ -364,6 +372,21 @@ void Server::Impl::HandleConnection(Connection* connection) {
       WARP_HISTOGRAM_RECORD_US(obs::Histogram::kServeStageParse, parse_us);
       if (!parsed_ok) {
         out[i] = FormatErrorLine(parsed.id, error);
+      } else if (parsed.control == ControlOp::kNone &&
+                 options.worker_shard >= 0 &&
+                 parsed.request.shard_filter != options.worker_shard) {
+        // Shard workers answer only sub-scans stamped for their own
+        // shard: a mis-routed (or unstamped) query would silently cover
+        // the wrong candidate set, so it is refused instead.
+        out[i] = FormatErrorLine(
+            parsed.id,
+            "mis-routed sub-scan: this worker serves shard " +
+                std::to_string(options.worker_shard) + " of " +
+                std::to_string(options.shards) + ", request stamped " +
+                (parsed.request.shard_filter < 0
+                     ? std::string("no shard")
+                     : "shard " +
+                           std::to_string(parsed.request.shard_filter)));
       } else if (parsed.control == ControlOp::kNone) {
         queries.push_back(std::move(parsed.request));
         query_slot.push_back(i);
@@ -490,6 +513,9 @@ int RunServer(Server* server) {
     return 1;
   }
   std::printf("warp_serve listening on 127.0.0.1:%d\n", server->port());
+  // Machine-scrapable readiness line: harnesses and the cluster
+  // supervisor parse this exact shape to learn a --port=0 binding.
+  std::printf("ready port=%d\n", server->port());
   std::fflush(stdout);
   server->Serve();
   return 0;

@@ -33,6 +33,18 @@ struct ServerOptions {
   size_t cache_capacity = 256; // Result-cache entries; 0 disables caching.
   size_t slowlog_capacity = 32; // Slow-query log entries; 0 disables it.
 
+  // Batcher admission gate: pending submissions beyond this fast-fail
+  // with error:"overloaded" (serve/batcher.h). 0 = unbounded.
+  size_t max_queue_depth = 1024;
+
+  // Cluster worker mode: >= 0 makes this server shard worker K of
+  // `shards`. The store still holds the full sharded layout (identical
+  // partition, identical epochs), but every query must arrive stamped
+  // with "shard":K — anything else is refused as mis-routed — and scans
+  // only cover shard K's candidates (docs/SERVING.md, "Multi-process
+  // cluster").
+  long worker_shard = -1;
+
   // Sakoe-Chiba fractions indexed at dataset registration: each becomes a
   // per-series envelope set at band = round(fraction * length).
   std::vector<double> band_fractions = {0.05, 0.1};
@@ -91,8 +103,10 @@ class Server {
 };
 
 // Convenience for tools: Start() + Serve(), printing
-// "warp_serve listening on 127.0.0.1:<port>" to stdout first so harnesses
-// can scrape the bound port. Returns a process exit code.
+// "warp_serve listening on 127.0.0.1:<port>" and then "ready port=<port>"
+// to stdout first so harnesses (and the cluster supervisor) can scrape
+// the bound port even when options.port was 0. Returns a process exit
+// code.
 int RunServer(Server* server);
 
 }  // namespace serve

@@ -103,6 +103,72 @@ TEST_F(BatcherTest, ConcurrentSubmittersGetTheirOwnAnswers) {
   EXPECT_EQ(check[0].neighbors[0].distance, expected.neighbors[0].distance);
 }
 
+// Admission gate: with max_queue_depth=1, a submission arriving while
+// one batch is in the engine and one submission is already queued must
+// fast-fail every request with ok:false error:"overloaded" — and leave
+// the queued work untouched (the shed is a pure reject, not a drop of
+// someone else's queries).
+TEST_F(BatcherTest, OverloadedQueueFastFailsNewSubmissions) {
+  // A blocker the engine cannot shortcut: `dist` computes the full DTW
+  // for a pinned pair, so no lower bound or early abandon applies and
+  // the batch occupies the single engine thread for a long, predictable
+  // stretch while the test probes the admission gate.
+  store_.Register("big", gen::RandomWalkDataset(8, 256, 7), {5});
+  const Dataset heavy_queries = gen::RandomWalkDataset(1, 256, 13);
+  std::vector<ServeRequest> heavy_batch;
+  for (size_t i = 0; i < 200; ++i) {
+    ServeRequest heavy;
+    heavy.id = 1000 + static_cast<int64_t>(i);
+    heavy.op = QueryOp::kDist;
+    heavy.dataset = "big";
+    heavy.index = i % 8;
+    heavy.query = heavy_queries[0].values();
+    heavy_batch.push_back(std::move(heavy));
+  }
+
+  QueryEngine engine(&store_, nullptr, 1);
+  Batcher batcher(&engine, /*max_queue_depth=*/1);
+
+  std::vector<ServeResponse> blocker_responses;
+  std::thread blocker(
+      [&] { batcher.Execute(heavy_batch, &blocker_responses); });
+  while (batcher.batches_dispatched() == 0) std::this_thread::yield();
+
+  // One submission queues behind the in-flight blocker batch (depth 1 ==
+  // max); it must survive the shed below and answer normally.
+  std::vector<ServeResponse> queued_responses;
+  std::thread queued(
+      [&] { batcher.Execute({requests_[0]}, &queued_responses); });
+  while (batcher.queue_depth() == 0) std::this_thread::yield();
+
+  // Queue full: this submission is shed in its entirety, immediately.
+  std::vector<ServeResponse> shed_responses;
+  batcher.Execute({requests_[1], requests_[2]}, &shed_responses);
+  ASSERT_EQ(shed_responses.size(), 2u);
+  for (size_t i = 0; i < shed_responses.size(); ++i) {
+    EXPECT_EQ(shed_responses[i].id, requests_[i + 1].id);
+    EXPECT_FALSE(shed_responses[i].ok);
+    EXPECT_EQ(shed_responses[i].error, "overloaded");
+  }
+  EXPECT_EQ(batcher.shed(), 1u);  // One submission, not one per request.
+
+  blocker.join();
+  queued.join();
+  ASSERT_EQ(blocker_responses.size(), heavy_batch.size());
+  EXPECT_TRUE(blocker_responses[0].ok) << blocker_responses[0].error;
+  ASSERT_EQ(queued_responses.size(), 1u);
+  EXPECT_TRUE(queued_responses[0].ok) << queued_responses[0].error;
+  EXPECT_EQ(batcher.queue_depth(), 0u);
+
+  // The gate sheds submissions, never established work: a fresh
+  // submission after drain is admitted again.
+  std::vector<ServeResponse> after;
+  batcher.Execute({requests_[3]}, &after);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].ok);
+  EXPECT_EQ(batcher.shed(), 1u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace warp

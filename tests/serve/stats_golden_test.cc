@@ -149,19 +149,26 @@ TEST(StatsGoldenTest, StatsSchemaAndDeterministicFieldsArePinned) {
   EXPECT_EQ(stats.BoolOr("profiling", !obs::kProfilingEnabled),
             obs::kProfilingEnabled);
 
-  // Counters: exactly the seven engine/shard/snapshot counters. The
-  // serve_cache_* registry counters must NOT appear — the per-instance
-  // cache object below is the single source of truth for cache behavior
-  // in this op.
+  // Counters: exactly the engine/shard/snapshot/admission/cluster
+  // counters the op emits (the cluster trio reads zero on a plain
+  // server but stays in the schema so router-merged stats keep the
+  // same shape). The serve_cache_* registry counters must NOT appear —
+  // the per-instance cache object below is the single source of truth
+  // for cache behavior in this op.
   const JsonValue* counters = stats.Find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_EQ(counters->AsObject().size(), 7u);
+  EXPECT_EQ(counters->AsObject().size(), 11u);
   for (const char* key : {"serve_requests", "serve_batches",
                           "serve_batched_queries",
                           "serve_deadline_exceeded", "serve_shard_scans",
-                          "serve_snapshot_saves", "serve_snapshot_loads"}) {
+                          "serve_snapshot_saves", "serve_snapshot_loads",
+                          "serve_shed", "cluster_scatters",
+                          "cluster_worker_restarts",
+                          "cluster_partial_replies"}) {
     EXPECT_NE(counters->Find(key), nullptr) << key;
   }
+  EXPECT_EQ(counters->NumberOr("serve_shed", -1), 0.0);
+  EXPECT_EQ(counters->NumberOr("cluster_scatters", -1), 0.0);
   EXPECT_EQ(counters->Find("serve_cache_hits"), nullptr);
   EXPECT_EQ(counters->Find("serve_cache_misses"), nullptr);
   EXPECT_EQ(counters->Find("serve_cache_evictions"), nullptr);

@@ -1,0 +1,9 @@
+#include <sys/wait.h>
+
+namespace warp {
+long Rogue() {
+  long pid = fork();
+  if (pid > 0) kill(static_cast<int>(pid), 9);
+  return pid;
+}
+}  // namespace warp

@@ -17,6 +17,12 @@
 //                   (repeatable; default seed 42)
 //   --snapshot-dir=PATH  auto-register every *.wsnap snapshot in PATH at
 //                   startup (sorted filename order; docs/SERVING.md)
+//   --max-queue-depth=N  batcher admission gate: pending submissions
+//                   beyond N fast-fail with error "overloaded" (0 = off)
+//   --worker --shard-id=K --shard-count=N
+//                   cluster worker mode: serve only shard K of N; every
+//                   query must arrive stamped "shard":K (docs/SERVING.md,
+//                   "Multi-process cluster")
 //   --simd=MODE     SIMD kernel dispatch: on | off | auto (default auto;
 //                   docs/SIMD.md)
 
@@ -76,6 +82,8 @@ inline int ServeToolMain(const ToolFlags& flags) {
   std::vector<std::pair<std::string, std::string>> data_specs;
   std::vector<std::string> gen_specs;
   std::vector<std::string> snapshot_dirs;
+  bool worker_mode = false;
+  long worker_shard_id = 0;
   for (const auto& [key, value] : flags) {
     if (key == "port") {
       options.port = static_cast<uint16_t>(std::strtol(value.c_str(), nullptr, 10));
@@ -99,6 +107,33 @@ inline int ServeToolMain(const ToolFlags& flags) {
     } else if (key == "cache") {
       const long n = std::strtol(value.c_str(), nullptr, 10);
       options.cache_capacity = n < 0 ? 0 : static_cast<size_t>(n);
+    } else if (key == "max-queue-depth") {
+      const long n = std::strtol(value.c_str(), nullptr, 10);
+      options.max_queue_depth = n < 0 ? 0 : static_cast<size_t>(n);
+    } else if (key == "worker") {
+      worker_mode = true;
+    } else if (key == "shard-id") {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "warp_serve: invalid --shard-id=%s (expected a "
+                     "non-negative integer)\n",
+                     value.c_str());
+        return 2;
+      }
+      worker_shard_id = n;
+    } else if (key == "shard-count") {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "warp_serve: invalid --shard-count=%s (expected a "
+                     "positive integer)\n",
+                     value.c_str());
+        return 2;
+      }
+      options.shards = static_cast<size_t>(n);
     } else if (key == "bands") {
       options.band_fractions = ParseFractionList(value);
     } else if (key == "data") {
@@ -130,6 +165,20 @@ inline int ServeToolMain(const ToolFlags& flags) {
       std::fprintf(stderr, "warp_serve: unknown flag --%s\n", key.c_str());
       return 1;
     }
+  }
+
+  if (worker_mode) {
+    // Worker mode binds shard-id to the partition: the id must name one
+    // of the --shard-count shards or every stamped query would be
+    // refused as mis-routed.
+    if (worker_shard_id >= static_cast<long>(options.shards)) {
+      std::fprintf(stderr,
+                   "warp_serve: --shard-id=%ld out of range for "
+                   "--shard-count=%zu\n",
+                   worker_shard_id, options.shards);
+      return 2;
+    }
+    options.worker_shard = worker_shard_id;
   }
 
   serve::Server server(std::move(options));

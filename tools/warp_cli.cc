@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster_main.h"
 #include "serve_main.h"
 #include "warp/common/statistics.h"
 #include "warp/common/stopwatch.h"
@@ -81,6 +82,14 @@ COMMANDS
     --k=N             also print a flat k-cut (default 0 = skip)
     --threads=N       worker threads for the distance-matrix build
                       (default 1; 0 = all cores / WARP_THREADS)
+
+  cluster             Without a dataset file: launch the multi-process
+                      serving cluster (supervisor + router; answers are
+                      bitwise-identical to `serve --shards=N`). Same
+                      flags as warp_cluster: --shards --snapshot-dir
+                      --port --threads --cache --max-queue-depth
+                      --worker-bin (docs/SERVING.md, "Multi-process
+                      cluster")
 
   info <data.tsv>     Dataset summary (sizes, classes, length stats).
 
@@ -546,7 +555,14 @@ int Main(int argc, char** argv) {
   if (command == "dist") status = CmdDist(args);
   else if (command == "search") status = CmdSearch(args);
   else if (command == "classify") status = CmdClassify(args);
-  else if (command == "cluster") status = CmdCluster(args);
+  // `cluster` is dual-mode: with a positional dataset file it is
+  // hierarchical clustering; flags-only it launches the multi-process
+  // serving cluster (tools/cluster_main.h).
+  else if (command == "cluster" && !args.positional.empty())
+    status = CmdCluster(args);
+  else if (command == "cluster")
+    status = tools::ClusterToolMain(args.flags,
+                                    tools::SiblingWorkerBinary(argv[0]));
   else if (command == "info") status = CmdInfo(args);
   else if (command == "measures") status = CmdMeasures(args);
   else if (command == "query") status = CmdQuery(args);

@@ -25,7 +25,13 @@ int main(int argc, char** argv) {
         "  --bands=F,F              indexed window fractions (default .05,.1)\n"
         "  --data=NAME=PATH         serve a UCR file (repeatable)\n"
         "  --gen=NAME=COUNT,LEN[,SEED]  serve a synthetic random-walk set\n"
-        "  --snapshot-dir=PATH      auto-load *.wsnap snapshots at startup\n",
+        "  --snapshot-dir=PATH      auto-load *.wsnap snapshots at startup\n"
+        "  --max-queue-depth=N      admission gate: pending submissions\n"
+        "                           beyond N fast-fail \"overloaded\" (0=off)\n"
+        "  --worker --shard-id=K --shard-count=N\n"
+        "                           cluster worker mode: serve only shard K\n"
+        "                           of N; queries must arrive stamped\n"
+        "                           \"shard\":K (docs/SERVING.md)\n",
         stdout);
     return 0;
   }
